@@ -1,0 +1,58 @@
+"""Fig 2: interactive-session samples by relative hour (section 4.2).
+
+The paper's discovery plot: mean CPU idleness per relative session hour,
+crossing 99% around the 10th hour -- the evidence behind the >= 10 h
+forgotten-login reclassification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.sessions import (
+    first_bucket_above,
+    forgotten_stats,
+    relative_hour_buckets,
+)
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline
+from repro.report.tables import render_comparison
+
+
+def test_fig2_bucket_computation_speed(benchmark, paper_trace, paper_pairs):
+    buckets = benchmark(relative_hour_buckets, paper_trace, paper_pairs)
+    assert buckets.counts.sum() > 0
+
+
+def test_fig2_idleness_gradient(benchmark, paper_report):
+    benchmark(first_bucket_above, paper_report.buckets)
+    buckets = paper_report.buckets
+    spark = render_sparkline(buckets.idle_pct, lo=90.0, hi=100.0)
+    show("fig2", f"Fig 2 idleness by relative hour: {spark}\n"
+         + render_comparison(paper_report.fig2_rows,
+                             title="Fig 2: forgotten sessions"))
+    first = first_bucket_above(buckets)
+    assert first is not None
+    # paper: the [10-11) hour; accept a +-3 h window (stochastic usage)
+    assert abs(first - PAPER.fig2_first_hour_above_99) <= 3
+    # gradient: the first hours show clear interactive activity
+    assert buckets.idle_pct[0] < 97.0
+    # idleness grows (weakly) with session age over the first 12 hours
+    valid = np.isfinite(buckets.idle_pct[:12])
+    diffs = np.diff(buckets.idle_pct[:12][valid])
+    assert (diffs >= -1.0).mean() > 0.7
+
+
+def test_fig2_forgotten_accounting(benchmark, paper_trace):
+    benchmark(forgotten_stats, paper_trace)
+    fs = forgotten_stats(paper_trace)
+    rows = [
+        ("forgotten / login samples", PAPER.forgotten_fraction_of_login,
+         fs.forgotten_fraction),
+        ("forgotten / collected samples",
+         PAPER.forgotten_samples / PAPER.samples,
+         fs.forgotten_samples / len(paper_trace)),
+    ]
+    show("fig2b", render_comparison(rows, title="Section 4.2 accounting"))
+    assert abs(fs.forgotten_fraction - PAPER.forgotten_fraction_of_login) < 0.11

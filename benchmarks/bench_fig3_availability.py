@@ -1,0 +1,49 @@
+"""Fig 3: machines powered on and user-free over the experiment.
+
+Shape checks: the averages (84.87 / 57.29 machines), the ~70% of
+powered-on machines being user-free, the weekday high-frequency
+variation, and the weekend (especially Sunday) slowdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.availability import machines_on_series
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline
+from repro.report.tables import render_comparison
+from repro.sim.calendar import DAY
+
+
+def test_fig3_series_speed(benchmark, paper_trace):
+    series = benchmark(machines_on_series, paper_trace)
+    assert series.powered_on.size > 0
+
+
+def test_fig3_averages(benchmark, paper_report):
+    benchmark(lambda: (paper_report.availability.avg_powered_on,
+                       paper_report.availability.avg_user_free))
+    series = paper_report.availability
+    spark_on = render_sparkline(series.powered_on.astype(float), width=77)
+    spark_free = render_sparkline(series.user_free.astype(float), width=77)
+    show("fig3", f"powered on: {spark_on}\nuser-free : {spark_free}\n"
+         + render_comparison(paper_report.fig3_rows, title="Fig 3: availability"))
+    assert abs(series.avg_powered_on - PAPER.fig3_avg_powered_on) < 8.0
+    assert abs(series.avg_user_free - PAPER.fig3_avg_user_free) < 7.0
+    # "roughly, on average, 70% of the powered on machines are free"
+    free_share = series.avg_user_free / series.avg_powered_on
+    assert 0.55 < free_share < 0.8
+
+
+def test_fig3_weekly_pattern(benchmark, paper_report):
+    benchmark(lambda: paper_report.availability.powered_on.std())
+    series = paper_report.availability
+    day_idx = (series.t // DAY).astype(int) % 7
+    sundays = series.powered_on[day_idx == 6]
+    tuesdays = series.powered_on[day_idx == 1]
+    assert tuesdays.mean() > 1.4 * sundays.mean()
+    # weekday counts fluctuate widely (high-frequency variation)
+    weekday = series.powered_on[day_idx < 5]
+    assert weekday.std() > 10.0

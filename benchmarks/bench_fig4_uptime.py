@@ -1,0 +1,67 @@
+"""Fig 4: per-machine uptime ratios + nines (left); session lengths (right).
+
+Left-plot claims: no machine above 0.9 cumulated uptime, fewer than 10
+above 0.8, a descending ratio curve.  (Our simulator over-produces
+machines in the 0.5-0.7 band relative to the paper's "only 30 above
+0.5" -- recorded as a known divergence in EXPERIMENTS.md.)
+
+Right-plot claims: sessions <= 96 h hold ~99% of sessions and ~88% of
+cumulated uptime; mean session length ~ 15 h 55 m.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.availability import uptime_ratios
+from repro.analysis.stability import detect_machine_sessions
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline
+from repro.report.tables import render_comparison
+
+
+def test_fig4_ratio_computation_speed(benchmark, paper_trace):
+    ur = benchmark(uptime_ratios, paper_trace)
+    assert ur.ratio.shape == (169,)
+
+
+def test_fig4_left_uptime_ratios(benchmark, paper_report):
+    benchmark(paper_report.ratios.summary)
+    ur = paper_report.ratios
+    spark = render_sparkline(ur.ratio, lo=0.0, hi=1.0, width=80)
+    show("fig4L", f"uptime ratio curve: {spark}\n"
+         + render_comparison(paper_report.fig4_rows[:3],
+                             title="Fig 4 left: uptime tail"))
+    s = ur.summary()
+    # short windows inflate per-machine ratio tails; at paper scale
+    # (>= 28 days) the claims tighten to the published ones
+    from benchmarks.conftest import bench_days
+
+    if bench_days() >= 28:
+        assert s["above_0.9"] <= 2       # paper: none
+        assert s["above_0.8"] < 12       # paper: < 10
+    else:
+        assert s["above_0.9"] <= 8
+        assert s["above_0.8"] < 25
+    assert 0.40 < s["mean"] < 0.60       # paper: 0.502
+    # the availability curve is monotone non-increasing (it is sorted)
+    assert np.all(np.diff(ur.ratio) <= 0)
+    # nines stay low (paper: classroom machines are far less available
+    # than corporate ones; none reached one nine over 77 days -- short
+    # windows can overshoot slightly)
+    limit = 1.1 if bench_days() >= 28 else 1.6
+    assert np.nanmax(ur.nines[np.isfinite(ur.nines)]) < limit
+
+
+def test_fig4_right_session_lengths(benchmark, paper_trace, paper_report):
+    sessions = benchmark(detect_machine_sessions, paper_trace)
+    hist = sessions.length_histogram()
+    show("fig4R", render_comparison(paper_report.fig4_rows[3:],
+                                    title="Fig 4 right: session lengths"))
+    assert abs(sessions.mean_length / 3600.0 - PAPER.session_mean_h) < 4.0
+    assert hist["sessions_share"][0] > 0.95
+    assert 0.75 < hist["uptime_share"][0] < 0.97
+    # most sessions are short: the histogram mass sits in the low bins
+    counts = hist["counts"]
+    assert counts[:3].sum() > counts[3:].sum() * 0.8

@@ -1,0 +1,76 @@
+"""Fig 5: weekly distribution of CPU idleness, memory and network rates.
+
+Signature features: the Tuesday-afternoon idleness dip (below ~91%, the
+CPU-heavy class), idleness otherwise in the 95-100% band with night and
+weekend plateaus, RAM load never below ~50%, swap tracking RAM with
+damped high frequencies, and receive rates several times send rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.weekly import weekly_profiles
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline
+from repro.report.tables import render_comparison
+
+
+def test_fig5_profile_speed(benchmark, paper_trace, paper_pairs):
+    profiles = benchmark(weekly_profiles, paper_trace, paper_pairs)
+    assert profiles.n_bins == 168
+
+
+def test_fig5_left_cpu_ram_swap(benchmark, paper_report):
+    benchmark(paper_report.weekly.minimum_idleness)
+    wp = paper_report.weekly
+    show(
+        "fig5L",
+        "CPU idle: " + render_sparkline(wp.cpu_idle_pct, lo=88, hi=100) + "\n"
+        "RAM load: " + render_sparkline(wp.ram_load_pct, lo=45, hi=75) + "\n"
+        "swap    : " + render_sparkline(wp.swap_load_pct, lo=20, hi=40) + "\n"
+        + render_comparison(paper_report.fig5_rows, title="Fig 5: weekly"),
+    )
+    dip_hour, dip_val = wp.minimum_idleness()
+    assert int(dip_hour // 24) == 1          # Tuesday
+    assert 14.0 <= dip_hour % 24 <= 16.0      # the practical class slot
+    assert dip_val < 96.0                     # paper: below 91%
+    # outside the dip, idleness lives in the 95-100 band
+    assert np.nanmean(wp.cpu_idle_pct) > 95.0
+    # RAM never below ~50%
+    assert np.nanmin(wp.ram_load_pct) > 48.0
+    # swap is a smoothed follower of RAM
+    valid = np.isfinite(wp.ram_load_pct) & np.isfinite(wp.swap_load_pct)
+    assert np.corrcoef(wp.ram_load_pct[valid], wp.swap_load_pct[valid])[0, 1] > 0.5
+    assert wp.swap_load_pct[valid].std() < wp.ram_load_pct[valid].std()
+
+
+def test_fig5_right_network(benchmark, paper_report):
+    benchmark(lambda: paper_report.weekly.recv_bps.sum())
+    wp = paper_report.weekly
+    show(
+        "fig5R",
+        "recv bps: " + render_sparkline(wp.recv_bps) + "\n"
+        "sent bps: " + render_sparkline(wp.sent_bps),
+    )
+    valid = np.isfinite(wp.recv_bps) & np.isfinite(wp.sent_bps) & (wp.sent_bps > 0)
+    # client role: received rates several times higher than sent
+    assert wp.recv_bps[valid].mean() > 2.0 * wp.sent_bps[valid].mean()
+    # night/weekend pattern: Sunday bins far quieter than Tuesday's
+    hours = np.arange(168)
+    tue = (hours >= 24) & (hours < 48) & valid
+    sun = (hours >= 144) & (hours < 168) & valid
+    if sun.any():
+        assert np.nanmean(wp.recv_bps[tue]) > np.nanmean(wp.recv_bps[sun])
+
+
+def test_fig5_night_plateau(benchmark, paper_report):
+    benchmark(paper_report.weekly.weekday_mask, 1)
+    """04:00-08:00: classrooms closed; survivors are ~fully idle."""
+    wp = paper_report.weekly
+    night_bins = []
+    for day in range(1, 5):  # Tue-Fri mornings
+        night_bins.extend(range(day * 24 + 5, day * 24 + 8))
+    vals = wp.cpu_idle_pct[night_bins]
+    assert np.nanmean(vals) > 99.0

@@ -1,0 +1,67 @@
+"""Fig 6 / section 5.4: cluster-equivalence ratio and the 2:1 rule.
+
+The paper's punchline: 169 non-dedicated classroom machines are worth
+roughly half a dedicated cluster (ratio 0.51 = 0.26 from occupied +
+0.25 from user-free machine time), computed with NBench-normalised
+performance weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.analysis.equivalence import cluster_equivalence
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline
+from repro.report.tables import render_comparison
+
+
+def test_fig6_equivalence_speed(benchmark, paper_trace, paper_pairs):
+    eq = benchmark(cluster_equivalence, paper_trace, pairs=paper_pairs)
+    assert 0.0 < eq.ratio_total < 1.0
+
+
+def test_fig6_two_to_one_rule(benchmark, paper_report):
+    benchmark(lambda: paper_report.equivalence.ratio_total)
+    eq = paper_report.equivalence
+    spark = render_sparkline(eq.weekly_ratio, lo=0.0, hi=1.0)
+    show("fig6", f"weekly equivalence: {spark}\n"
+         + render_comparison(paper_report.fig6_rows,
+                             title="Fig 6: cluster equivalence"))
+    # the 2:1 rule: ratio ~ 0.5
+    assert abs(eq.ratio_total - PAPER.equivalence_total) < 0.06
+    # split roughly even between occupied and free machine time
+    assert abs(eq.ratio_occupied - PAPER.equivalence_occupied) < 0.06
+    assert abs(eq.ratio_free - PAPER.equivalence_free) < 0.06
+
+
+def test_fig6_weekly_distribution(benchmark, paper_report):
+    benchmark(lambda: paper_report.equivalence.weekly_ratio.copy())
+    eq = paper_report.equivalence
+    valid = np.isfinite(eq.weekly_ratio)
+    # weekday working hours deliver more than Sunday
+    hours = eq.weekly_hours
+    tue_afternoon = valid & (hours >= 24 + 9) & (hours < 24 + 20)
+    sunday = valid & (hours >= 144) & (hours < 168)
+    assert np.nanmean(eq.weekly_ratio[tue_afternoon]) > np.nanmean(
+        eq.weekly_ratio[sunday]
+    )
+    # the ratio never exceeds 1 (cannot beat a dedicated cluster)
+    assert np.nanmax(eq.weekly_ratio) <= 1.0 + 1e-9
+
+
+def test_fig6_weights_matter(benchmark, paper_trace, paper_pairs):
+    from repro.analysis.equivalence import machine_weights
+    benchmark(machine_weights, paper_trace.meta)
+    """Disabling the NBench weights changes the ratio (heterogeneity)."""
+    import copy
+
+    meta = paper_trace.meta
+    weighted = cluster_equivalence(paper_trace, meta, pairs=paper_pairs)
+    unweighted_meta = copy.copy(meta)
+    unweighted_meta.statics = {}
+    unweighted = cluster_equivalence(paper_trace, unweighted_meta, pairs=paper_pairs)
+    # demand correlates with machine speed, so weighting shifts the ratio up
+    assert weighted.ratio_total != unweighted.ratio_total
+    assert weighted.ratio_total > unweighted.ratio_total - 0.01

@@ -1,0 +1,108 @@
+"""Harvesting validation: the 2:1 rule under a real guest workload.
+
+Fig 6's 0.51 ratio is an upper bound ("this methodology assumes that all
+idle CPU can be harvested").  The harvesting simulator pays the real
+costs -- free-machines-only placement, evictions, checkpoints -- and the
+bench quantifies each discount, plus the survival-technique ablations
+the conclusions call for (checkpoint interval, replication).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_seed, show
+from repro.config import ExperimentConfig
+from repro.harvest.scheduler import HarvestPolicy
+from repro.harvest.validation import validate_equivalence
+from repro.report.tables import Table
+
+DAYS = 7
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(days=DAYS, seed=bench_seed())
+
+
+@pytest.fixture(scope="module")
+def free_only(cfg):
+    return validate_equivalence(cfg, n_tasks=600, mean_work_hours=30.0)
+
+
+@pytest.fixture(scope="module")
+def with_occupied(cfg):
+    return validate_equivalence(
+        cfg,
+        policy=HarvestPolicy(harvest_occupied=True),
+        n_tasks=600,
+        mean_work_hours=30.0,
+    )
+
+
+def test_harvest_vs_upper_bound(benchmark, free_only, with_occupied, cfg):
+    benchmark(lambda: free_only.achieved_ratio)
+    from repro.analysis.equivalence import cluster_equivalence
+    from repro.experiment import run_experiment
+
+    monitored = run_experiment(cfg)
+    bound = cluster_equivalence(monitored.trace).ratio_total
+    table = Table(["scenario", "equivalence ratio"])
+    table.add_row(["Fig 6 upper bound (all idle cycles)", bound])
+    table.add_row(["harvest free machines only", free_only.achieved_ratio])
+    table.add_row(["harvest incl. occupied (Ryu-style)", with_occupied.achieved_ratio])
+    show("harvest", table.render())
+    # ordering: bound > occupied-harvesting > free-only > 0
+    assert bound > with_occupied.achieved_ratio > free_only.achieved_ratio > 0.1
+    # occupied-harvesting approaches the bound within ~25%
+    assert with_occupied.achieved_ratio > 0.7 * bound
+
+
+def test_eviction_losses_are_bounded(benchmark, free_only):
+    benchmark(lambda: free_only.eviction_loss_fraction)
+    assert free_only.eviction_loss_fraction < 0.15
+    assert free_only.stats.evictions > 0  # volatility is real
+
+
+def test_checkpoint_interval_tradeoff(benchmark, cfg):
+    benchmark(lambda: None)  # sweep below is the expensive part
+    """Frequent checkpoints pay overhead, rare ones lose work to eviction."""
+    outcomes = {}
+    for interval in (300.0, 1800.0, 7200.0):
+        v = validate_equivalence(
+            cfg,
+            policy=HarvestPolicy(checkpoint_interval=interval,
+                                 checkpoint_cost=30.0),
+            n_tasks=400,
+            mean_work_hours=30.0,
+        )
+        outcomes[interval] = v
+    table = Table(["checkpoint interval s", "achieved ratio",
+                   "lost to checkpoints", "lost to eviction"])
+    for k, v in outcomes.items():
+        table.add_row([k, v.achieved_ratio, v.stats.lost_to_checkpoints,
+                       v.stats.lost_to_eviction])
+    show("harvest-ckpt", table.render())
+    # checkpoint overhead decreases with the interval
+    costs = [outcomes[k].stats.lost_to_checkpoints for k in (300.0, 1800.0, 7200.0)]
+    assert costs == sorted(costs, reverse=True)
+    # eviction losses increase with the interval
+    ev = [outcomes[k].stats.lost_to_eviction for k in (300.0, 1800.0, 7200.0)]
+    assert ev[0] < ev[-1]
+
+
+def test_replication_trades_throughput_for_latency(benchmark, cfg):
+    benchmark(lambda: None)
+    single = validate_equivalence(cfg, n_tasks=250, mean_work_hours=20.0)
+    double = validate_equivalence(
+        cfg, policy=HarvestPolicy(replication=2), n_tasks=250,
+        mean_work_hours=20.0,
+    )
+    table = Table(["replication", "tasks completed", "wasted replica work h"])
+    table.add_row([1, single.tasks_completed, single.stats.wasted_replica_work / 3600])
+    table.add_row([2, double.tasks_completed, double.stats.wasted_replica_work / 3600])
+    show("harvest-repl", table.render())
+    # replication wastes work; with an over-provisioned batch that costs
+    # throughput (fewer distinct tasks finish)
+    assert double.stats.wasted_replica_work > single.stats.wasted_replica_work
+    assert double.tasks_completed <= single.tasks_completed

@@ -1,0 +1,57 @@
+"""Simulation-substrate performance: fleet throughput and trace handling.
+
+Guards the hot paths called out in DESIGN.md section 6: the discrete-
+event engine, a full fleet-day of simulation, and the columnar trace
+construction over hundreds of thousands of samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+from repro.sim.engine import Simulator
+from repro.traces.columnar import ColumnarTrace
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + fire 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule_after(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_one_fleet_day(benchmark):
+    """One simulated day of 169 machines + DDC (the per-day unit cost)."""
+
+    def run():
+        return run_experiment(ExperimentConfig(days=1, seed=8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.store) > 0
+
+
+def test_columnar_build(benchmark, paper_run):
+    """Sorting + materialising the struct-of-arrays trace view."""
+    trace = benchmark(ColumnarTrace, paper_run.store)
+    assert len(trace) == len(paper_run.store)
+
+
+def test_trace_pairing(benchmark, paper_trace):
+    """The consecutive-pair scan underlying every pairwise estimator."""
+    i, j = benchmark(paper_trace.consecutive_pairs)
+    assert i.size > 0 and i.size == j.size

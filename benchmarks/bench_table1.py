@@ -1,0 +1,64 @@
+"""Table 1: fleet hardware characteristics and NBench indexes.
+
+Regenerates the per-lab hardware table and the fleet totals quoted in
+section 4.1 (56.62 GB of RAM, 6.66 TB of disk), and re-measures the
+NBench indexes through the benchmark probe over the whole roster, as the
+authors did with DDC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
+from repro.machines.hardware import TABLE1_LABS, build_fleet, fleet_totals
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.machines.winapi import Win32Api
+from repro.report.paperdata import PAPER
+from repro.report.tables import Table, render_comparison
+from repro.sim.random import RandomStreams
+
+
+def _probe_fleet_indexes():
+    """Run the NBench probe on every machine, lab-averaged."""
+    probe = NBenchProbe(RandomStreams(2005).stream("nbench"))
+    by_lab: dict[str, list[tuple[float, float]]] = {}
+    for spec in build_fleet():
+        m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes))
+        m.boot(0.0)
+        report = parse_nbench_output(probe.run(Win32Api(m), 0.0).stdout)
+        by_lab.setdefault(spec.lab, []).append((report["int"], report["fp"]))
+    return {
+        lab: (float(np.mean([r[0] for r in rows])), float(np.mean([r[1] for r in rows])))
+        for lab, rows in by_lab.items()
+    }
+
+
+def test_table1_fleet_totals(benchmark):
+    totals = benchmark(fleet_totals, build_fleet())
+    rows = [
+        ("machines", PAPER.n_machines, totals["machines"]),
+        ("total RAM GB", PAPER.total_ram_gb, totals["ram_gb"]),
+        ("total disk TB", PAPER.total_disk_tb, totals["disk_tb"]),
+        ("avg NBench INT", PAPER.avg_nbench_int, totals["avg_int"]),
+        ("avg NBench FP", PAPER.avg_nbench_fp, totals["avg_fp"]),
+    ]
+    show("table1", render_comparison(rows, title="Table 1: fleet totals"))
+    assert totals["machines"] == 169
+    assert abs(totals["ram_gb"] - PAPER.total_ram_gb) / PAPER.total_ram_gb < 0.03
+    assert abs(totals["disk_tb"] - PAPER.total_disk_tb) / PAPER.total_disk_tb < 0.04
+
+
+def test_table1_nbench_probe_pass(benchmark):
+    measured = benchmark.pedantic(_probe_fleet_indexes, rounds=1, iterations=1)
+    table = Table(["lab", "INT (paper)", "INT (probe)", "FP (paper)", "FP (probe)"])
+    for lab in TABLE1_LABS:
+        got = measured[lab.name]
+        table.add_row([lab.name, lab.nbench_int, got[0], lab.nbench_fp, got[1]])
+    show("table1-nbench", table.render())
+    for lab in TABLE1_LABS:
+        got_int, got_fp = measured[lab.name]
+        assert abs(got_int - lab.nbench_int) / lab.nbench_int < 0.05
+        assert abs(got_fp - lab.nbench_fp) / lab.nbench_fp < 0.05

@@ -1,0 +1,54 @@
+"""Table 2: main results of the monitoring experiment (+ headline scale).
+
+Checks the *shape* the paper reports: who is idler, by roughly what
+factor, with the forgotten-session reclassification applied.  Absolute
+values come from the calibrated simulator and land within ~10% of the
+published numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import show
+from repro.analysis.mainresults import compute_main_results
+from repro.report.paperdata import PAPER
+from repro.report.tables import render_comparison
+
+
+def test_experiment_scale(benchmark, paper_report):
+    benchmark(lambda: paper_report.scale_rows)
+    show("scale", render_comparison(paper_report.scale_rows,
+                                    title="Experiment scale (section 5)"))
+    measured_resp = dict((r[0], r[2]) for r in paper_report.scale_rows)[
+        "response rate %"
+    ]
+    assert abs(measured_resp - 100 * PAPER.response_rate) < 6.0
+
+
+def test_table2_analysis_speed(benchmark, paper_trace, paper_pairs):
+    """Times the full Table-2 aggregation over ~600k samples."""
+    result = benchmark(compute_main_results, paper_trace, pairs=paper_pairs)
+    assert result.both.samples == len(paper_trace)
+
+
+def test_table2_values(benchmark, paper_report):
+    benchmark(lambda: paper_report.main.as_dict())
+    show("table2", render_comparison(paper_report.table2_rows,
+                                     title="Table 2: main results"))
+    m = paper_report.main
+    # CPU idleness: the paper's central result, tight tolerance
+    assert abs(m.both.cpu_idle_pct - PAPER.t2_cpu_idle_pct["both"]) < 1.0
+    assert abs(m.no_login.cpu_idle_pct - PAPER.t2_cpu_idle_pct["no_login"]) < 0.8
+    assert abs(m.with_login.cpu_idle_pct - PAPER.t2_cpu_idle_pct["with_login"]) < 1.5
+    # orderings
+    assert m.no_login.cpu_idle_pct > m.with_login.cpu_idle_pct
+    assert m.with_login.ram_load_pct > m.no_login.ram_load_pct
+    assert m.with_login.swap_load_pct > m.no_login.swap_load_pct
+    # memory within a few points
+    assert abs(m.no_login.ram_load_pct - PAPER.t2_ram_load_pct["no_login"]) < 4.0
+    assert abs(m.with_login.ram_load_pct - PAPER.t2_ram_load_pct["with_login"]) < 5.0
+    # disk usage independent of login state
+    assert abs(m.no_login.disk_used_gb - m.with_login.disk_used_gb) < 1.5
+    # network: occupied ~10x idle; recv ~3-4x sent when occupied
+    assert 5 < m.with_login.sent_bps / m.no_login.sent_bps < 25
+    assert 5 < m.with_login.recv_bps / m.no_login.recv_bps < 40
+    assert 2 < m.with_login.recv_bps / m.with_login.sent_bps < 6

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+The session-scoped ``paper_run`` executes the paper's experiment once
+(77 days, 169 machines by default) and every bench both *times* its
+analysis stage with pytest-benchmark and *prints* the paper-vs-measured
+comparison for its table or figure.
+
+Environment knobs:
+
+- ``REPRO_BENCH_DAYS``: experiment length (default 77).  Set e.g. 14 for
+  quick iteration; comparisons remain meaningful, only noisier.
+- ``REPRO_BENCH_SEED``: root seed (default 2005).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.cpu import pairwise_cpu
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+from repro.report.experiments import generate_report
+
+
+def bench_days() -> int:
+    """Experiment length used by the harness."""
+    return int(os.environ.get("REPRO_BENCH_DAYS", "77"))
+
+
+def bench_seed() -> int:
+    """Root seed used by the harness."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "2005"))
+
+
+@pytest.fixture(scope="session")
+def paper_run():
+    """The monitored experiment every figure/table is computed from."""
+    return run_experiment(ExperimentConfig(days=bench_days(), seed=bench_seed()))
+
+
+@pytest.fixture(scope="session")
+def paper_trace(paper_run):
+    return paper_run.trace
+
+
+@pytest.fixture(scope="session")
+def paper_pairs(paper_trace):
+    return pairwise_cpu(paper_trace)
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper_run):
+    """All analyses of the paper run, computed once."""
+    return generate_report(paper_run)
+
+
+def show(title: str, text: str) -> None:
+    """Print a bench's comparison table (visible with ``pytest -s``)."""
+    print(f"\n{text}\n")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run the real NBench kernels on *this* machine.
+
+The authors measured every classroom machine with an NBench probe
+(section 4.1, Table 1).  This example executes the re-implemented
+ten-kernel suite on the host for real, prints the per-kernel rates and
+the composite INT/FP indexes, and situates your machine against the
+paper's fleet (indexes are relative to the library's fixed baseline
+machine, so absolute values are only comparable within this library).
+
+Usage::
+
+    python examples/benchmark_this_host.py [seconds_per_kernel]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.nbench.runner import run_benchmark_suite
+from repro.report.tables import Table
+
+
+def main(min_duration: float = 0.25) -> None:
+    print(f"Timing the ten NBench kernels ({min_duration:.2f}s each)...\n")
+    timings, int_idx, fp_idx = run_benchmark_suite(min_duration=min_duration)
+    table = Table(["kernel", "group", "iterations", "rate (runs/s)"])
+    for name, t in timings.items():
+        table.add_row([name, t.group, t.iterations, t.rate])
+    print(table.render())
+    print(f"\nINTEGER index: {int_idx:8.2f}")
+    print(f"FLOATING index: {fp_idx:8.2f}")
+    print(
+        "\n(Table 1's classroom machines scored 13.7-39.3 INT / 12.1-36.7 FP "
+        "on the authors'\nbaseline; this library's baseline constants are "
+        "its own, so compare hosts measured\nwith this tool against each "
+        "other, not against Table 1 directly.)"
+    )
+
+
+if __name__ == "__main__":
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    main(duration)

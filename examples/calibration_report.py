@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Calibration scorecard: how close is the simulator to the paper?
+
+Runs an experiment and checks every calibrated target (Table 2 values,
+Fig 2-6 headline numbers, SMART statistics) against its published value
+and tolerance.  Use after changing any parameter in ``repro.config``.
+
+Usage::
+
+    python examples/calibration_report.py [days] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+from repro.calibration import evaluate_calibration
+from repro.report.experiments import generate_report
+from repro.report.tables import Table
+
+
+def main(days: int = 21, seed: int = 2005) -> None:
+    print(f"Running a {days}-day calibration experiment (seed {seed})...")
+    result = run_experiment(ExperimentConfig(days=days, seed=seed))
+    report = generate_report(result)
+    results = evaluate_calibration(report)
+
+    table = Table(["target", "paper", "measured", "rel dev %", "ok"])
+    for r in results:
+        table.add_row([
+            r.target.name,
+            r.target.paper_value,
+            r.measured,
+            100.0 * r.rel_deviation,
+            "yes" if r.ok else "NO",
+        ])
+    print("\n" + table.render())
+    passed = sum(r.ok for r in results)
+    print(f"\n{passed}/{len(results)} targets within tolerance.")
+    if passed < len(results):
+        print("Misses (tune repro.config defaults or widen tolerances if the "
+              "paper itself is ambiguous):")
+        for r in results:
+            if not r.ok:
+                print(f"  - {r.target.name}: measured {r.measured:.3f} vs "
+                      f"paper {r.target.paper_value:.3f}")
+
+
+if __name__ == "__main__":
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 21
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2005
+    main(days, seed)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Desktop-grid harvesting: the paper's motivating application.
+
+The conclusions argue that classroom idleness, "carefully channeled,
+could yield good opportunities for grid desktop computing" -- provided
+the harvester survives volatility with checkpointing, oversubscription
+and replication.  This example runs a bag-of-tasks workload on a live
+simulated fleet under three policies and compares the achieved cluster
+equivalence with Fig 6's all-idle-cycles upper bound.
+
+Usage::
+
+    python examples/desktop_grid_harvesting.py [days] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.equivalence import cluster_equivalence
+from repro.harvest import HarvestPolicy, validate_equivalence
+from repro.report.tables import Table
+
+
+def main(days: int = 7, seed: int = 7) -> None:
+    cfg = ExperimentConfig(days=days, seed=seed)
+
+    print(f"Measuring the Fig-6 upper bound over {days} days...")
+    monitored = run_experiment(cfg)
+    bound = cluster_equivalence(monitored.trace).ratio_total
+    print(f"  all-idle-cycles cluster equivalence: {bound:.3f} "
+          "(paper: 0.51 over 77 days)")
+
+    scenarios = {
+        "free machines, 30-min checkpoints": HarvestPolicy(),
+        "free machines, no checkpoints (interval=inf-ish)": HarvestPolicy(
+            checkpoint_interval=10 * 86400.0
+        ),
+        "incl. occupied machines (Ryu-style stealing)": HarvestPolicy(
+            harvest_occupied=True
+        ),
+        "2x replication (latency robustness)": HarvestPolicy(replication=2),
+    }
+
+    table = Table(["policy", "achieved ratio", "of bound %", "tasks done",
+                   "evictions", "lost to eviction h"])
+    for name, policy in scenarios.items():
+        print(f"Harvesting with: {name} ...")
+        v = validate_equivalence(cfg, policy=policy, n_tasks=500,
+                                 mean_work_hours=30.0)
+        table.add_row([
+            name,
+            v.achieved_ratio,
+            100.0 * v.achieved_ratio / bound,
+            v.tasks_completed,
+            v.stats.evictions,
+            v.stats.lost_to_eviction / 3600.0,
+        ])
+    print("\n" + table.render())
+    print(
+        "\nReading: harvesting only user-free machines recovers roughly the\n"
+        "free-machine share of the bound; stealing idle cycles under live\n"
+        "sessions closes most of the remaining gap, at the cost of touching\n"
+        "occupied machines. Without checkpointing nearly everything is\n"
+        "destroyed by evictions -- the volatility the paper warns about --\n"
+        "which is exactly why the conclusions demand survival techniques."
+    )
+
+
+if __name__ == "__main__":
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    main(days, seed)

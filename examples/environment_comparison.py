@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Compare the classroom fleet against the related-work environments.
+
+Section 2 positions the paper against Unix labs (Arpaci et al.),
+corporate Windows desktops (Bolosky et al.) and servers (Heap).  This
+example monitors all four environments with the identical DDC pipeline
+and tabulates the metrics that differ.
+
+Usage::
+
+    python examples/environment_comparison.py [days] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import compare_baselines
+
+
+def main(days: int = 7, seed: int = 11) -> None:
+    print(f"Monitoring five environments for {days} simulated days each...\n")
+    rows, table = compare_baselines(seed=seed, days=days)
+    print(table)
+    print(
+        "\nExpected orderings (from the literature):\n"
+        "- Windows servers idle ~95%, Unix servers ~85% (Heap 2003);\n"
+        "- corporate desktops busier than classrooms (Bolosky et al.: ~15% "
+        "mean CPU usage);\n"
+        "- Unix workstations stay powered (Arpaci et al.), classrooms get "
+        "switched off --\n"
+        "  which is why only the classroom sits near the 2:1 equivalence "
+        "ratio (~0.5)."
+    )
+
+
+if __name__ == "__main__":
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+    main(days, seed)

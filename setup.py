@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools without PEP-660 editable-wheel
+support; this shim lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

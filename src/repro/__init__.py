@@ -1,0 +1,53 @@
+"""repro -- reproduction of *Resource Usage of Windows Computer
+Laboratories* (Domingues, Marques & Silva, ICPP 2005).
+
+The package rebuilds the paper's entire system in Python:
+
+- a discrete-event **fleet simulator** of 11 classroom labs / 169 Windows
+  2000 machines (:mod:`repro.sim`, :mod:`repro.machines`),
+- the **DDC** remote-probing framework with the W32Probe and NBench
+  probes (:mod:`repro.ddc`),
+- the **NBench** benchmark suite and index model (:mod:`repro.nbench`),
+- trace storage (:mod:`repro.traces`) and the complete **analysis
+  pipeline** regenerating every table and figure (:mod:`repro.analysis`),
+- comparison **baselines** (:mod:`repro.baselines`) and an idle-cycle
+  **harvesting simulator** validating the 2:1 equivalence rule
+  (:mod:`repro.harvest`).
+
+Quickstart
+----------
+>>> from repro import run_experiment, ExperimentConfig
+>>> result = run_experiment(ExperimentConfig(days=2, seed=42))
+>>> len(result.store) > 0
+True
+
+See ``examples/quickstart.py`` for the guided tour and ``EXPERIMENTS.md``
+for the paper-vs-measured record.
+"""
+
+from repro.config import (
+    BehaviorParams,
+    DdcParams,
+    ExperimentConfig,
+    PowerParams,
+    SmartParams,
+    WorkloadParams,
+    paper_config,
+)
+from repro.experiment import MonitoringResult, run_experiment, run_paper_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "BehaviorParams",
+    "PowerParams",
+    "WorkloadParams",
+    "DdcParams",
+    "SmartParams",
+    "paper_config",
+    "run_experiment",
+    "run_paper_experiment",
+    "MonitoringResult",
+]

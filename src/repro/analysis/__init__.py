@@ -1,0 +1,87 @@
+"""Analysis pipeline: every table and figure of the paper.
+
+Each module regenerates one slice of the evaluation:
+
+- :mod:`repro.analysis.cpu` -- pairwise boot-relative CPU-idleness
+  estimator (the paper's section 4.2 methodology),
+- :mod:`repro.analysis.sessions` -- interactive-session reconstruction,
+  relative-hour buckets and the forgotten-login threshold (Fig 2),
+- :mod:`repro.analysis.mainresults` -- Table 2,
+- :mod:`repro.analysis.availability` -- powered-on / user-free series and
+  per-machine uptime ratios + nines (Figs 3, 4-left),
+- :mod:`repro.analysis.stability` -- machine sessions and SMART
+  power-cycle analysis (Fig 4-right, section 5.2),
+- :mod:`repro.analysis.weekly` -- weekly resource profiles (Fig 5),
+- :mod:`repro.analysis.equivalence` -- cluster-equivalence ratio (Fig 6),
+- :mod:`repro.analysis.stats` -- shared statistical helpers.
+
+All functions consume a :class:`~repro.traces.columnar.ColumnarTrace` and
+are fully vectorised.
+"""
+
+from repro.analysis.stats import availability_nines, weighted_mean
+from repro.analysis.cpu import PairwiseCpu, pairwise_cpu
+from repro.analysis.sessions import (
+    SessionBuckets,
+    forgotten_stats,
+    reconstruct_login_sessions,
+    relative_hour_buckets,
+)
+from repro.analysis.mainresults import MainResults, compute_main_results
+from repro.analysis.availability import (
+    AvailabilitySeries,
+    machines_on_series,
+    uptime_ratios,
+)
+from repro.analysis.stability import (
+    MachineSessions,
+    SmartStats,
+    detect_machine_sessions,
+    smart_power_cycle_stats,
+)
+from repro.analysis.weekly import WeeklyProfiles, weekly_profiles
+from repro.analysis.equivalence import EquivalenceResult, cluster_equivalence
+from repro.analysis.idleres import (
+    DiskIdleness,
+    MemoryIdleness,
+    backup_capacity,
+    disk_idleness,
+    memory_idleness,
+    network_ram_potential,
+)
+from repro.analysis.labs import LabSummary, per_lab_summary
+from repro.analysis.periods import PeriodSlice, partition_by_period
+
+__all__ = [
+    "weighted_mean",
+    "availability_nines",
+    "PairwiseCpu",
+    "pairwise_cpu",
+    "SessionBuckets",
+    "relative_hour_buckets",
+    "forgotten_stats",
+    "reconstruct_login_sessions",
+    "MainResults",
+    "compute_main_results",
+    "AvailabilitySeries",
+    "machines_on_series",
+    "uptime_ratios",
+    "MachineSessions",
+    "detect_machine_sessions",
+    "SmartStats",
+    "smart_power_cycle_stats",
+    "WeeklyProfiles",
+    "weekly_profiles",
+    "EquivalenceResult",
+    "cluster_equivalence",
+    "MemoryIdleness",
+    "memory_idleness",
+    "DiskIdleness",
+    "disk_idleness",
+    "network_ram_potential",
+    "backup_capacity",
+    "LabSummary",
+    "per_lab_summary",
+    "PeriodSlice",
+    "partition_by_period",
+]

@@ -1,0 +1,196 @@
+"""Energy accounting and the harvest-vs-power-management trade-off.
+
+An extension the paper's numbers invite: machines that sit 99.7% idle
+still draw near-full power, so the same fleet that attracts cycle
+harvesters also attracts power management.  The two policies compete --
+suspending idle machines saves energy but removes them from the
+harvestable pool.  This module quantifies both sides from a trace:
+
+- :func:`energy_consumption` -- kWh drawn over the experiment using an
+  era-appropriate desktop power model (idle draw plus a busy-scaled
+  dynamic component; CRT monitors are excluded, as machines run headless
+  overnight),
+- :func:`suspend_whatif` -- what an "suspend after T idle-and-free
+  minutes, wake on demand" policy would have saved, and how much
+  harvestable capacity (Fig-6 currency) it would have destroyed.
+
+Both are closed-form over the pairwise estimates; no re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.cpu import PairwiseCpu, pairwise_cpu
+from repro.analysis.equivalence import machine_weights
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = ["PowerModel", "EnergyReport", "energy_consumption", "suspend_whatif"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Desktop power draw model (watts), early-2000s tower defaults.
+
+    ``draw = idle_watts + (peak_watts - idle_watts) * busy_fraction``;
+    a suspended machine draws ``suspend_watts``.
+    """
+
+    idle_watts: float = 70.0
+    peak_watts: float = 115.0
+    suspend_watts: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.suspend_watts <= self.idle_watts <= self.peak_watts:
+            raise AnalysisError("power model must order suspend <= idle <= peak")
+
+    def draw(self, busy_fraction: np.ndarray) -> np.ndarray:
+        """Instantaneous draw in watts for a busy fraction in [0, 1]."""
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * busy_fraction
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting over a trace.
+
+    Attributes
+    ----------
+    consumed_kwh:
+        Total energy drawn by powered-on machines over the horizon.
+    idle_kwh:
+        The share of it spent while CPUs were idle -- the energy the
+        97.9% idleness figure burns.
+    mean_power_kw:
+        Average fleet draw.
+    """
+
+    consumed_kwh: float
+    idle_kwh: float
+    mean_power_kw: float
+
+
+def energy_consumption(
+    trace: ColumnarTrace,
+    model: Optional[PowerModel] = None,
+    *,
+    pairs: Optional[PairwiseCpu] = None,
+) -> EnergyReport:
+    """Integrate the fleet's energy draw over the sampled intervals."""
+    model = model or PowerModel()
+    if pairs is None:
+        pairs = pairwise_cpu(trace)
+    if len(pairs) == 0:
+        raise AnalysisError("no pairwise intervals to integrate")
+    busy = 1.0 - pairs.idle_frac
+    watts = model.draw(busy)
+    joules = float(np.sum(watts * pairs.gap))
+    idle_joules = float(
+        np.sum((model.idle_watts * pairs.idle_frac) * pairs.gap)
+    )
+    horizon = trace.meta.horizon if trace.meta else float(trace.t.max())
+    return EnergyReport(
+        consumed_kwh=joules / 3.6e6,
+        idle_kwh=idle_joules / 3.6e6,
+        mean_power_kw=joules / horizon / 1000.0,
+    )
+
+
+@dataclass(frozen=True)
+class SuspendWhatIf:
+    """Outcome of the suspend-idle-machines policy replay.
+
+    Attributes
+    ----------
+    saved_kwh:
+        Energy saved by suspending eligible intervals.
+    saved_fraction:
+        Saved / baseline consumption.
+    lost_equivalence:
+        Harvestable capacity destroyed, in Fig-6 ratio units.
+    suspended_share:
+        Fraction of powered-on machine-time spent suspended.
+    """
+
+    saved_kwh: float
+    saved_fraction: float
+    lost_equivalence: float
+    suspended_share: float
+
+
+def suspend_whatif(
+    trace: ColumnarTrace,
+    *,
+    idle_minutes: float = 30.0,
+    model: Optional[PowerModel] = None,
+    pairs: Optional[PairwiseCpu] = None,
+) -> SuspendWhatIf:
+    """Replay a "suspend free machines idle for >= T" power policy.
+
+    An interval is *suspendable* when the machine is user-free at both
+    endpoints and has already been user-free for ``idle_minutes`` --
+    approximated at sampling granularity by requiring the preceding
+    ``ceil(T / period)`` intervals of the machine to be free as well.
+
+    Returns energy saved versus the baseline and the harvestable
+    capacity lost (the exact tension the paper's conclusions set up).
+    """
+    model = model or PowerModel()
+    if pairs is None:
+        pairs = pairwise_cpu(trace)
+    meta = trace.meta
+    if meta is None:
+        raise AnalysisError("suspend_whatif needs trace metadata")
+    if idle_minutes < 0:
+        raise AnalysisError("idle_minutes must be non-negative")
+    period = meta.sample_period
+    lookback = int(np.ceil(idle_minutes * 60.0 / period))
+
+    free_i = ~trace.has_session[pairs.i]
+    free_j = ~trace.has_session[pairs.j]
+    eligible = free_i & free_j
+    # require `lookback` preceding intervals of the same machine free
+    # too; run lengths are computed vectorised (see the hpc guides):
+    # a run starts where an eligible interval follows a machine change
+    # or an ineligible one, and each eligible position's run length is
+    # its distance to the most recent run start.
+    n = len(pairs)
+    idx = np.arange(n)
+    m = pairs.machine_id
+    new_machine = np.empty(n, dtype=bool)
+    new_machine[0] = True
+    new_machine[1:] = m[1:] != m[:-1]
+    prev_ineligible = np.empty(n, dtype=bool)
+    prev_ineligible[0] = True
+    prev_ineligible[1:] = ~eligible[:-1]
+    start = eligible & (new_machine | prev_ineligible)
+    run_start = np.maximum.accumulate(np.where(start, idx, -1))
+    run = np.where(eligible & (run_start >= 0), idx - run_start + 1, 0)
+    suspendable = run > lookback
+
+    busy = 1.0 - pairs.idle_frac
+    watts = model.draw(busy)
+    baseline_j = float(np.sum(watts * pairs.gap))
+    saved_j = float(
+        np.sum((watts[suspendable] - model.suspend_watts) * pairs.gap[suspendable])
+    )
+    # harvest capacity destroyed: suspended intervals contributed their
+    # idleness x weight to Fig 6's numerator
+    weights = machine_weights(meta)
+    w = weights[pairs.machine_id]
+    lost = float(
+        np.sum(pairs.idle_frac[suspendable] * w[suspendable] * pairs.gap[suspendable])
+    )
+    denom = float(weights.sum()) * meta.horizon
+    total_gap = float(pairs.gap.sum())
+    return SuspendWhatIf(
+        saved_kwh=saved_j / 3.6e6,
+        saved_fraction=saved_j / baseline_j if baseline_j > 0 else float("nan"),
+        lost_equivalence=lost / denom,
+        suspended_share=float(pairs.gap[suspendable].sum() / total_gap)
+        if total_gap > 0
+        else float("nan"),
+    )

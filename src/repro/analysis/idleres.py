@@ -1,0 +1,202 @@
+"""Idle-resource inventories: memory, disk and the harvesting potential.
+
+The paper's conclusions go beyond CPU: "Memory idleness is also
+noticeable especially in machines fitted with 512 MB", "free space
+storage among monitored machines is impressive", and both are proposed
+for *network RAM* and *distributed backup / local data grid* schemes.
+This module quantifies those claims from a trace:
+
+- :func:`memory_idleness` -- unused physical memory per sample and
+  fleet-wide (Acharya & Setia found ~50% of RAM idle on Solaris
+  workstations; the paper's Windows fleet averages 41.1% unused),
+- :func:`disk_idleness` -- free local disk per machine and fleet-wide,
+- :func:`network_ram_potential` -- how much remote memory the user-free
+  fleet offers at any instant,
+- :func:`backup_capacity` -- how much replicated backup storage the free
+  disk space could host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.cpu import FORGOTTEN_THRESHOLD
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = [
+    "MemoryIdleness",
+    "memory_idleness",
+    "DiskIdleness",
+    "disk_idleness",
+    "network_ram_potential",
+    "backup_capacity",
+]
+
+
+@dataclass(frozen=True)
+class MemoryIdleness:
+    """Fleet memory-idleness summary.
+
+    Attributes
+    ----------
+    unused_pct_mean:
+        Mean unused-memory percentage across samples (paper: 41.1% =
+        100 - 58.9).
+    unused_mb_mean:
+        Mean unused megabytes per powered-on machine.
+    unused_pct_by_ram:
+        Mean unused percentage keyed by installed RAM size (the paper
+        singles out the 512 MB machines as the interesting donors).
+    fleet_unused_gb_mean:
+        Average unused memory summed over powered-on machines at a
+        given instant, in GiB.
+    """
+
+    unused_pct_mean: float
+    unused_mb_mean: float
+    unused_pct_by_ram: Dict[int, float]
+    fleet_unused_gb_mean: float
+
+
+def memory_idleness(
+    trace: ColumnarTrace, *, occupied_only: Optional[bool] = None
+) -> MemoryIdleness:
+    """Quantify unused main memory across the trace.
+
+    Parameters
+    ----------
+    occupied_only:
+        ``True`` restricts to occupied samples, ``False`` to free ones,
+        ``None`` (default) uses all samples.
+    """
+    meta = trace.meta
+    if meta is None:
+        raise AnalysisError("memory_idleness needs trace metadata")
+    mask = np.ones(len(trace), dtype=bool)
+    if occupied_only is not None:
+        occ = trace.occupied_mask(FORGOTTEN_THRESHOLD)
+        mask = occ if occupied_only else ~occ
+    if not mask.any():
+        raise AnalysisError("no samples in the requested class")
+    # per-sample installed RAM from the static records
+    ram_mb = np.zeros(meta.n_machines)
+    for mid, st in meta.statics.items():
+        ram_mb[mid] = st.ram_mb
+    if not ram_mb.any():
+        raise AnalysisError("metadata has no per-machine RAM sizes")
+    sample_ram = ram_mb[trace.machine_id[mask]]
+    unused_pct = 100.0 - trace.mem[mask]
+    unused_mb = unused_pct / 100.0 * sample_ram
+    by_ram: Dict[int, float] = {}
+    for size in np.unique(sample_ram):
+        sel = sample_ram == size
+        by_ram[int(size)] = float(unused_pct[sel].mean())
+    # fleet-wide instantaneous unused memory: sum per iteration
+    iters = trace.iteration[mask]
+    n_iter = int(iters.max()) + 1
+    per_iter = np.bincount(iters, weights=unused_mb, minlength=n_iter)
+    live = np.bincount(iters, minlength=n_iter) > 0
+    return MemoryIdleness(
+        unused_pct_mean=float(unused_pct.mean()),
+        unused_mb_mean=float(unused_mb.mean()),
+        unused_pct_by_ram=by_ram,
+        fleet_unused_gb_mean=float(per_iter[live].mean() / 1024.0),
+    )
+
+
+@dataclass(frozen=True)
+class DiskIdleness:
+    """Fleet disk-idleness summary.
+
+    Attributes
+    ----------
+    free_gb_mean:
+        Mean free gigabytes per machine (paper: 40.3 - 13.6 ~= 26.7 GB).
+    free_fraction_mean:
+        Mean free fraction of capacity.
+    fleet_free_tb:
+        Free space summed over the whole fleet at the last observation
+        of each machine, in TB.
+    """
+
+    free_gb_mean: float
+    free_fraction_mean: float
+    fleet_free_tb: float
+
+
+def disk_idleness(trace: ColumnarTrace) -> DiskIdleness:
+    """Quantify unused local disk space across the trace."""
+    free_gb = trace.disk_free / 1e9
+    frac = trace.disk_free / trace.disk_total
+    # last observation per machine (sorted layout)
+    mids = np.unique(trace.machine_id)
+    last = np.searchsorted(trace.machine_id, mids, side="right") - 1
+    return DiskIdleness(
+        free_gb_mean=float(free_gb.mean()),
+        free_fraction_mean=float(frac.mean()),
+        fleet_free_tb=float(trace.disk_free[last].sum() / 1e12),
+    )
+
+
+def network_ram_potential(
+    trace: ColumnarTrace, *, min_donor_mb: float = 64.0
+) -> Dict[str, float]:
+    """Remote-memory capacity offered by user-free machines.
+
+    A network-RAM scheme (the conclusions' suggestion for the fast LAN)
+    can borrow the unused memory of powered-on, user-free machines.
+    Returns the mean instantaneous donor count and donated GiB, counting
+    only machines able to donate at least ``min_donor_mb``.
+    """
+    meta = trace.meta
+    if meta is None:
+        raise AnalysisError("network_ram_potential needs trace metadata")
+    ram_mb = np.zeros(meta.n_machines)
+    for mid, st in meta.statics.items():
+        ram_mb[mid] = st.ram_mb
+    free_mask = ~trace.occupied_mask(FORGOTTEN_THRESHOLD)
+    unused_mb = (100.0 - trace.mem) / 100.0 * ram_mb[trace.machine_id]
+    donor = free_mask & (unused_mb >= min_donor_mb)
+    iters = trace.iteration
+    n_iter = int(iters.max()) + 1
+    donors_per_iter = np.bincount(iters, weights=donor.astype(float),
+                                  minlength=n_iter)
+    mb_per_iter = np.bincount(iters, weights=np.where(donor, unused_mb, 0.0),
+                              minlength=n_iter)
+    live = np.bincount(iters, minlength=n_iter) > 0
+    if not live.any():
+        raise AnalysisError("trace has no live iterations")
+    return {
+        "mean_donors": float(donors_per_iter[live].mean()),
+        "mean_donated_gb": float(mb_per_iter[live].mean() / 1024.0),
+    }
+
+
+def backup_capacity(
+    trace: ColumnarTrace, *, replication: int = 3, reserve_fraction: float = 0.2
+) -> Dict[str, float]:
+    """Distributed-backup capacity of the fleet's free disk space.
+
+    The conclusions propose "distributed backups or local data grids".
+    With ``replication``-way redundancy (a serverless-file-system-style
+    scheme, cf. Bolosky et al.) and a safety ``reserve_fraction`` left on
+    each disk, returns the usable logical capacity in TB.
+    """
+    if replication < 1:
+        raise AnalysisError("replication factor must be >= 1")
+    if not 0.0 <= reserve_fraction < 1.0:
+        raise AnalysisError("reserve fraction must be in [0, 1)")
+    mids = np.unique(trace.machine_id)
+    last = np.searchsorted(trace.machine_id, mids, side="right") - 1
+    usable = trace.disk_free[last] * (1.0 - reserve_fraction)
+    raw_tb = float(usable.sum() / 1e12)
+    return {
+        "raw_free_tb": float(trace.disk_free[last].sum() / 1e12),
+        "usable_raw_tb": raw_tb,
+        "logical_tb": raw_tb / replication,
+        "machines": float(mids.size),
+    }

@@ -1,0 +1,118 @@
+"""Per-lab breakdowns: Table-1 grouping applied to the dynamic results.
+
+The paper aggregates most results fleet-wide; its environment, however,
+is strongly structured by lab (hardware generation, curriculum, demand).
+This module slices any trace by lab, producing the per-lab counterparts
+of the headline metrics -- useful to see e.g. that the old 128 MB
+PIII labs run hotter on memory or that the CPU-heavy class lives in
+specific rooms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.cpu import FORGOTTEN_THRESHOLD, PairwiseCpu
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = ["LabSummary", "per_lab_summary"]
+
+
+@dataclass(frozen=True)
+class LabSummary:
+    """Dynamic-metric aggregates for one lab.
+
+    Attributes
+    ----------
+    lab:
+        Lab name (``L01`` ... ``L11``).
+    machines:
+        Machines of the lab observed in the trace.
+    samples:
+        Samples collected from the lab.
+    uptime_ratio:
+        Lab samples / (iterations x lab machines).
+    occupied_share:
+        Fraction of lab samples with a (non-forgotten) session.
+    cpu_idle_pct:
+        Mean pairwise CPU idleness of the lab.
+    ram_load_pct / swap_load_pct:
+        Mean memory loads.
+    disk_used_gb:
+        Mean used disk.
+    """
+
+    lab: str
+    machines: int
+    samples: int
+    uptime_ratio: float
+    occupied_share: float
+    cpu_idle_pct: float
+    ram_load_pct: float
+    swap_load_pct: float
+    disk_used_gb: float
+
+
+def per_lab_summary(
+    trace: ColumnarTrace,
+    pairs: Optional[PairwiseCpu] = None,
+    *,
+    threshold: float = FORGOTTEN_THRESHOLD,
+) -> List[LabSummary]:
+    """Aggregate the trace per lab (ordered by lab name).
+
+    Lab membership comes from the static records in the trace metadata.
+    """
+    meta = trace.meta
+    if meta is None:
+        raise AnalysisError("per_lab_summary needs trace metadata")
+    if meta.iterations_run <= 0:
+        raise AnalysisError("metadata carries no iteration accounting")
+    if not meta.statics:
+        raise AnalysisError("metadata has no static records")
+    lab_of = {mid: st.lab for mid, st in meta.statics.items()}
+    labs = sorted({st.lab for st in meta.statics.values()})
+    lab_index = {lab: k for k, lab in enumerate(labs)}
+    # machine -> lab code vector
+    codes = np.full(meta.n_machines, -1, dtype=np.int64)
+    for mid, lab in lab_of.items():
+        codes[mid] = lab_index[lab]
+    sample_lab = codes[trace.machine_id]
+    if np.any(sample_lab < 0):
+        raise AnalysisError("trace contains machines without static records")
+
+    occupied = trace.occupied_mask(threshold)
+    out: List[LabSummary] = []
+    pair_lab = codes[pairs.machine_id] if pairs is not None else None
+    for lab in labs:
+        k = lab_index[lab]
+        s = sample_lab == k
+        n_machines = int((codes == k).sum())
+        n_samples = int(s.sum())
+        if pairs is not None and pair_lab is not None:
+            p = pair_lab == k
+            idle = float(pairs.idle_pct[p].mean()) if p.any() else float("nan")
+        else:
+            idle = float("nan")
+        out.append(
+            LabSummary(
+                lab=lab,
+                machines=n_machines,
+                samples=n_samples,
+                uptime_ratio=n_samples / (meta.iterations_run * n_machines)
+                if n_machines
+                else float("nan"),
+                occupied_share=float(occupied[s].mean()) if n_samples else float("nan"),
+                cpu_idle_pct=idle,
+                ram_load_pct=float(trace.mem[s].mean()) if n_samples else float("nan"),
+                swap_load_pct=float(trace.swap[s].mean()) if n_samples else float("nan"),
+                disk_used_gb=float(trace.disk_used[s].mean() / 1e9)
+                if n_samples
+                else float("nan"),
+            )
+        )
+    return out

@@ -1,0 +1,124 @@
+"""Table 2: main results of the monitoring experiment.
+
+For each login-state class (*No login*, *With login*, *Both* -- after the
+section-4.2 forgotten-session reclassification) the paper reports:
+
+- sample count,
+- average uptime as a percentage of probe attempts,
+- average CPU idleness (pairwise estimator),
+- average RAM and swap load,
+- average used disk space,
+- average sent / received network rates.
+
+Network rates, like CPU idleness, are derived from consecutive-sample
+counter differences (the NIC counters reset at boot, so reboot-spanning
+pairs are excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.cpu import FORGOTTEN_THRESHOLD, PairwiseCpu, pairwise_cpu
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+
+__all__ = ["LoginClassRow", "MainResults", "compute_main_results"]
+
+
+@dataclass(frozen=True)
+class LoginClassRow:
+    """One column of Table 2 (the paper lays classes out as columns)."""
+
+    samples: int
+    uptime_pct: float
+    cpu_idle_pct: float
+    ram_load_pct: float
+    swap_load_pct: float
+    disk_used_gb: float
+    sent_bps: float
+    recv_bps: float
+
+
+@dataclass(frozen=True)
+class MainResults:
+    """Table 2: rows ``no_login`` / ``with_login`` / ``both``."""
+
+    no_login: LoginClassRow
+    with_login: LoginClassRow
+    both: LoginClassRow
+    threshold: float
+    attempts: int
+
+    def as_dict(self) -> Dict[str, LoginClassRow]:
+        """The three classes keyed by their Table-2 column label."""
+        return {
+            "No login": self.no_login,
+            "With login": self.with_login,
+            "Both": self.both,
+        }
+
+
+def compute_main_results(
+    trace: ColumnarTrace,
+    meta: Optional[TraceMeta] = None,
+    *,
+    threshold: float = FORGOTTEN_THRESHOLD,
+    pairs: Optional[PairwiseCpu] = None,
+) -> MainResults:
+    """Compute Table 2 from a trace.
+
+    Parameters
+    ----------
+    trace:
+        The columnar trace.
+    meta:
+        Experiment metadata (attempt counts); defaults to ``trace.meta``.
+    threshold:
+        Forgotten-session reclassification threshold, seconds.
+    pairs:
+        Pre-computed pairwise estimates to reuse; must have been built
+        with the same ``threshold``.
+    """
+    meta = meta or trace.meta
+    if meta is None:
+        raise AnalysisError("compute_main_results needs trace metadata")
+    if meta.attempts <= 0:
+        raise AnalysisError("metadata carries no probe-attempt accounting")
+    if pairs is None:
+        pairs = pairwise_cpu(trace, forgotten_threshold=threshold)
+
+    occupied = trace.occupied_mask(threshold)
+    # network rates per pair (bytes/s), reboot-free by construction
+    gap = pairs.gap
+    sent_rate = (trace.sent[pairs.j] - trace.sent[pairs.i]) / gap
+    recv_rate = (trace.recv[pairs.j] - trace.recv[pairs.i]) / gap
+    np.clip(sent_rate, 0.0, None, out=sent_rate)
+    np.clip(recv_rate, 0.0, None, out=recv_rate)
+
+    def row(sample_mask: Optional[np.ndarray], pair_mask: Optional[np.ndarray]) -> LoginClassRow:
+        s = sample_mask if sample_mask is not None else np.ones(len(trace), bool)
+        p = pair_mask if pair_mask is not None else np.ones(len(pairs), bool)
+        n = int(s.sum())
+        return LoginClassRow(
+            samples=n,
+            uptime_pct=100.0 * n / meta.attempts,
+            cpu_idle_pct=float(pairs.idle_pct[p].mean()) if p.any() else float("nan"),
+            ram_load_pct=float(trace.mem[s].mean()) if n else float("nan"),
+            swap_load_pct=float(trace.swap[s].mean()) if n else float("nan"),
+            disk_used_gb=float(trace.disk_used[s].mean()) / 1e9 if n else float("nan"),
+            sent_bps=float(sent_rate[p].mean()) if p.any() else float("nan"),
+            recv_bps=float(recv_rate[p].mean()) if p.any() else float("nan"),
+        )
+
+    return MainResults(
+        no_login=row(~occupied, ~pairs.occupied),
+        with_login=row(occupied, pairs.occupied),
+        both=row(None, None),
+        threshold=threshold,
+        attempts=meta.attempts,
+    )

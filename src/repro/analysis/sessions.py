@@ -1,0 +1,207 @@
+"""Interactive-session analysis: Fig 2 and the forgotten-login heuristic.
+
+Section 4.2 discovered that users forget to log out: of 277,513 samples
+taken on machines with an open session, 87,830 belonged to sessions at
+least 10 hours old.  The authors grouped login samples by *relative hour
+since logon* and observed that mean CPU idleness first exceeds 99% in
+the [10, 11) hour -- evidence that by then nobody is actually at the
+keyboard -- and consequently reclassified samples with session age
+>= 10 h as captured on non-occupied machines.
+
+This module reproduces that analysis: the relative-hour buckets with
+their mean idleness (Fig 2), the forgotten-sample accounting, and a full
+per-session reconstruction from the trace (used by tests to validate
+against the simulator's ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.cpu import FORGOTTEN_THRESHOLD, PairwiseCpu
+from repro.analysis.stats import binned_mean
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = [
+    "SessionBuckets",
+    "relative_hour_buckets",
+    "first_bucket_above",
+    "ForgottenStats",
+    "forgotten_stats",
+    "LoginSession",
+    "reconstruct_login_sessions",
+]
+
+
+@dataclass(frozen=True)
+class SessionBuckets:
+    """Fig-2 data: login samples bucketed by relative session hour.
+
+    ``counts[h]`` is the number of login samples whose session was
+    ``h``..``h+1`` hours old; ``idle_pct[h]`` the mean CPU idleness of
+    the intervals ending at those samples (NaN for empty buckets).
+    """
+
+    counts: np.ndarray
+    idle_pct: np.ndarray
+
+    @property
+    def hours(self) -> np.ndarray:
+        """Left edge of each bucket, hours."""
+        return np.arange(self.counts.shape[0], dtype=float)
+
+
+def relative_hour_buckets(
+    trace: ColumnarTrace,
+    pairs: PairwiseCpu,
+    *,
+    max_hours: int = 24,
+) -> SessionBuckets:
+    """Group login samples by relative session hour (Fig 2).
+
+    Only pairs whose ending sample carries a session enter the buckets
+    (the idleness of the preceding 15-minute interval is attributed to
+    the session's age at the ending sample).  Ages beyond ``max_hours``
+    are folded into the last bucket.
+    """
+    if max_hours <= 0:
+        raise AnalysisError("max_hours must be positive")
+    age = trace.session_age[pairs.j]
+    with_login = pairs.raw_login & np.isfinite(age) & (age >= 0)
+    if not with_login.any():
+        raise AnalysisError("no login samples in trace")
+    hours = np.minimum((age[with_login] / 3600.0).astype(np.int64), max_hours - 1)
+    means, counts = binned_mean(hours, pairs.idle_pct[with_login], max_hours)
+    return SessionBuckets(counts=counts.astype(np.int64), idle_pct=means)
+
+
+def first_bucket_above(buckets: SessionBuckets, level: float = 99.0) -> Optional[int]:
+    """First relative hour whose mean idleness reaches ``level`` percent.
+
+    The paper finds hour 10 (the [10-11) interval); returns ``None`` when
+    no bucket qualifies.
+    """
+    valid = np.isfinite(buckets.idle_pct)
+    hits = np.flatnonzero(valid & (buckets.idle_pct >= level))
+    return int(hits[0]) if hits.size else None
+
+
+@dataclass(frozen=True)
+class ForgottenStats:
+    """Section-4.2 sample accounting.
+
+    Attributes
+    ----------
+    login_samples:
+        Samples carrying any open session (paper: 277,513).
+    forgotten_samples:
+        Of those, samples with session age >= threshold (paper: 87,830).
+    threshold:
+        The reclassification threshold, seconds.
+    """
+
+    login_samples: int
+    forgotten_samples: int
+    threshold: float
+
+    @property
+    def occupied_samples(self) -> int:
+        """Login samples kept as genuinely occupied (paper: 189,683)."""
+        return self.login_samples - self.forgotten_samples
+
+    @property
+    def forgotten_fraction(self) -> float:
+        """Share of login samples reclassified (paper: 0.316)."""
+        if self.login_samples == 0:
+            return float("nan")
+        return self.forgotten_samples / self.login_samples
+
+
+def forgotten_stats(
+    trace: ColumnarTrace, *, threshold: float = FORGOTTEN_THRESHOLD
+) -> ForgottenStats:
+    """Count login samples and those older than the forgotten threshold."""
+    login = trace.has_session
+    age = trace.session_age
+    forgotten = login & (age >= threshold)
+    return ForgottenStats(
+        login_samples=int(login.sum()),
+        forgotten_samples=int(forgotten.sum()),
+        threshold=threshold,
+    )
+
+
+@dataclass(frozen=True)
+class LoginSession:
+    """One interactive session reconstructed from the trace.
+
+    Attributes
+    ----------
+    machine_id / username:
+        Who, where.
+    logon_time:
+        Start reported by the probe (exact -- Windows knows it).
+    first_seen / last_seen:
+        Collection times of the first and last sample showing the session.
+    n_samples:
+        Number of samples the session appeared in.
+    """
+
+    machine_id: int
+    username: str
+    logon_time: float
+    first_seen: float
+    last_seen: float
+    n_samples: int
+
+    @property
+    def observed_age(self) -> float:
+        """Session age at the last sample that saw it, seconds."""
+        return self.last_seen - self.logon_time
+
+
+def reconstruct_login_sessions(trace: ColumnarTrace) -> List[LoginSession]:
+    """Rebuild distinct interactive sessions from the sampled trace.
+
+    A session is identified by ``(machine, logon_time)`` -- the probe
+    reports the logon time, so consecutive samples of one session agree
+    on it exactly.  Sessions shorter than the sampling period may be
+    missed entirely; that is inherent to the methodology (section 4.2).
+    """
+    has = trace.has_session
+    if not has.any():
+        return []
+    idx = np.flatnonzero(has)
+    m = trace.machine_id[idx]
+    start = trace.session_start[idx]
+    # Trace is sorted by (machine, t); a session boundary is any change
+    # of machine or of logon time.
+    boundary = np.ones(idx.shape[0], dtype=bool)
+    boundary[1:] = (m[1:] != m[:-1]) | (start[1:] != start[:-1])
+    group = np.cumsum(boundary) - 1
+    n_groups = int(group[-1]) + 1
+    firsts = np.zeros(n_groups, dtype=np.int64)
+    firsts[group[::-1]] = idx[::-1]  # first index per group
+    lasts = np.zeros(n_groups, dtype=np.int64)
+    lasts[group] = idx               # last index per group
+    counts = np.bincount(group, minlength=n_groups)
+    out: List[LoginSession] = []
+    # usernames live outside the columnar arrays; recover via the store
+    # is not available here, so sessions are keyed by machine+logon only.
+    for g in range(n_groups):
+        fi, li = firsts[g], lasts[g]
+        out.append(
+            LoginSession(
+                machine_id=int(trace.machine_id[fi]),
+                username="",
+                logon_time=float(trace.session_start[fi]),
+                first_seen=float(trace.t[fi]),
+                last_seen=float(trace.t[li]),
+                n_samples=int(counts[g]),
+            )
+        )
+    return out

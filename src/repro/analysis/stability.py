@@ -1,0 +1,206 @@
+"""Machine stability: sections 5.2.1 (uptime sessions) and 5.2.2 (SMART).
+
+**Machine sessions** -- a session is the activity between a boot and the
+matching shutdown.  DDC can only see sessions through samples: a new
+session is detected when a machine's uptime is too small to contain the
+previous sample (a reboot happened), and the session's length is
+estimated by the last uptime observed in the run of samples.  Both of
+the paper's caveats are reproduced: sessions shorter than the sampling
+period can be missed entirely, and consecutive reboots within one gap
+collapse into one detected session.
+
+**SMART power cycles** -- the disk's power-cycle count and power-on-hours
+counters integrate the machine's whole life, revealing the short cycles
+sampling misses.  The paper reports 13,871 cycles over the experiment
+(1.07 per machine-day, 30% above the session count), an in-experiment
+average of 13 h 54 m uptime per cycle, and a whole-life average of only
+6.46 h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import histogram_share
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+
+__all__ = [
+    "MachineSessions",
+    "detect_machine_sessions",
+    "SmartStats",
+    "smart_power_cycle_stats",
+]
+
+
+@dataclass(frozen=True)
+class MachineSessions:
+    """Detected machine sessions (boot -> shutdown), section 5.2.1.
+
+    Parallel arrays, one entry per detected session:
+
+    - ``machine_id``: owner machine,
+    - ``first_t`` / ``last_t``: collection times bounding the session's
+      samples,
+    - ``length``: estimated session length = uptime at the last sample
+      (the best DDC can do; always an underestimate by at most one
+      sampling period plus the unseen tail),
+    - ``n_samples``: samples within the session.
+    """
+
+    machine_id: np.ndarray
+    first_t: np.ndarray
+    last_t: np.ndarray
+    length: np.ndarray
+    n_samples: np.ndarray
+
+    def __len__(self) -> int:
+        return self.machine_id.shape[0]
+
+    @property
+    def mean_length(self) -> float:
+        """Mean session length, seconds (paper: 15 h 55 m)."""
+        return float(self.length.mean())
+
+    @property
+    def std_length(self) -> float:
+        """Standard deviation of session length (paper: 26.65 h)."""
+        return float(self.length.std())
+
+    def length_histogram(
+        self, *, max_hours: float = 96.0, bin_hours: float = 4.0
+    ) -> Dict[str, np.ndarray]:
+        """Fig-4-right: distribution of session lengths up to 96 h.
+
+        Returns bin edges (hours), counts per bin, and the share of
+        sessions / of cumulated uptime falling at or below ``max_hours``
+        (paper: 98.7% of sessions, 87.93% of uptime).
+        """
+        hours = self.length / 3600.0
+        edges = np.arange(0.0, max_hours + bin_hours, bin_hours)
+        counts, _ = histogram_share(hours[hours <= max_hours], edges)
+        return {
+            "edges_h": edges,
+            "counts": counts,
+            "sessions_share": np.array([float((hours <= max_hours).mean())]),
+            "uptime_share": np.array(
+                [float(self.length[hours <= max_hours].sum() / self.length.sum())]
+            ),
+        }
+
+
+def detect_machine_sessions(trace: ColumnarTrace) -> MachineSessions:
+    """Detect machine sessions from uptime resets, as DDC does.
+
+    Works on the sorted columnar layout: a session boundary occurs at a
+    machine change or wherever :meth:`ColumnarTrace.reboot_between`
+    flags a reboot.  Gaps longer than the pairing cap also start a new
+    session -- if a machine vanished for hours, its uptime tells whether
+    it is the same session, so the boundary test uses the uptime-vs-gap
+    comparison for *any* gap length, exactly like the original.
+    """
+    n = len(trace)
+    if n == 0:
+        raise AnalysisError("empty trace")
+    same = trace.machine_id[1:] == trace.machine_id[:-1]
+    gap = trace.t[1:] - trace.t[:-1]
+    # Reboot iff the later uptime cannot contain the earlier sample.
+    cont = trace.uptime[1:] + 30.0 >= trace.uptime[:-1] + gap
+    boundary = np.ones(n, dtype=bool)
+    boundary[1:] = ~(same & cont)
+    group = np.cumsum(boundary) - 1
+    n_groups = int(group[-1]) + 1
+    idx = np.arange(n)
+    firsts = np.zeros(n_groups, dtype=np.int64)
+    firsts[group[::-1]] = idx[::-1]
+    lasts = np.zeros(n_groups, dtype=np.int64)
+    lasts[group] = idx
+    return MachineSessions(
+        machine_id=trace.machine_id[firsts].astype(np.int64),
+        first_t=trace.t[firsts].copy(),
+        last_t=trace.t[lasts].copy(),
+        length=trace.uptime[lasts].copy(),
+        n_samples=np.bincount(group, minlength=n_groups).astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class SmartStats:
+    """Section-5.2.2 SMART aggregates.
+
+    Attributes
+    ----------
+    experiment_cycles:
+        Disk power cycles accumulated during the experiment, fleet-wide
+        (paper: 13,871).
+    cycles_per_machine_mean / cycles_per_machine_std:
+        Per-machine experiment cycles (paper: 82.57 +- 37.05).
+    cycles_per_day:
+        Cycles per machine-day (paper: 1.07).
+    uptime_per_cycle_h_mean / uptime_per_cycle_h_std:
+        In-experiment power-on hours per cycle (paper: 13.9 h +- ~8 h).
+    life_uptime_per_cycle_h_mean / life_uptime_per_cycle_h_std:
+        Whole-life hours per cycle (paper: 6.46 h +- 4.78 h).
+    """
+
+    experiment_cycles: int
+    cycles_per_machine_mean: float
+    cycles_per_machine_std: float
+    cycles_per_day: float
+    uptime_per_cycle_h_mean: float
+    uptime_per_cycle_h_std: float
+    life_uptime_per_cycle_h_mean: float
+    life_uptime_per_cycle_h_std: float
+
+    def cycle_excess_over_sessions(self, detected_sessions: int) -> float:
+        """How many more power cycles SMART saw than session detection
+        (paper: ~+30%, the short-cycle blind spot)."""
+        if detected_sessions <= 0:
+            return float("nan")
+        return self.experiment_cycles / detected_sessions - 1.0
+
+
+def smart_power_cycle_stats(
+    trace: ColumnarTrace,
+    meta: Optional[TraceMeta] = None,
+    *,
+    days: Optional[float] = None,
+) -> SmartStats:
+    """Aggregate the SMART counters over the experiment.
+
+    Per machine, the experiment's cycle count is the difference between
+    the last and first sampled power-cycle counter (plus one for the boot
+    that produced the first sample -- that cycle predates the first
+    observation by construction, matching the paper's per-boot counting).
+    """
+    meta = meta or trace.meta
+    if days is None:
+        if meta is None:
+            raise AnalysisError("need experiment length or metadata")
+        days = meta.horizon / 86400.0
+    mids = np.unique(trace.machine_id)
+    # first/last index per machine in the sorted layout
+    first_of = np.searchsorted(trace.machine_id, mids, side="left")
+    last_of = np.searchsorted(trace.machine_id, mids, side="right") - 1
+    d_cycles = trace.cycles[last_of] - trace.cycles[first_of] + 1
+    d_poh = trace.poh[last_of] - trace.poh[first_of]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        upc = np.where(d_cycles > 0, d_poh / np.maximum(d_cycles, 1), np.nan)
+    life_upc = trace.poh[last_of] / np.maximum(trace.cycles[last_of], 1)
+    n_machines = meta.n_machines if meta is not None else mids.shape[0]
+    total = int(d_cycles.sum())
+    valid = np.isfinite(upc)
+    return SmartStats(
+        experiment_cycles=total,
+        cycles_per_machine_mean=total / n_machines,
+        cycles_per_machine_std=float(d_cycles.std()),
+        cycles_per_day=total / n_machines / days,
+        uptime_per_cycle_h_mean=float(upc[valid].mean()),
+        uptime_per_cycle_h_std=float(upc[valid].std()),
+        life_uptime_per_cycle_h_mean=float(life_upc.mean()),
+        life_uptime_per_cycle_h_std=float(life_upc.std()),
+    )

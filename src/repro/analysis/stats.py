@@ -1,0 +1,76 @@
+"""Shared statistical helpers for the analysis modules."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "weighted_mean",
+    "availability_nines",
+    "binned_mean",
+    "histogram_share",
+]
+
+
+def weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted arithmetic mean; raises on zero total weight."""
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    total = weights.sum()
+    if total <= 0:
+        raise AnalysisError("weighted_mean needs positive total weight")
+    return float(np.dot(values, weights) / total)
+
+
+def availability_nines(ratio: np.ndarray | float) -> np.ndarray | float:
+    """Availability expressed in "nines": ``-log10(1 - ratio)``.
+
+    One nine = 0.9 availability, two nines = 0.99, etc (Douceur's unit,
+    used in the paper's Fig 4).  A ratio of 1.0 maps to ``inf``; negative
+    ratios are invalid.
+    """
+    r = np.asarray(ratio, dtype=float)
+    if np.any((r < 0) | (r > 1)):
+        raise AnalysisError("availability ratios must lie in [0, 1]")
+    with np.errstate(divide="ignore"):
+        out = -np.log10(1.0 - r)
+    return float(out) if np.isscalar(ratio) else out
+
+
+def binned_mean(
+    bin_index: np.ndarray, values: np.ndarray, n_bins: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean of ``values`` per integer bin, vectorised with ``bincount``.
+
+    Returns ``(means, counts)``; bins with no samples yield NaN means.
+    """
+    if bin_index.shape != values.shape:
+        raise AnalysisError("bin_index and values must have equal shapes")
+    if np.any((bin_index < 0) | (bin_index >= n_bins)):
+        raise AnalysisError("bin index out of range")
+    counts = np.bincount(bin_index, minlength=n_bins).astype(float)
+    sums = np.bincount(bin_index, weights=values, minlength=n_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = sums / counts
+    return means, counts
+
+
+def histogram_share(
+    values: np.ndarray, edges: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of ``values`` over ``edges`` plus each bin's value share.
+
+    Returns ``(counts, share_of_total_value)`` -- e.g. session-length
+    bins and the share of *cumulated uptime* each bin holds (Fig 4-right
+    is stated in both units).
+    """
+    values = np.asarray(values, dtype=float)
+    counts, _ = np.histogram(values, bins=edges)
+    sums, _ = np.histogram(values, bins=edges, weights=values)
+    total = values.sum()
+    share = sums / total if total > 0 else np.zeros_like(sums)
+    return counts, share

@@ -1,0 +1,115 @@
+"""Weekly resource profiles: Fig 5 (and the x-axis of Fig 6).
+
+The paper folds the 11-week trace onto one week (Monday 00:00 to Sunday
+24:00) and plots, per time-of-week bin:
+
+- average CPU idleness, RAM load and swap load (Fig 5, left),
+- average network receive and send rates (Fig 5, right).
+
+Signature features to reproduce: the night (04:00-08:00) and weekend
+plateaus of ~100% idleness, RAM never dropping below ~50%, the swap
+curve tracking RAM with damped high frequencies, receive rates several
+times the send rates, and the Tuesday-afternoon idleness dip below 91%
+caused by the CPU-heavy practical class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.cpu import PairwiseCpu
+from repro.analysis.stats import binned_mean
+from repro.errors import AnalysisError
+from repro.sim.calendar import HOUR, WEEK
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = ["WeeklyProfiles", "weekly_profiles", "week_bin_index"]
+
+
+def week_bin_index(t: np.ndarray, bin_seconds: float) -> np.ndarray:
+    """Map absolute times to time-of-week bins (week starts Monday 00:00)."""
+    if bin_seconds <= 0 or bin_seconds > WEEK:
+        raise AnalysisError("bin size must be in (0, one week]")
+    return ((np.asarray(t) % WEEK) / bin_seconds).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class WeeklyProfiles:
+    """Fig-5 data: per time-of-week-bin fleet averages.
+
+    All arrays have ``n_bins`` entries; bins with no samples are NaN.
+    ``bin_hours`` gives each bin's left edge in hours since Monday 00:00.
+    """
+
+    bin_seconds: float
+    cpu_idle_pct: np.ndarray
+    ram_load_pct: np.ndarray
+    swap_load_pct: np.ndarray
+    sent_bps: np.ndarray
+    recv_bps: np.ndarray
+    sample_counts: np.ndarray
+
+    @property
+    def n_bins(self) -> int:
+        return self.cpu_idle_pct.shape[0]
+
+    @property
+    def bin_hours(self) -> np.ndarray:
+        """Left edge of each bin, hours since Monday 00:00."""
+        return np.arange(self.n_bins) * self.bin_seconds / HOUR
+
+    def minimum_idleness(self) -> tuple[float, float]:
+        """``(hour_of_week, idle_pct)`` of the deepest idleness dip.
+
+        The paper finds it on Tuesday afternoon, below 91%.
+        """
+        valid = np.isfinite(self.cpu_idle_pct)
+        if not valid.any():
+            raise AnalysisError("no CPU data in weekly profile")
+        k = int(np.nanargmin(self.cpu_idle_pct))
+        return float(self.bin_hours[k]), float(self.cpu_idle_pct[k])
+
+    def weekday_mask(self, weekday: int) -> np.ndarray:
+        """Boolean bin mask selecting one weekday (0 = Monday)."""
+        h = self.bin_hours
+        return (h >= weekday * 24.0) & (h < (weekday + 1) * 24.0)
+
+
+def weekly_profiles(
+    trace: ColumnarTrace,
+    pairs: PairwiseCpu,
+    *,
+    bin_seconds: float = HOUR,
+) -> WeeklyProfiles:
+    """Fold the trace onto one week and average each metric per bin.
+
+    CPU idleness and network rates come from the pairwise estimates
+    (binned at the ending sample's time); RAM and swap are instantaneous
+    sample values.
+    """
+    n_bins = int(np.ceil(WEEK / bin_seconds))
+    sample_bins = week_bin_index(trace.t, bin_seconds)
+    ram, counts = binned_mean(sample_bins, trace.mem, n_bins)
+    swap, _ = binned_mean(sample_bins, trace.swap, n_bins)
+
+    pair_bins = week_bin_index(pairs.t, bin_seconds)
+    idle, _ = binned_mean(pair_bins, pairs.idle_pct, n_bins)
+    sent_rate = (trace.sent[pairs.j] - trace.sent[pairs.i]) / pairs.gap
+    recv_rate = (trace.recv[pairs.j] - trace.recv[pairs.i]) / pairs.gap
+    np.clip(sent_rate, 0.0, None, out=sent_rate)
+    np.clip(recv_rate, 0.0, None, out=recv_rate)
+    sent, _ = binned_mean(pair_bins, sent_rate, n_bins)
+    recv, _ = binned_mean(pair_bins, recv_rate, n_bins)
+
+    return WeeklyProfiles(
+        bin_seconds=float(bin_seconds),
+        cpu_idle_pct=idle,
+        ram_load_pct=ram,
+        swap_load_pct=swap,
+        sent_bps=sent,
+        recv_bps=recv,
+        sample_counts=counts.astype(np.int64),
+    )

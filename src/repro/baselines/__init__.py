@@ -1,0 +1,33 @@
+"""Baseline environments from the related work (section 2).
+
+The paper positions its classroom measurements against three other
+environment classes.  Each is reproduced as an alternate fleet
+configuration so the same DDC + analysis pipeline measures all of them:
+
+- :mod:`repro.baselines.corporate` -- Bolosky et al.'s corporate desktop
+  fleet: owned machines, daytime/24-hour power patterns, mean CPU usage
+  around 15% with a subset of machines pegged at 100%,
+- :mod:`repro.baselines.servers` -- Heap's server taxonomy: always-on
+  Windows servers (~95% idle) and Unix servers (~85% idle),
+- :mod:`repro.baselines.unixlab` -- the Arpaci et al. / Acharya-Setia
+  style Unix student lab: workstations that stay powered around the
+  clock with interactive daytime usage,
+- :mod:`repro.baselines.comparison` -- run them side by side and tabulate
+  idleness, availability, and cluster-equivalence.
+"""
+
+from repro.baselines.corporate import corporate_fleet, run_corporate_baseline
+from repro.baselines.servers import server_fleet, run_server_baseline
+from repro.baselines.unixlab import unixlab_fleet, run_unixlab_baseline
+from repro.baselines.comparison import BaselineComparison, compare_baselines
+
+__all__ = [
+    "corporate_fleet",
+    "run_corporate_baseline",
+    "server_fleet",
+    "run_server_baseline",
+    "unixlab_fleet",
+    "run_unixlab_baseline",
+    "BaselineComparison",
+    "compare_baselines",
+]

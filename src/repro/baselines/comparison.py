@@ -1,0 +1,94 @@
+"""Side-by-side comparison of the classroom fleet and its baselines.
+
+Runs the paper's classroom environment plus the three related-work
+environments through the identical DDC + analysis pipeline and tabulates
+the metrics the paper uses when positioning itself: CPU idleness, uptime
+ratio, availability, and the cluster-equivalence ratio.
+
+Expected orderings (checked by tests and the comparison bench):
+
+- idleness: classroom > corporate (Bolosky's ~15% mean usage),
+- uptime: servers ~ 1.0 > corporate > unix lab >> classroom,
+- Windows servers idle (~95%) > Unix servers (~85%), per Heap,
+- equivalence ratio: always-on fleets approach their idleness, the
+  classroom sits near 0.5 (the 2:1 rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.analysis.cpu import pairwise_cpu
+from repro.analysis.equivalence import cluster_equivalence
+from repro.analysis.mainresults import compute_main_results
+from repro.baselines.corporate import run_corporate_baseline
+from repro.baselines.servers import run_server_baseline
+from repro.baselines.unixlab import run_unixlab_baseline
+from repro.config import ExperimentConfig
+from repro.experiment import MonitoringResult, run_experiment
+from repro.report.tables import Table
+
+__all__ = ["BaselineComparison", "compare_baselines", "summarize_run"]
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """One environment's summary metrics."""
+
+    name: str
+    uptime_pct: float
+    cpu_idle_pct: float
+    cpu_idle_occupied_pct: float
+    equivalence_ratio: float
+
+
+def summarize_run(name: str, result: MonitoringResult) -> BaselineComparison:
+    """Distil one monitored run into the comparison metrics."""
+    trace = result.trace
+    pairs = pairwise_cpu(trace)
+    main = compute_main_results(trace, pairs=pairs)
+    eq = cluster_equivalence(trace, pairs=pairs)
+    return BaselineComparison(
+        name=name,
+        uptime_pct=main.both.uptime_pct,
+        cpu_idle_pct=main.both.cpu_idle_pct,
+        cpu_idle_occupied_pct=main.with_login.cpu_idle_pct,
+        equivalence_ratio=eq.ratio_total,
+    )
+
+
+def _default_environments(
+    seed: int, days: int
+) -> Mapping[str, Callable[[], MonitoringResult]]:
+    return {
+        "classroom (paper)": lambda: run_experiment(
+            ExperimentConfig(seed=seed, days=days)
+        ),
+        "corporate (Bolosky)": lambda: run_corporate_baseline(seed=seed, days=days),
+        "windows servers (Heap)": lambda: run_server_baseline(
+            "windows", seed=seed, days=days
+        ),
+        "unix servers (Heap)": lambda: run_server_baseline(
+            "unix", seed=seed, days=days
+        ),
+        "unix lab (Arpaci)": lambda: run_unixlab_baseline(seed=seed, days=days),
+    }
+
+
+def compare_baselines(
+    *, seed: int = 2005, days: int = 7
+) -> Tuple[List[BaselineComparison], str]:
+    """Run all environments and return ``(summaries, rendered table)``."""
+    rows: List[BaselineComparison] = []
+    for name, runner in _default_environments(seed, days).items():
+        rows.append(summarize_run(name, runner()))
+    table = Table(
+        ["environment", "uptime %", "CPU idle %", "idle % (occupied)", "equiv ratio"]
+    )
+    for r in rows:
+        table.add_row(
+            [r.name, r.uptime_pct, r.cpu_idle_pct, r.cpu_idle_occupied_pct,
+             r.equivalence_ratio]
+        )
+    return rows, table.render()

@@ -1,0 +1,148 @@
+"""Heap's server taxonomy baseline (section 2, ref [17]).
+
+Heap's IBM white paper measured *servers* with the same 15-minute
+periodic collection the paper uses: Windows servers averaged ~95% CPU
+idleness, Unix servers ~85%.  Servers differ from desktops in every
+behavioural dimension: they are always on, nobody logs in interactively,
+and their load is service traffic rather than keyboards.
+
+The server fleet reuses the substrate with:
+
+- no interactive usage at all,
+- machines powered on at experiment start and (almost) never off --
+  a small reboot rate models patch days,
+- a service-load personality with the target mean busy fraction and a
+  diurnal modulation (request traffic follows office hours too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import ExperimentConfig, paper_config
+from repro.experiment import MonitoringResult, run_experiment
+from repro.machines.hardware import TABLE1_LABS, LabSpec, MachineSpec
+from repro.sim.behavior import BehaviorModel
+from repro.sim.calendar import HOUR
+from repro.sim.fleet import FleetSimulator
+from repro.sim.power import PowerPolicy
+from repro.sim.workload import MachinePersonality, WorkloadModel
+
+__all__ = [
+    "WINDOWS_SERVER_BUSY",
+    "UNIX_SERVER_BUSY",
+    "server_config",
+    "server_fleet",
+    "run_server_baseline",
+]
+
+#: Mean CPU busy fraction of Heap's Windows servers (95% idle).
+WINDOWS_SERVER_BUSY = 0.05
+#: Mean CPU busy fraction of Heap's Unix servers (85% idle).
+UNIX_SERVER_BUSY = 0.15
+
+
+class ServerBehaviorModel(BehaviorModel):
+    """Nobody sits at a server: the usage plan is always empty."""
+
+    def plan_day(self, spec, day, rng, popularity=1.0):
+        del spec, day, rng, popularity
+        return []
+
+
+class ServerPowerPolicy(PowerPolicy):
+    """Servers never get swept; rare scheduled reboots only."""
+
+    def off_at_close(self, traits, rng, *, forgotten_session=False):
+        del traits, forgotten_session
+        return bool(rng.random() < 0.002)  # the odd maintenance night
+
+    def plan_short_cycles(self, day, rng):
+        # Patch-day reboots: quick down-up cycles, ~weekly.
+        if rng.random() > self.params.short_cycles_per_day:
+            return []
+        clock = self.calendar.clock
+        start = clock.at(day, 3.0) + float(rng.uniform(0, HOUR))
+        return [(start, float(rng.uniform(120.0, 420.0)))]
+
+
+class ServerWorkloadModel(WorkloadModel):
+    """Service load instead of interactive load."""
+
+    def __init__(self, params, busy_mean: float):
+        super().__init__(params)
+        if not 0.0 < busy_mean < 1.0:
+            raise ValueError("busy_mean must be in (0, 1)")
+        self.busy_mean = busy_mean
+
+    def personality(
+        self, spec: MachineSpec, rng: np.random.Generator
+    ) -> MachinePersonality:
+        base = super().personality(spec, rng)
+        busy = float(np.clip(rng.normal(self.busy_mean, self.busy_mean * 0.4),
+                             0.005, 0.9))
+        return dataclasses.replace(base, background_busy=busy)
+
+
+class ServerFleetSimulator(FleetSimulator):
+    """Fleet whose machines are booted at t=0 and stay up."""
+
+    def start(self) -> None:
+        if self._started:
+            return
+        super().start()
+        for agent in self.agents:
+            if not agent.machine.powered:
+                agent._boot(self.sim.now)  # noqa: SLF001 - deliberate bring-up
+
+
+def server_config(seed: int = 2005, days: int = 14) -> ExperimentConfig:
+    """Configuration shared by both server flavours."""
+    base = paper_config(seed=seed, days=days)
+    power = dataclasses.replace(
+        base.power,
+        p_off_after_use_day=0.0,
+        p_off_after_use_evening=0.0,
+        p_off_at_close=0.0,
+        night_owl_fraction=1.0,
+        short_cycles_per_day=1.0 / 7.0,  # weekly patch reboot probability
+    )
+    return dataclasses.replace(base, power=power)
+
+
+def server_fleet(
+    config: ExperimentConfig,
+    labs: Sequence[LabSpec] = TABLE1_LABS,
+    *,
+    busy_mean: float = WINDOWS_SERVER_BUSY,
+) -> ServerFleetSimulator:
+    """Build an always-on server fleet with the given mean busy level."""
+    return ServerFleetSimulator(
+        config,
+        labs=labs,
+        behavior_factory=lambda fs: ServerBehaviorModel(config.behavior, fs.calendar),
+        power_factory=lambda fs: ServerPowerPolicy(config.power, fs.calendar),
+        workload_factory=lambda fs: ServerWorkloadModel(config.workload, busy_mean),
+    )
+
+
+def run_server_baseline(
+    kind: str = "windows",
+    *,
+    seed: int = 2005,
+    days: int = 14,
+    labs: Sequence[LabSpec] = TABLE1_LABS,
+) -> MonitoringResult:
+    """Monitor a server fleet; ``kind`` is ``"windows"`` or ``"unix"``."""
+    busy = {"windows": WINDOWS_SERVER_BUSY, "unix": UNIX_SERVER_BUSY}.get(kind)
+    if busy is None:
+        raise ValueError(f"unknown server kind {kind!r}")
+    cfg = server_config(seed=seed, days=days)
+    return run_experiment(
+        cfg,
+        labs=labs,
+        fleet_factory=lambda c, lb: server_fleet(c, lb, busy_mean=busy),
+    )

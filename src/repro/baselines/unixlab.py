@@ -1,0 +1,78 @@
+"""Arpaci-style Unix student lab baseline (section 2, refs [12]-[14]).
+
+The Unix studies the paper builds on (Berkeley NOW-era instructional
+clusters, Acharya & Setia's Solaris sets) observed environments similar
+in *usage* to the Windows classrooms but different in *power* behaviour:
+Unix workstations stayed powered around the clock (students could not
+power them off; uptime culture), so availability is dominated by
+interactive occupation rather than by the power switch, with "frequent
+reboots" [13] still making the population unstable.
+
+Configuration: same class/walk-in demand as the paper's classrooms, but
+no user power-offs, a weak sweep, and slightly higher background load
+(Unix daemons of the era).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import ExperimentConfig, paper_config
+from repro.experiment import MonitoringResult, run_experiment
+from repro.machines.hardware import TABLE1_LABS, LabSpec, MachineSpec
+from repro.sim.fleet import FleetSimulator
+from repro.sim.workload import MachinePersonality, WorkloadModel
+
+__all__ = ["unixlab_config", "unixlab_fleet", "run_unixlab_baseline"]
+
+
+class UnixWorkloadModel(WorkloadModel):
+    """Heavier resident daemon set than Windows 2000 desktops."""
+
+    def personality(
+        self, spec: MachineSpec, rng: np.random.Generator
+    ) -> MachinePersonality:
+        base = super().personality(spec, rng)
+        return dataclasses.replace(
+            base,
+            background_busy=float(
+                np.clip(base.background_busy * 3.0 + 0.004, 0.001, 0.08)
+            ),
+        )
+
+
+def unixlab_config(seed: int = 2005, days: int = 14) -> ExperimentConfig:
+    """Classroom demand, workstation (always-on) power culture."""
+    base = paper_config(seed=seed, days=days)
+    power = dataclasses.replace(
+        base.power,
+        p_off_after_use_day=0.0,
+        p_off_after_use_evening=0.02,
+        p_off_at_close=0.04,
+        night_owl_fraction=0.85,
+        # "not particularly stable, exhibiting frequent reboots" [13]
+        short_cycles_per_day=1.6,
+    )
+    return dataclasses.replace(base, power=power)
+
+
+def unixlab_fleet(
+    config: ExperimentConfig, labs: Sequence[LabSpec] = TABLE1_LABS
+) -> FleetSimulator:
+    """Build the Unix-lab fleet simulator."""
+    return FleetSimulator(
+        config,
+        labs=labs,
+        workload_factory=lambda fs: UnixWorkloadModel(config.workload),
+    )
+
+
+def run_unixlab_baseline(
+    seed: int = 2005, days: int = 14, labs: Sequence[LabSpec] = TABLE1_LABS
+) -> MonitoringResult:
+    """Monitor a Unix-style lab with the same DDC pipeline."""
+    cfg = unixlab_config(seed=seed, days=days)
+    return run_experiment(cfg, labs=labs, fleet_factory=unixlab_fleet)

@@ -1,0 +1,147 @@
+"""Calibration targets and goodness-of-fit scoring.
+
+The simulator's default parameters (:mod:`repro.config`) were fitted so
+that a default run reproduces the paper's headline numbers.  This module
+makes that fit *measurable*: each :class:`CalibrationTarget` names a
+paper value, how to extract the measured counterpart from an
+:class:`~repro.report.experiments.ExperimentReport`, and a tolerance.
+
+Use :func:`evaluate_calibration` after any parameter change (or in CI)
+to see which targets hold; ``examples/calibration_report.py`` prints the
+full scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import math
+
+from repro.errors import CalibrationError
+from repro.report.experiments import ExperimentReport
+from repro.report.paperdata import PAPER
+
+__all__ = ["CalibrationTarget", "TargetResult", "DEFAULT_TARGETS", "evaluate_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper number the simulator must land near.
+
+    Attributes
+    ----------
+    name:
+        Human-readable metric name.
+    paper_value:
+        The published value.
+    extract:
+        Function pulling the measured value out of a report.
+    rel_tol:
+        Acceptable relative deviation (e.g. 0.1 = 10%).
+    abs_tol:
+        Acceptable absolute deviation; a target passes if *either*
+        tolerance is met.
+    """
+
+    name: str
+    paper_value: float
+    extract: Callable[[ExperimentReport], float]
+    rel_tol: float = 0.10
+    abs_tol: float = 0.0
+
+    def check(self, report: ExperimentReport) -> "TargetResult":
+        """Measure this target against a report."""
+        measured = float(self.extract(report))
+        if math.isnan(measured):
+            raise CalibrationError(f"target {self.name!r} produced NaN")
+        abs_dev = abs(measured - self.paper_value)
+        rel_dev = abs_dev / abs(self.paper_value) if self.paper_value else math.inf
+        ok = abs_dev <= self.abs_tol or rel_dev <= self.rel_tol
+        return TargetResult(self, measured, rel_dev, ok)
+
+
+@dataclass(frozen=True)
+class TargetResult:
+    """Outcome of checking one target."""
+
+    target: CalibrationTarget
+    measured: float
+    rel_deviation: float
+    ok: bool
+
+
+def _t(name, paper, extract, rel_tol=0.10, abs_tol=0.0) -> CalibrationTarget:
+    return CalibrationTarget(name, paper, extract, rel_tol, abs_tol)
+
+
+#: The default scorecard: the paper numbers the defaults were fitted to.
+DEFAULT_TARGETS: Sequence[CalibrationTarget] = (
+    _t("uptime % (both)", PAPER.t2_uptime_pct["both"],
+       lambda r: r.main.both.uptime_pct, 0.08),
+    _t("uptime % (no login)", PAPER.t2_uptime_pct["no_login"],
+       lambda r: r.main.no_login.uptime_pct, 0.12),
+    _t("uptime % (with login)", PAPER.t2_uptime_pct["with_login"],
+       lambda r: r.main.with_login.uptime_pct, 0.12),
+    _t("CPU idle % (both)", PAPER.t2_cpu_idle_pct["both"],
+       lambda r: r.main.both.cpu_idle_pct, 0.01),
+    _t("CPU idle % (no login)", PAPER.t2_cpu_idle_pct["no_login"],
+       lambda r: r.main.no_login.cpu_idle_pct, 0.01),
+    _t("CPU idle % (with login)", PAPER.t2_cpu_idle_pct["with_login"],
+       lambda r: r.main.with_login.cpu_idle_pct, 0.015),
+    _t("RAM load % (no login)", PAPER.t2_ram_load_pct["no_login"],
+       lambda r: r.main.no_login.ram_load_pct, 0.06),
+    _t("RAM load % (with login)", PAPER.t2_ram_load_pct["with_login"],
+       lambda r: r.main.with_login.ram_load_pct, 0.06),
+    _t("swap load % (no login)", PAPER.t2_swap_load_pct["no_login"],
+       lambda r: r.main.no_login.swap_load_pct, 0.08),
+    _t("swap load % (with login)", PAPER.t2_swap_load_pct["with_login"],
+       lambda r: r.main.with_login.swap_load_pct, 0.08),
+    _t("disk used GB", PAPER.t2_disk_used_gb["both"],
+       lambda r: r.main.both.disk_used_gb, 0.08),
+    _t("sent bps (no login)", PAPER.t2_sent_bps["no_login"],
+       lambda r: r.main.no_login.sent_bps, 0.25),
+    _t("sent bps (with login)", PAPER.t2_sent_bps["with_login"],
+       lambda r: r.main.with_login.sent_bps, 0.25),
+    _t("recv bps (no login)", PAPER.t2_recv_bps["no_login"],
+       lambda r: r.main.no_login.recv_bps, 0.35),
+    _t("recv bps (with login)", PAPER.t2_recv_bps["with_login"],
+       lambda r: r.main.with_login.recv_bps, 0.25),
+    _t("avg powered-on machines", PAPER.fig3_avg_powered_on,
+       lambda r: r.availability.avg_powered_on, 0.08),
+    _t("avg user-free machines", PAPER.fig3_avg_user_free,
+       lambda r: r.availability.avg_user_free, 0.10),
+    _t("forgotten fraction of login samples", PAPER.forgotten_fraction_of_login,
+       lambda r: r.forgotten.forgotten_fraction, 0.15),
+    _t("first hour with >=99% idleness", float(PAPER.fig2_first_hour_above_99),
+       lambda r: float(_first_hour(r)), 0.0, abs_tol=2.0),
+    _t("SMART cycles / machine / day", PAPER.smart_cycles_per_day,
+       lambda r: r.smart.cycles_per_day, 0.15),
+    _t("SMART cycle excess over sessions", PAPER.smart_cycle_excess,
+       lambda r: r.smart.cycle_excess_over_sessions(len(r.sessions)), 0.0, abs_tol=0.12),
+    _t("whole-life uptime per cycle h", PAPER.life_uptime_per_cycle_h,
+       lambda r: r.smart.life_uptime_per_cycle_h_mean, 0.12),
+    _t("cluster equivalence ratio", PAPER.equivalence_total,
+       lambda r: r.equivalence.ratio_total, 0.12),
+    _t("machines with uptime ratio > 0.9", float(PAPER.fig4_above_09),
+       lambda r: float(r.ratios.count_above(0.9)), 0.0, abs_tol=2.0),
+)
+
+
+def _first_hour(report: ExperimentReport) -> int:
+    from repro.analysis.sessions import first_bucket_above
+
+    hour = first_bucket_above(report.buckets)
+    if hour is None:
+        raise CalibrationError("no bucket reached 99% idleness")
+    return hour
+
+
+def evaluate_calibration(
+    report: ExperimentReport,
+    targets: Sequence[CalibrationTarget] = DEFAULT_TARGETS,
+) -> List[TargetResult]:
+    """Check all targets against a report; returns one result each."""
+    if not targets:
+        raise CalibrationError("no calibration targets supplied")
+    return [t.check(report) for t in targets]

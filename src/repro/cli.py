@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run a monitoring experiment and write the trace (CSV or JSONL).
+``report``
+    Run an experiment and print the paper-vs-measured report
+    (``--markdown`` for EXPERIMENTS.md-style output).
+``calibrate``
+    Print the calibration scorecard.
+``bench-host``
+    Execute the NBench kernels on this host.
+``probe-local``
+    Emit one W32Probe-format report for this (Linux) host.
+``compare``
+    Run the related-work environment comparison.
+
+Every command accepts ``--days`` and ``--seed``; defaults reproduce the
+paper (77 days, seed 2005) where that makes sense and use short runs
+where it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.config import ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Resource Usage of Windows Computer "
+        "Laboratories' (ICPP 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, days: int) -> None:
+        p.add_argument("--days", type=int, default=days,
+                       help=f"experiment length in days (default {days})")
+        p.add_argument("--seed", type=int, default=2005,
+                       help="root random seed (default 2005)")
+
+    p_run = sub.add_parser("run", help="run an experiment, write the trace")
+    add_common(p_run, 77)
+    p_run.add_argument("--out", default="trace.csv",
+                       help="output path (.csv or .jsonl)")
+
+    p_rep = sub.add_parser("report", help="paper-vs-measured report")
+    add_common(p_rep, 77)
+    p_rep.add_argument("--markdown", action="store_true",
+                       help="emit Markdown instead of fixed-width text")
+    p_rep.add_argument("--out", default=None,
+                       help="also write the report to this file")
+
+    p_cal = sub.add_parser("calibrate", help="calibration scorecard")
+    add_common(p_cal, 21)
+
+    p_bench = sub.add_parser("bench-host", help="run NBench on this host")
+    p_bench.add_argument("--seconds", type=float, default=0.25,
+                         help="measurement time per kernel")
+
+    sub.add_parser("probe-local", help="one W32Probe report for this host")
+
+    p_cmp = sub.add_parser("compare", help="baseline environment comparison")
+    add_common(p_cmp, 7)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiment import run_experiment
+
+    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed))
+    out = pathlib.Path(args.out)
+    if out.suffix == ".jsonl":
+        result.store.write_jsonl(out)
+    elif out.suffix == ".csv":
+        result.store.write_csv(out)
+    else:
+        print(f"error: unsupported trace format {out.suffix!r} "
+              "(use .csv or .jsonl)", file=sys.stderr)
+        return 2
+    print(f"{len(result.store)} samples -> {out} "
+          f"(response rate {100 * result.coordinator.response_rate:.1f}%)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiment import run_experiment
+    from repro.report.experiments import generate_report
+    from repro.report.markdown import markdown_report
+
+    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed))
+    report = generate_report(result)
+    text = markdown_report(report) if args.markdown else report.render()
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n(written to {args.out})", file=sys.stderr)
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.calibration import evaluate_calibration
+    from repro.experiment import run_experiment
+    from repro.report.experiments import generate_report
+    from repro.report.tables import Table
+
+    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed))
+    results = evaluate_calibration(generate_report(result))
+    table = Table(["target", "paper", "measured", "ok"])
+    for r in results:
+        table.add_row([r.target.name, r.target.paper_value, r.measured,
+                       "yes" if r.ok else "NO"])
+    print(table.render())
+    passed = sum(r.ok for r in results)
+    print(f"\n{passed}/{len(results)} targets within tolerance")
+    return 0 if passed == len(results) else 1
+
+
+def _cmd_bench_host(args: argparse.Namespace) -> int:
+    from repro.nbench.runner import run_benchmark_suite
+    from repro.report.tables import Table
+
+    timings, int_idx, fp_idx = run_benchmark_suite(min_duration=args.seconds)
+    table = Table(["kernel", "group", "rate (runs/s)"])
+    for name, t in timings.items():
+        table.add_row([name, t.group, t.rate])
+    print(table.render())
+    print(f"\nINT index: {int_idx:.2f}   FP index: {fp_idx:.2f}")
+    return 0
+
+
+def _cmd_probe_local(args: argparse.Namespace) -> int:
+    del args
+    from repro.ddc.localprobe import local_probe_available, read_local_report
+
+    if not local_probe_available():
+        print("error: local probe needs a Linux /proc filesystem",
+              file=sys.stderr)
+        return 2
+    sys.stdout.write(read_local_report())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import compare_baselines
+
+    _, table = compare_baselines(seed=args.seed, days=args.days)
+    print(table)
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "calibrate": _cmd_calibrate,
+    "bench-host": _cmd_bench_host,
+    "probe-local": _cmd_probe_local,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    raise SystemExit(main())

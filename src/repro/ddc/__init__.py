@@ -1,0 +1,45 @@
+"""DDC -- the Distributed Data Collector (paper section 3, ref [20]).
+
+The paper's monitoring framework, rebuilt faithfully:
+
+- :mod:`repro.ddc.probe` -- the probe abstraction: a win32 console
+  application communicating through stdout/stderr,
+- :mod:`repro.ddc.w32probe` -- W32Probe, the monitoring probe producing
+  the static and dynamic metrics of section 3.1,
+- :mod:`repro.ddc.nbenchprobe` -- the NBench benchmark probe used to
+  collect the Table-1 performance indexes,
+- :mod:`repro.ddc.remote` -- psexec-style remote execution with
+  credentials, latency, and fast timeouts on powered-off machines,
+- :mod:`repro.ddc.postcollect` -- coordinator-side post-collecting code
+  executed right after each successful remote execution,
+- :mod:`repro.ddc.coordinator` -- the central coordinator scheduling
+  15-minute iterations over the whole machine set.
+"""
+
+from repro.ddc.probe import Probe, ProbeResult
+from repro.ddc.w32probe import W32Probe, parse_w32probe
+from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
+from repro.ddc.remote import Credentials, RemoteExecutor, RemoteOutcome
+from repro.ddc.postcollect import PostCollectContext, SamplePostCollector
+from repro.ddc.coordinator import DdcCoordinator
+from repro.ddc.schedule import MultiProbeDdc, ProbeJob
+from repro.ddc.localprobe import local_probe_available, read_local_report
+
+__all__ = [
+    "Probe",
+    "ProbeResult",
+    "W32Probe",
+    "parse_w32probe",
+    "NBenchProbe",
+    "parse_nbench_output",
+    "Credentials",
+    "RemoteExecutor",
+    "RemoteOutcome",
+    "PostCollectContext",
+    "SamplePostCollector",
+    "DdcCoordinator",
+    "ProbeJob",
+    "MultiProbeDdc",
+    "local_probe_available",
+    "read_local_report",
+]

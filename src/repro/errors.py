@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError``, ``ValueError`` raised by argument
+validation) propagate unchanged where that is more idiomatic.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ScheduleError",
+    "MachineStateError",
+    "ProbeError",
+    "RemoteExecError",
+    "RemoteTimeout",
+    "AccessDenied",
+    "MachineUnreachable",
+    "TraceError",
+    "TraceFormatError",
+    "AnalysisError",
+    "CalibrationError",
+    "HarvestError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation was violated."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or with an invalid timestamp."""
+
+
+class MachineStateError(SimulationError):
+    """An operation was attempted on a machine in an incompatible state.
+
+    Examples: logging a user into a powered-off machine, shutting down a
+    machine that is already off, or querying boot-relative counters of a
+    machine that has never been booted.
+    """
+
+
+class ProbeError(ReproError):
+    """A probe failed to produce parseable output."""
+
+
+class RemoteExecError(ReproError):
+    """Base class for remote-execution (psexec-like) failures."""
+
+
+class RemoteTimeout(RemoteExecError):
+    """The remote machine did not answer within the configured timeout.
+
+    This is the normal outcome of probing a powered-off machine and is the
+    mechanism behind the paper's 50.2% sample response rate.
+    """
+
+
+class AccessDenied(RemoteExecError):
+    """Credentials were rejected by the remote machine."""
+
+
+class MachineUnreachable(RemoteExecError):
+    """The remote machine is not reachable on the network (powered off)."""
+
+
+class TraceError(ReproError):
+    """A trace store or trace file could not be read or written."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace record does not conform to the schema."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was run on data that cannot support it."""
+
+
+class CalibrationError(ReproError):
+    """A calibration target is malformed or cannot be evaluated."""
+
+
+class HarvestError(ReproError):
+    """The idle-cycle harvesting simulator hit an invalid state."""

@@ -1,0 +1,35 @@
+"""Idle-cycle harvesting: the paper's motivating application.
+
+The conclusions argue classroom fleets suit desktop-grid computing,
+*provided* harvesting copes with volatility through "survival techniques
+such as checkpointing, oversubscription and multiple executions".  This
+subpackage builds that harvester and uses it to validate the 2:1
+equivalence rule with an actual workload instead of an upper bound:
+
+- :mod:`repro.harvest.tasks` -- work units (bags of normalised CPU
+  seconds) and batch generators,
+- :mod:`repro.harvest.scheduler` -- the harvesting scheduler: assigns
+  tasks to powered-on, user-free machines, throttles to the idle CPU,
+  evicts on user login or shutdown, checkpoints periodically and
+  optionally replicates executions,
+- :mod:`repro.harvest.validation` -- measures the *achieved* cluster
+  equivalence and compares it with the Fig-6 upper bound.
+"""
+
+from repro.harvest.tasks import Task, TaskBatch, make_batch
+from repro.harvest.scheduler import HarvestPolicy, HarvestScheduler, HarvestStats
+from repro.harvest.validation import HarvestValidation, validate_equivalence
+from repro.harvest.replay import ReplayResult, replay_harvest
+
+__all__ = [
+    "Task",
+    "TaskBatch",
+    "make_batch",
+    "HarvestPolicy",
+    "HarvestScheduler",
+    "HarvestStats",
+    "HarvestValidation",
+    "validate_equivalence",
+    "ReplayResult",
+    "replay_harvest",
+]

@@ -1,0 +1,128 @@
+"""Offline harvesting what-if: replay a recorded trace.
+
+The live scheduler (:mod:`repro.harvest.scheduler`) needs a running
+simulation.  Operators of a *real* DDC deployment only have traces --
+so this module answers "what would harvesting have yielded?" directly
+from the samples, the same way the paper's section 5.4 extrapolates
+from measured idleness:
+
+- a machine contributes during a sample interval iff it was powered on
+  and (by policy) user-free at both endpoints,
+- the contribution is the pairwise idleness x the NBench weight x the
+  interval, minus amortised checkpoint overhead,
+- an eviction is charged whenever a contributing machine's interval
+  ends occupied or the machine vanishes, losing the volatile tail
+  (half a checkpoint interval, in expectation).
+
+Being closed-form over the columnar arrays, the replay runs in
+milliseconds over a 600k-sample trace and reproduces the live
+scheduler's yield within a few percent (validated by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.cpu import PairwiseCpu, pairwise_cpu
+from repro.analysis.equivalence import machine_weights
+from repro.errors import HarvestError
+from repro.harvest.scheduler import HarvestPolicy
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = ["ReplayResult", "replay_harvest"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of an offline harvesting replay.
+
+    Attributes
+    ----------
+    harvested_norm_seconds:
+        Idle capacity the policy could have tapped (gross).
+    checkpoint_overhead:
+        Normalised seconds lost to checkpoint writes.
+    eviction_losses:
+        Expected normalised seconds of volatile work destroyed.
+    achieved_ratio:
+        Net yield / dedicated-fleet capacity over the trace horizon.
+    eligible_intervals / evictions:
+        Interval accounting.
+    """
+
+    harvested_norm_seconds: float
+    checkpoint_overhead: float
+    eviction_losses: float
+    achieved_ratio: float
+    eligible_intervals: int
+    evictions: int
+
+
+def replay_harvest(
+    trace: ColumnarTrace,
+    policy: Optional[HarvestPolicy] = None,
+    *,
+    pairs: Optional[PairwiseCpu] = None,
+) -> ReplayResult:
+    """Estimate a harvesting policy's yield from a recorded trace."""
+    policy = policy or HarvestPolicy()
+    meta = trace.meta
+    if meta is None:
+        raise HarvestError("replay needs trace metadata")
+    if meta.attempts <= 0 or meta.horizon <= 0:
+        raise HarvestError("metadata carries no attempt accounting")
+    if pairs is None:
+        pairs = pairwise_cpu(trace)
+
+    weights = machine_weights(meta)
+    w = weights[pairs.machine_id]
+
+    if policy.harvest_occupied:
+        eligible = np.ones(len(pairs), dtype=bool)
+    else:
+        # free at both endpoints of the interval (raw login state: a
+        # guest must vacate for ghosts too -- the session looks live)
+        occ_i = trace.has_session[pairs.i]
+        occ_j = trace.has_session[pairs.j]
+        eligible = ~occ_i & ~occ_j
+
+    gross = float(np.sum(pairs.idle_frac[eligible] * w[eligible] * pairs.gap[eligible]))
+
+    # checkpoint overhead: one checkpoint_cost per checkpoint_interval of
+    # eligible wall time
+    eligible_time = float(np.sum(pairs.gap[eligible] * w[eligible]))
+    n_checkpoints = eligible_time / policy.checkpoint_interval
+    ckpt_cost = n_checkpoints * policy.checkpoint_cost
+
+    # evictions: an eligible interval whose *next* same-machine interval
+    # is not eligible (login arrived / machine gone) loses, in
+    # expectation, half a checkpoint interval of volatile work
+    idx_eligible = np.flatnonzero(eligible)
+    if idx_eligible.size:
+        # pairs are ordered like the trace; the following interval of the
+        # same machine is simply the next row when the machine matches
+        m = pairs.machine_id
+        valid = idx_eligible + 1 < len(pairs)
+        nxt = np.minimum(idx_eligible + 1, len(pairs) - 1)
+        same = valid & (m[nxt] == m[idx_eligible])
+        still = valid & eligible[nxt]
+        n_evictions = int((~(same & still)).sum())
+    else:
+        n_evictions = 0
+    expected_volatile = 0.5 * min(policy.checkpoint_interval,
+                                  meta.sample_period)
+    evict_loss = n_evictions * expected_volatile
+
+    net = max(0.0, gross - ckpt_cost - evict_loss)
+    denom = float(weights[: meta.n_machines].sum()) * meta.horizon
+    return ReplayResult(
+        harvested_norm_seconds=gross,
+        checkpoint_overhead=ckpt_cost,
+        eviction_losses=evict_loss,
+        achieved_ratio=net / denom,
+        eligible_intervals=int(eligible.sum()),
+        evictions=n_evictions,
+    )

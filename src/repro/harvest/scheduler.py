@@ -1,0 +1,289 @@
+"""The idle-cycle harvesting scheduler.
+
+Implements the survival techniques the paper's conclusions call for:
+
+- **guest discipline**: work runs only on powered-on machines without an
+  interactive session, at the machine's *idle* fraction (the user-facing
+  workload and the OS keep their share),
+- **eviction**: a login or power-off kills the guest; progress since the
+  last checkpoint is lost,
+- **checkpointing**: progress is persisted every ``checkpoint_interval``
+  seconds, paying ``checkpoint_cost`` seconds of lost compute each time,
+- **replication** (optional): each task runs on ``replication`` machines
+  at once; the first finisher wins and the other copies' work is wasted
+  -- trading throughput for completion-latency robustness.
+
+The scheduler participates in the same discrete-event simulation as the
+fleet: it polls machine state every ``poll_period`` (like a Condor-style
+matchmaker heartbeat), so everything it sees is subject to the same
+volatility the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import HarvestError
+from repro.harvest.tasks import Task, TaskBatch
+from repro.machines.machine import SimMachine
+from repro.sim.engine import Simulator
+
+__all__ = ["HarvestPolicy", "HarvestStats", "HarvestScheduler"]
+
+
+@dataclass(frozen=True)
+class HarvestPolicy:
+    """Scheduler tunables.
+
+    Attributes
+    ----------
+    poll_period:
+        Seconds between matchmaker heartbeats.
+    checkpoint_interval:
+        Seconds of volatile progress between checkpoints.
+    checkpoint_cost:
+        Wall seconds one checkpoint steals from computation.
+    replication:
+        Copies of each task run concurrently (1 = no replication).
+    harvest_occupied:
+        Also harvest machines with an interactive session (Ryu-style
+        fine-grain stealing); default off, as the paper's free-machine
+        accounting assumes.
+    """
+
+    poll_period: float = 300.0
+    checkpoint_interval: float = 1800.0
+    checkpoint_cost: float = 15.0
+    replication: int = 1
+    harvest_occupied: bool = False
+
+    def __post_init__(self) -> None:
+        if self.poll_period <= 0 or self.checkpoint_interval <= 0:
+            raise HarvestError("periods must be positive")
+        if self.checkpoint_cost < 0:
+            raise HarvestError("checkpoint cost cannot be negative")
+        if self.replication < 1:
+            raise HarvestError("replication factor must be >= 1")
+
+
+@dataclass
+class HarvestStats:
+    """Aggregate accounting of one harvesting run."""
+
+    harvested_norm_seconds: float = 0.0
+    lost_to_eviction: float = 0.0
+    lost_to_checkpoints: float = 0.0
+    wasted_replica_work: float = 0.0
+    evictions: int = 0
+    assignments: int = 0
+    polls: int = 0
+
+
+@dataclass
+class _Slot:
+    """One machine's current replica execution.
+
+    Each replica computes the task independently: ``base`` is the
+    replica's checkpointed progress (seeded from the task's best server
+    checkpoint at assignment time), ``local`` the volatile progress since
+    the replica's last checkpoint.
+    """
+
+    task: Task
+    base: float = 0.0
+    local: float = 0.0
+    initial_base: float = 0.0
+    eligible_last_poll: bool = True
+    since_checkpoint: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """The replica's total progress on the task."""
+        return self.base + self.local
+
+
+class HarvestScheduler:
+    """Assigns a :class:`TaskBatch` to idle machines inside a running sim.
+
+    Parameters
+    ----------
+    machines:
+        The fleet roster.
+    sim:
+        Shared simulator (start the scheduler before running it).
+    batch:
+        Tasks to execute.
+    policy:
+        Survival-technique tunables.
+    weights:
+        Per-machine performance weights (index / fleet mean); defaults
+        to all ones.
+    horizon:
+        When to stop polling.
+    """
+
+    def __init__(
+        self,
+        machines: List[SimMachine],
+        sim: Simulator,
+        batch: TaskBatch,
+        policy: HarvestPolicy,
+        *,
+        weights: Optional[np.ndarray] = None,
+        horizon: float,
+    ):
+        if horizon <= 0:
+            raise HarvestError("horizon must be positive")
+        self.machines = machines
+        self.sim = sim
+        self.batch = batch
+        self.policy = policy
+        n = len(machines)
+        if weights is None:
+            weights = np.ones(n)
+        if len(weights) != n:
+            raise HarvestError("one weight per machine required")
+        self.weights = np.asarray(weights, dtype=float)
+        self.horizon = float(horizon)
+        self.stats = HarvestStats()
+        self._slots: Dict[int, _Slot] = {}          # machine index -> slot
+        self._running_copies: Dict[int, int] = {}   # task_id -> live copies
+        self._queue: List[Task] = list(batch.tasks)
+        self._queue.reverse()  # pop() from the front of the batch
+        self._last_poll: Optional[float] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first heartbeat (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.sim.now, self._poll, name="harvest_poll")
+
+    # ------------------------------------------------------------------
+    def _eligible(self, machine: SimMachine) -> bool:
+        if not machine.powered:
+            return False
+        if machine.session is not None and not self.policy.harvest_occupied:
+            return False
+        return True
+
+    def _next_task(self) -> Optional[Task]:
+        """Next task wanting another running copy, honouring replication."""
+        while self._queue:
+            task = self._queue[-1]
+            if task.finished:
+                self._queue.pop()
+                continue
+            copies = self._running_copies.get(task.task_id, 0)
+            if copies >= self.policy.replication:
+                self._queue.pop()
+                continue
+            self._running_copies[task.task_id] = copies + 1
+            if copies + 1 >= self.policy.replication:
+                self._queue.pop()
+            return task
+        return None
+
+    def _release(self, task: Task, *, requeue: bool) -> None:
+        copies = self._running_copies.get(task.task_id, 0)
+        if copies > 0:
+            self._running_copies[task.task_id] = copies - 1
+        if requeue and not task.finished:
+            self._queue.append(task)
+
+    # ------------------------------------------------------------------
+    def _poll(self) -> None:
+        now = self.sim.now
+        dt = 0.0 if self._last_poll is None else now - self._last_poll
+        self._last_poll = now
+        self.stats.polls += 1
+        pol = self.policy
+        for idx, machine in enumerate(self.machines):
+            slot = self._slots.get(idx)
+            eligible = self._eligible(machine)
+            if slot is not None:
+                task = slot.task
+                if task.finished:
+                    # A replica elsewhere finished first: drop this copy;
+                    # everything it computed beyond its seed is wasted.
+                    self.stats.wasted_replica_work += slot.total - slot.initial_base
+                    self._release(task, requeue=False)
+                    del self._slots[idx]
+                elif not eligible:
+                    self.stats.lost_to_eviction += slot.local
+                    self.stats.evictions += 1
+                    task.evictions += 1
+                    self._release(task, requeue=True)
+                    del self._slots[idx]
+                elif dt > 0 and slot.eligible_last_poll:
+                    idle = 1.0 - machine.cpu_busy
+                    raw = dt * idle * self.weights[idx]
+                    # amortised checkpoint cost
+                    n_ckpt = 0
+                    slot.since_checkpoint += dt
+                    while slot.since_checkpoint >= pol.checkpoint_interval:
+                        slot.since_checkpoint -= pol.checkpoint_interval
+                        n_ckpt += 1
+                    cost = min(n_ckpt * pol.checkpoint_cost * self.weights[idx], raw)
+                    gained = raw - cost
+                    self.stats.lost_to_checkpoints += cost
+                    slot.local += gained
+                    self.stats.harvested_norm_seconds += gained
+                    if n_ckpt:
+                        slot.base += slot.local
+                        slot.local = 0.0
+                        task.done = max(task.done, slot.base)
+                        task.checkpoints += 1
+                    if slot.total >= task.work:
+                        task.done = task.work
+                        task.volatile = 0.0
+                        task.completed_at = now
+                        self._release(task, requeue=False)
+                        del self._slots[idx]
+                else:
+                    slot.eligible_last_poll = eligible
+            if eligible and idx not in self._slots:
+                task = self._next_task()
+                if task is not None:
+                    self._slots[idx] = _Slot(
+                        task=task, base=task.done, initial_base=task.done
+                    )
+                    self.stats.assignments += 1
+        if now + pol.poll_period <= self.horizon:
+            self.sim.schedule(now + pol.poll_period, self._poll, name="harvest_poll")
+
+    # ------------------------------------------------------------------
+    @property
+    def active_slots(self) -> int:
+        """Machines currently hosting a guest task."""
+        return len(self._slots)
+
+    @property
+    def useful_norm_seconds(self) -> float:
+        """Work that survived: harvested minus eviction losses and minus
+        losing replicas' duplicated computation."""
+        return (
+            self.stats.harvested_norm_seconds
+            - self.stats.lost_to_eviction
+            - self.stats.wasted_replica_work
+        )
+
+    def achieved_equivalence(self) -> float:
+        """Useful work / what the same machines would deliver dedicated.
+
+        The dedicated fleet delivers ``sum(weights) * horizon`` normalised
+        seconds; the achieved ratio is directly comparable to Fig 6's
+        upper bound (which assumes zero eviction/checkpoint/replication
+        overhead).  Only *retained* work counts -- cycles burnt on
+        progress that an eviction destroyed, or on replicas that lost the
+        race, deliver nothing.
+        """
+        denom = float(self.weights.sum()) * self.horizon
+        if denom <= 0:
+            raise HarvestError("empty fleet")
+        return self.useful_norm_seconds / denom

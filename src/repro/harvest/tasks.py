@@ -1,0 +1,151 @@
+"""Work units for the harvesting scheduler.
+
+A task is a bag of **normalised CPU seconds**: one normalised second is
+one second of a machine with NBench combined index 1.0 running fully
+idle-harvested.  A machine with index ``w`` harvesting at idleness ``p``
+delivers ``w * p`` normalised seconds per wall second -- the same
+currency as the paper's cluster-equivalence metric, which makes the
+validation in :mod:`repro.harvest.validation` a like-for-like check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import HarvestError
+
+__all__ = ["Task", "TaskBatch", "make_batch"]
+
+
+@dataclass
+class Task:
+    """One restartable work unit.
+
+    Attributes
+    ----------
+    task_id:
+        Stable identifier.
+    work:
+        Total normalised CPU seconds required.
+    done:
+        Checkpointed progress (survives eviction).
+    volatile:
+        Progress since the last checkpoint (lost on eviction).
+    completed_at:
+        Completion time, or ``None`` while pending/running.
+    evictions / checkpoints:
+        Lifetime counters, for the volatility statistics.
+    """
+
+    task_id: int
+    work: float
+    done: float = 0.0
+    volatile: float = 0.0
+    completed_at: Optional[float] = None
+    evictions: int = 0
+    checkpoints: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise HarvestError("a task needs positive work")
+
+    @property
+    def remaining(self) -> float:
+        """Normalised seconds still to compute (counting volatile work)."""
+        return max(0.0, self.work - self.done - self.volatile)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    def progress(self, amount: float) -> None:
+        """Accumulate volatile progress."""
+        if amount < 0:
+            raise HarvestError("progress cannot be negative")
+        if self.finished:
+            raise HarvestError(f"task {self.task_id} already finished")
+        self.volatile += amount
+
+    def checkpoint(self) -> None:
+        """Persist volatile progress."""
+        self.done += self.volatile
+        self.volatile = 0.0
+        self.checkpoints += 1
+
+    def evict(self) -> float:
+        """Lose volatile progress; returns the lost amount."""
+        lost = self.volatile
+        self.volatile = 0.0
+        self.evictions += 1
+        return lost
+
+    def complete(self, now: float) -> None:
+        """Mark the task finished at ``now`` (checkpointing implicitly)."""
+        self.checkpoint()
+        self.completed_at = now
+
+
+@dataclass
+class TaskBatch:
+    """A bag of tasks plus simple accounting."""
+
+    tasks: List[Task] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def pending(self) -> List[Task]:
+        """Tasks not yet finished."""
+        return [t for t in self.tasks if not t.finished]
+
+    @property
+    def completed(self) -> List[Task]:
+        """Finished tasks."""
+        return [t for t in self.tasks if t.finished]
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all tasks' work, normalised seconds."""
+        return float(sum(t.work for t in self.tasks))
+
+    @property
+    def completed_work(self) -> float:
+        """Work of finished tasks, normalised seconds."""
+        return float(sum(t.work for t in self.tasks if t.finished))
+
+    def stats(self) -> Dict[str, float]:
+        """Completion/volatility summary."""
+        n = len(self.tasks)
+        return {
+            "tasks": float(n),
+            "completed": float(len(self.completed)),
+            "completed_work": self.completed_work,
+            "evictions": float(sum(t.evictions for t in self.tasks)),
+            "checkpoints": float(sum(t.checkpoints for t in self.tasks)),
+        }
+
+
+def make_batch(
+    n_tasks: int,
+    rng: np.random.Generator,
+    *,
+    mean_work_hours: float = 20.0,
+    sigma: float = 0.6,
+) -> TaskBatch:
+    """Generate a log-normal batch of tasks.
+
+    ``mean_work_hours`` is in normalised CPU hours (a 30-index machine
+    finishes a 20-hour task in ~40 dedicated minutes; a fleet of idle
+    classroom machines chews through hundreds per day).
+    """
+    if n_tasks <= 0:
+        raise HarvestError("need at least one task")
+    mu = np.log(mean_work_hours * 3600.0) - 0.5 * sigma**2
+    works = rng.lognormal(mu, sigma, size=n_tasks)
+    return TaskBatch(
+        tasks=[Task(task_id=i, work=float(w)) for i, w in enumerate(works)]
+    )

@@ -1,0 +1,39 @@
+"""Machine substrate: hardware catalog, state model, Win32 facade, SMART.
+
+- :mod:`repro.machines.hardware` -- the Table-1 fleet catalog (labs
+  L01-L11, 169 machines) and spec dataclasses,
+- :mod:`repro.machines.machine` -- the simulated Windows 2000 machine:
+  power state, boot-relative counters, memory/swap/disk/network state and
+  interactive login session,
+- :mod:`repro.machines.winapi` -- a facade mimicking the win32 API calls
+  W32Probe uses (``GlobalMemoryStatus``, idle-thread time, ...),
+- :mod:`repro.machines.smart` -- S.M.A.R.T. attribute model for the
+  power-cycle-count and power-on-hours counters used in section 5.2.2.
+"""
+
+from repro.machines.hardware import (
+    TABLE1_LABS,
+    CPUSpec,
+    LabSpec,
+    MachineSpec,
+    build_fleet,
+    fleet_totals,
+)
+from repro.machines.machine import InteractiveSession, SimMachine
+from repro.machines.smart import SmartAttribute, SmartDisk
+from repro.machines.winapi import MemoryStatus, Win32Api
+
+__all__ = [
+    "CPUSpec",
+    "LabSpec",
+    "MachineSpec",
+    "TABLE1_LABS",
+    "build_fleet",
+    "fleet_totals",
+    "SimMachine",
+    "InteractiveSession",
+    "SmartDisk",
+    "SmartAttribute",
+    "Win32Api",
+    "MemoryStatus",
+]

@@ -1,0 +1,252 @@
+"""Hardware catalog reproducing Table 1 of the paper.
+
+The monitored environment comprises 11 classrooms (L01-L11) of 16 machines
+each, except L09 which has 9, for a total of 169 Windows 2000 Professional
+(SP3) machines on a 100 Mbps Fast-Ethernet LAN.  Per-lab hardware and the
+NBench relative-performance indexes (INT / FP) are transcribed verbatim
+from the paper's Table 1.
+
+The catalog is exposed both as structured data (:data:`TABLE1_LABS`) and
+as a fleet factory (:func:`build_fleet`) that materialises one
+:class:`MachineSpec` per machine with synthetic-but-stable identifiers
+(hostnames, MAC addresses, disk serial numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CPUSpec",
+    "LabSpec",
+    "MachineSpec",
+    "TABLE1_LABS",
+    "OS_NAME",
+    "NETWORK_MBPS",
+    "build_fleet",
+    "fleet_totals",
+]
+
+#: Operating system common to the whole fleet (paper section 4.1).
+OS_NAME = "Windows 2000 Professional SP3"
+
+#: LAN speed common to the whole fleet, megabits per second.
+NETWORK_MBPS = 100.0
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Processor identity as W32Probe's static metrics report it.
+
+    Attributes
+    ----------
+    model:
+        Marketing name, e.g. ``"Intel Pentium 4"``.
+    family:
+        Short family tag used by the performance model: ``"P4"`` / ``"PIII"``.
+    ghz:
+        Nominal operating frequency in GHz.
+    """
+
+    model: str
+    family: str
+    ghz: float
+
+    def __post_init__(self) -> None:
+        if self.ghz <= 0:
+            raise ValueError("CPU frequency must be positive")
+
+    @property
+    def mhz(self) -> float:
+        """Frequency in MHz (what the win32 registry key reports)."""
+        return self.ghz * 1000.0
+
+
+@dataclass(frozen=True)
+class LabSpec:
+    """One classroom row of Table 1.
+
+    Attributes
+    ----------
+    name:
+        Lab identifier ``L01`` ... ``L11``.
+    n_machines:
+        Number of machines in the lab (16, except L09 with 9).
+    cpu:
+        Common processor of the lab's machines.
+    ram_mb:
+        Installed main memory per machine, megabytes.
+    disk_gb:
+        Hard-disk capacity per machine, gigabytes (decimal GB as in the
+        paper's Table 1).
+    nbench_int / nbench_fp:
+        NBench integer and floating-point indexes measured by the authors
+        with their DDC benchmark probe (used for Fig. 6 normalisation).
+    """
+
+    name: str
+    n_machines: int
+    cpu: CPUSpec
+    ram_mb: int
+    disk_gb: float
+    nbench_int: float
+    nbench_fp: float
+
+    def __post_init__(self) -> None:
+        if self.n_machines <= 0:
+            raise ValueError("a lab must contain at least one machine")
+        if self.ram_mb <= 0 or self.disk_gb <= 0:
+            raise ValueError("memory and disk sizes must be positive")
+
+    @property
+    def perf_index(self) -> float:
+        """Combined performance index: 50% INT + 50% FP (paper, section 5.4)."""
+        return 0.5 * self.nbench_int + 0.5 * self.nbench_fp
+
+
+def _p4(ghz: float) -> CPUSpec:
+    return CPUSpec(model="Intel Pentium 4", family="P4", ghz=ghz)
+
+
+def _p3(ghz: float) -> CPUSpec:
+    return CPUSpec(model="Intel Pentium III", family="PIII", ghz=ghz)
+
+
+#: Table 1 of the paper, row by row.
+TABLE1_LABS: Tuple[LabSpec, ...] = (
+    LabSpec("L01", 16, _p4(2.4), 512, 74.5, 30.5, 33.1),
+    LabSpec("L02", 16, _p4(2.4), 512, 74.5, 30.5, 33.1),
+    LabSpec("L03", 16, _p4(2.6), 512, 55.8, 39.3, 36.7),
+    LabSpec("L04", 16, _p4(2.4), 512, 59.5, 30.6, 33.2),
+    LabSpec("L05", 16, _p3(1.1), 512, 14.5, 23.2, 19.9),
+    LabSpec("L06", 16, _p4(2.6), 256, 55.9, 39.2, 36.7),
+    LabSpec("L07", 16, _p4(1.5), 256, 37.3, 23.5, 22.1),
+    LabSpec("L08", 16, _p3(1.1), 256, 18.6, 22.3, 18.6),
+    LabSpec("L09", 9, _p3(0.65), 128, 14.5, 13.7, 12.1),
+    LabSpec("L10", 16, _p3(0.65), 128, 14.5, 13.7, 12.2),
+    LabSpec("L11", 16, _p3(0.65), 128, 14.5, 13.7, 12.2),
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one monitored machine.
+
+    These are exactly the "static metrics" W32Probe reports (section 3.1.1):
+    processor, OS, main and virtual memory sizes, hard-disk serial and size,
+    and network-interface MAC address.
+    """
+
+    machine_id: int
+    hostname: str
+    lab: str
+    cpu: CPUSpec
+    ram_mb: int
+    disk_gb: float
+    nbench_int: float
+    nbench_fp: float
+    mac: str
+    disk_serial: str
+    os_name: str = OS_NAME
+    #: Configured virtual-memory (pagefile) size; Windows 2000's default
+    #: recommendation was 1.5x RAM.
+    swap_mb: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.swap_mb == 0:
+            object.__setattr__(self, "swap_mb", int(1.5 * self.ram_mb))
+
+    @property
+    def perf_index(self) -> float:
+        """50/50 INT+FP combined NBench index of this machine."""
+        return 0.5 * self.nbench_int + 0.5 * self.nbench_fp
+
+    @property
+    def disk_bytes(self) -> int:
+        """Disk capacity in bytes (decimal gigabytes, as Table 1 uses)."""
+        return int(self.disk_gb * 1e9)
+
+    @property
+    def ram_bytes(self) -> int:
+        """Installed physical memory in bytes."""
+        return self.ram_mb * 1024 * 1024
+
+    @property
+    def swap_bytes(self) -> int:
+        """Configured pagefile size in bytes."""
+        return self.swap_mb * 1024 * 1024
+
+
+def _mac(machine_id: int) -> str:
+    """Deterministic locally-administered MAC address for machine ``id``."""
+    return "02:00:5E:{:02X}:{:02X}:{:02X}".format(
+        (machine_id >> 16) & 0xFF, (machine_id >> 8) & 0xFF, machine_id & 0xFF
+    )
+
+
+def _serial(lab: str, idx: int) -> str:
+    """Deterministic vendor-style disk serial number."""
+    return f"WD-{lab}{idx:02d}-{(idx * 2654435761) & 0xFFFFFF:06X}"
+
+
+def build_fleet(labs: Tuple[LabSpec, ...] = TABLE1_LABS) -> List[MachineSpec]:
+    """Materialise one :class:`MachineSpec` per machine of the catalog.
+
+    Machines are numbered fleet-wide (``machine_id``) in lab order and named
+    ``<lab>-M<nn>`` (e.g. ``L03-M07``), matching the flat identity space the
+    DDC coordinator iterates over.
+
+    >>> fleet = build_fleet()
+    >>> len(fleet)
+    169
+    >>> fleet[0].hostname
+    'L01-M01'
+    """
+    fleet: List[MachineSpec] = []
+    mid = 0
+    for lab in labs:
+        for i in range(1, lab.n_machines + 1):
+            fleet.append(
+                MachineSpec(
+                    machine_id=mid,
+                    hostname=f"{lab.name}-M{i:02d}",
+                    lab=lab.name,
+                    cpu=lab.cpu,
+                    ram_mb=lab.ram_mb,
+                    disk_gb=lab.disk_gb,
+                    nbench_int=lab.nbench_int,
+                    nbench_fp=lab.nbench_fp,
+                    mac=_mac(mid),
+                    disk_serial=_serial(lab.name, i),
+                )
+            )
+            mid += 1
+    return fleet
+
+
+def fleet_totals(fleet: List[MachineSpec]) -> Dict[str, float]:
+    """Aggregate fleet resources as quoted at the end of section 4.1.
+
+    Returns a dict with:
+
+    - ``machines``: machine count,
+    - ``ram_gb``: total installed memory in GiB (paper: 56.62 GB),
+    - ``disk_tb``: total disk in decimal TB (paper: 6.66 TB),
+    - ``avg_ram_mb`` / ``avg_disk_gb``: per-machine means,
+    - ``avg_int`` / ``avg_fp``: mean NBench indexes (paper: 25.5 / 24.6).
+    """
+    n = len(fleet)
+    if n == 0:
+        raise ValueError("fleet_totals requires a non-empty fleet")
+    ram_mb = sum(m.ram_mb for m in fleet)
+    disk_gb = sum(m.disk_gb for m in fleet)
+    return {
+        "machines": float(n),
+        "ram_gb": ram_mb / 1024.0,
+        "disk_tb": disk_gb / 1000.0,
+        "avg_ram_mb": ram_mb / n,
+        "avg_disk_gb": disk_gb / n,
+        "avg_int": sum(m.nbench_int for m in fleet) / n,
+        "avg_fp": sum(m.nbench_fp for m in fleet) / n,
+    }

@@ -1,0 +1,241 @@
+"""S.M.A.R.T. (Self-Monitoring, Analysis and Reporting Technology) model.
+
+Section 5.2.2 of the paper derives machine power-on behaviour that the
+15-minute sampling cannot see from two SMART attributes of the machines'
+hard disks:
+
+- **Power Cycle Count** (attribute ID ``0x0C``): number of times the disk
+  has been powered on/off since it was built,
+- **Power-On Hours** (attribute ID ``0x09``): cumulated hours the disk has
+  been spinning since it was built.
+
+Because disks are powered with the machine, these counters integrate the
+*whole life* of the computer, including the short (< 15 min) sessions that
+escape the sampling methodology and all usage that predates the experiment.
+
+This module models a disk's SMART state: attribute bookkeeping with the
+ATA-style 6-byte raw values, monotonic counter evolution as the machine is
+power-cycled, and seeding of a plausible pre-experiment history (the paper
+reports a whole-life average of 6.46 h of uptime per power cycle with a
+standard deviation of 4.78 h; machines were less than 3 years old).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import MachineStateError
+
+__all__ = [
+    "ATTR_POWER_ON_HOURS",
+    "ATTR_POWER_CYCLE_COUNT",
+    "SmartAttribute",
+    "SmartDisk",
+]
+
+#: ATA attribute ID for the power-on-hours counter.
+ATTR_POWER_ON_HOURS = 0x09
+#: ATA attribute ID for the power-cycle-count counter.
+ATTR_POWER_CYCLE_COUNT = 0x0C
+
+_RAW_MAX = (1 << 48) - 1  # SMART raw values are 48-bit
+
+
+@dataclass(frozen=True)
+class SmartAttribute:
+    """A single SMART attribute as returned by an ``IDENTIFY``-style query.
+
+    Attributes
+    ----------
+    attr_id:
+        ATA attribute identifier (e.g. ``0x09``).
+    name:
+        Human-readable attribute name.
+    raw:
+        48-bit raw counter value.
+    """
+
+    attr_id: int
+    name: str
+    raw: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.raw <= _RAW_MAX:
+            raise ValueError(f"raw value out of 48-bit range: {self.raw}")
+
+    @property
+    def raw_bytes(self) -> bytes:
+        """The attribute's raw value encoded little-endian on 6 bytes,
+        exactly as it appears in the ATA SMART data structure."""
+        return int(self.raw).to_bytes(6, "little")
+
+    @classmethod
+    def from_raw_bytes(cls, attr_id: int, name: str, data: bytes) -> "SmartAttribute":
+        """Decode a 6-byte little-endian raw field back into an attribute."""
+        if len(data) != 6:
+            raise ValueError(f"SMART raw field must be 6 bytes, got {len(data)}")
+        return cls(attr_id=attr_id, name=name, raw=int.from_bytes(data, "little"))
+
+
+class SmartDisk:
+    """A hard disk whose SMART power counters evolve with machine power state.
+
+    The disk tracks *whole-life* totals: ``power_cycles`` and cumulative
+    powered-on seconds.  The hosting machine calls :meth:`power_on` /
+    :meth:`power_off` as it boots and shuts down; :meth:`attributes` can be
+    queried at any time (SMART reads are valid while the disk spins).
+
+    Parameters
+    ----------
+    serial:
+        Vendor serial number (ties samples to physical disks across the
+        trace, as the paper's static metrics do).
+    capacity_bytes:
+        Disk size in bytes.
+    initial_power_cycles, initial_power_on_hours:
+        Whole-life history predating the simulation (see
+        :meth:`seed_history`).
+    """
+
+    def __init__(
+        self,
+        serial: str,
+        capacity_bytes: int,
+        *,
+        initial_power_cycles: int = 0,
+        initial_power_on_hours: float = 0.0,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("disk capacity must be positive")
+        if initial_power_cycles < 0 or initial_power_on_hours < 0:
+            raise ValueError("initial SMART history must be non-negative")
+        self.serial = serial
+        self.capacity_bytes = int(capacity_bytes)
+        self._power_cycles = int(initial_power_cycles)
+        self._power_on_seconds = float(initial_power_on_hours) * 3600.0
+        self._powered_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # power transitions
+    # ------------------------------------------------------------------
+    @property
+    def powered(self) -> bool:
+        """Whether the disk is currently spinning."""
+        return self._powered_since is not None
+
+    def power_on(self, now: float) -> None:
+        """Spin the disk up, incrementing the power-cycle counter."""
+        if self.powered:
+            raise MachineStateError(f"disk {self.serial} already powered on")
+        self._powered_since = float(now)
+        self._power_cycles += 1
+
+    def power_off(self, now: float) -> None:
+        """Spin the disk down, folding the session into power-on hours."""
+        if not self.powered:
+            raise MachineStateError(f"disk {self.serial} already powered off")
+        assert self._powered_since is not None
+        if now < self._powered_since:
+            raise MachineStateError("power_off before the matching power_on")
+        self._power_on_seconds += now - self._powered_since
+        self._powered_since = None
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def power_cycles(self) -> int:
+        """Whole-life power-cycle count (SMART attribute 0x0C)."""
+        return self._power_cycles
+
+    def power_on_seconds(self, now: float) -> float:
+        """Whole-life powered-on seconds as of ``now`` (includes the
+        in-progress session, like a live SMART read does)."""
+        total = self._power_on_seconds
+        if self._powered_since is not None:
+            if now < self._powered_since:
+                raise MachineStateError("query predates current power-on")
+            total += now - self._powered_since
+        return total
+
+    def power_on_hours(self, now: float) -> float:
+        """Whole-life power-on hours (fractional; SMART attribute 0x09
+        reports the integer part)."""
+        return self.power_on_seconds(now) / 3600.0
+
+    def uptime_per_cycle_hours(self, now: float) -> float:
+        """Whole-life average uptime per power cycle, in hours.
+
+        This is the section-5.2.2 estimator of long-run machine
+        availability per power-on.
+        """
+        if self._power_cycles == 0:
+            raise MachineStateError("disk has never been powered on")
+        return self.power_on_hours(now) / self._power_cycles
+
+    def attributes(self, now: float) -> Dict[int, SmartAttribute]:
+        """The SMART attribute table restricted to the two counters the
+        study uses, keyed by attribute ID."""
+        return {
+            ATTR_POWER_ON_HOURS: SmartAttribute(
+                ATTR_POWER_ON_HOURS,
+                "Power-On Hours",
+                int(self.power_on_hours(now)),
+            ),
+            ATTR_POWER_CYCLE_COUNT: SmartAttribute(
+                ATTR_POWER_CYCLE_COUNT,
+                "Power Cycle Count",
+                self._power_cycles,
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # pre-experiment history
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_history(
+        cls,
+        serial: str,
+        capacity_bytes: int,
+        rng: np.random.Generator,
+        *,
+        age_years_range: tuple[float, float] = (0.5, 3.0),
+        uptime_per_cycle_mean_h: float = 6.46,
+        uptime_per_cycle_std_h: float = 4.78,
+        daily_cycles_mean: float = 1.0,
+    ) -> "SmartDisk":
+        """Create a disk with a plausible whole-life SMART history.
+
+        The paper notes that all machines were under 3 years old and infers
+        a whole-life average of 6.46 h uptime per power cycle (std 4.78 h).
+        We draw each disk's age uniformly from ``age_years_range`` and its
+        characteristic uptime-per-cycle from a truncated normal with the
+        paper's moments, then derive consistent cycle and hour counters.
+        """
+        lo, hi = age_years_range
+        if not 0 < lo <= hi:
+            raise ValueError("age range must be positive and ordered")
+        age_days = float(rng.uniform(lo, hi)) * 365.0
+        upc = -1.0
+        while upc <= 0.5:  # truncate below half an hour per cycle
+            upc = float(rng.normal(uptime_per_cycle_mean_h, uptime_per_cycle_std_h))
+        cycles_per_day = max(0.1, float(rng.normal(daily_cycles_mean, 0.3)))
+        cycles = max(1, int(round(age_days * cycles_per_day)))
+        hours = cycles * upc
+        # A desktop disk cannot have been spinning more than its age.
+        hours = min(hours, age_days * 24.0 * 0.95)
+        return cls(
+            serial,
+            capacity_bytes,
+            initial_power_cycles=cycles,
+            initial_power_on_hours=hours,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SmartDisk({self.serial!r}, cycles={self._power_cycles}, "
+            f"poweredOn={self.powered})"
+        )

@@ -1,0 +1,201 @@
+"""Win32-API facade over a :class:`~repro.machines.machine.SimMachine`.
+
+W32Probe (the paper's console probe) gathers its metrics "mostly through
+win32 API calls".  This module reproduces those entry points with the same
+field semantics, so the probe's code path is identical to the real one and
+only the lowest layer (simulated machine state instead of the NT kernel)
+differs:
+
+===========================  ==================================================
+Real win32 call              Facade method
+===========================  ==================================================
+``GetTickCount64``           :meth:`Win32Api.get_tick_count`
+boot time (WMI/registry)     :meth:`Win32Api.boot_time`
+idle-process time            :meth:`Win32Api.get_idle_time` (``GetSystemTimes``)
+``GlobalMemoryStatus``       :meth:`Win32Api.global_memory_status`
+``GetDiskFreeSpaceEx``       :meth:`Win32Api.get_disk_free_space`
+``GetIfTable``               :meth:`Win32Api.get_if_table`
+``WTSQuerySessionInformation``  :meth:`Win32Api.query_interactive_session`
+``DeviceIoControl`` (SMART)  :meth:`Win32Api.smart_read_attributes`
+registry / ``GetVersionEx``  :meth:`Win32Api.system_info`
+===========================  ==================================================
+
+All dynamic queries take ``now`` explicitly: a probe executes at a given
+instant of simulated time and must observe a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartAttribute
+
+__all__ = ["MemoryStatus", "IfTableRow", "SessionInfo", "SystemInfo", "Win32Api"]
+
+
+@dataclass(frozen=True)
+class MemoryStatus:
+    """Result of ``GlobalMemoryStatus``, field names after ``MEMORYSTATUS``.
+
+    ``dw_memory_load`` is the 0..100 integer Windows computes; the paper's
+    "RAM load" metric is exactly this field, and "SWAP load" is the
+    analogous pagefile percentage.
+    """
+
+    dw_memory_load: int
+    dw_total_phys: int
+    dw_avail_phys: int
+    dw_total_page_file: int
+    dw_avail_page_file: int
+
+    @property
+    def swap_load(self) -> int:
+        """Pagefile load percentage derived from the pagefile fields."""
+        if self.dw_total_page_file == 0:
+            return 0
+        used = self.dw_total_page_file - self.dw_avail_page_file
+        return int(round(100.0 * used / self.dw_total_page_file))
+
+
+@dataclass(frozen=True)
+class IfTableRow:
+    """One row of ``GetIfTable``: a NIC's cumulative byte counters."""
+
+    mac: str
+    bytes_sent: int
+    bytes_recv: int
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """Interactive (console) session information from WTS."""
+
+    username: str
+    logon_time: float
+
+
+@dataclass(frozen=True)
+class SystemInfo:
+    """Static machine description (processor, OS, memory, disk, NICs)."""
+
+    hostname: str
+    processor_name: str
+    processor_mhz: float
+    os_name: str
+    total_phys_mb: int
+    total_swap_mb: int
+    disk_serial: str
+    disk_total_bytes: int
+    macs: Tuple[str, ...]
+
+
+class Win32Api:
+    """Bind the probe-visible win32 surface to one simulated machine.
+
+    The facade performs *reads only*; mutating the machine is the
+    simulation layer's job.  All methods require the machine to be powered
+    on -- exactly like the real calls, which cannot run on a dead box (the
+    remote-execution layer converts that into a timeout before the probe
+    ever starts).
+    """
+
+    def __init__(self, machine: SimMachine):
+        self._m = machine
+
+    @property
+    def machine_spec(self):
+        """The bound machine's static hardware spec.
+
+        Exposed for probes whose work depends on the hardware itself
+        (the benchmark probe models its kernels' speed from the spec).
+        """
+        return self._m.spec
+
+    # -- time / boot ----------------------------------------------------
+    def get_tick_count(self, now: float) -> float:
+        """Milliseconds since boot (``GetTickCount64`` semantics)."""
+        return self._m.uptime(now) * 1000.0
+
+    def boot_time(self, now: float) -> float:
+        """Absolute boot time, as derivable from WMI's ``LastBootUpTime``."""
+        del now  # present for signature uniformity
+        return self._m.boot_time
+
+    def get_idle_time(self, now: float) -> float:
+        """Seconds consumed by the idle process since boot.
+
+        This is the probe's key CPU metric: differencing two samples of
+        this counter divided by the uptime delta gives the *average* CPU
+        idleness over the interval, immune to instantaneous bursts
+        (section 4.2 of the paper).
+        """
+        return self._m.cpu_idle_seconds(now)
+
+    # -- memory ---------------------------------------------------------
+    def global_memory_status(self, now: float) -> MemoryStatus:
+        """Snapshot of physical and pagefile memory occupancy."""
+        del now
+        spec = self._m.spec
+        mem_load = int(round(self._m.memory_load))
+        swap_load = self._m.swap_load / 100.0
+        total_phys = spec.ram_bytes
+        total_page = spec.swap_bytes
+        return MemoryStatus(
+            dw_memory_load=mem_load,
+            dw_total_phys=total_phys,
+            dw_avail_phys=int(total_phys * (1.0 - mem_load / 100.0)),
+            dw_total_page_file=total_page,
+            dw_avail_page_file=int(round(total_page * (1.0 - swap_load))),
+        )
+
+    # -- disk -----------------------------------------------------------
+    def get_disk_free_space(self, now: float) -> Tuple[int, int]:
+        """``(free_bytes, total_bytes)`` of the system volume."""
+        del now
+        return self._m.disk_free_bytes, self._m.spec.disk_bytes
+
+    def smart_read_attributes(self, now: float) -> Dict[int, SmartAttribute]:
+        """SMART attribute table of the (single) hard disk.
+
+        Mirrors a ``DeviceIoControl(SMART_RCV_DRIVE_DATA)`` read restricted
+        to the power-cycle-count and power-on-hours attributes.
+        """
+        return self._m.disk.attributes(now)
+
+    # -- network --------------------------------------------------------
+    def get_if_table(self, now: float) -> Tuple[IfTableRow, ...]:
+        """NIC rows with cumulative sent/received byte counters."""
+        return (
+            IfTableRow(
+                mac=self._m.spec.mac,
+                bytes_sent=int(self._m.total_sent_bytes(now)),
+                bytes_recv=int(self._m.total_recv_bytes(now)),
+            ),
+        )
+
+    # -- sessions -------------------------------------------------------
+    def query_interactive_session(self, now: float) -> Optional[SessionInfo]:
+        """The console session, or ``None`` when nobody is logged in."""
+        del now
+        s = self._m.session
+        if s is None:
+            return None
+        return SessionInfo(username=s.username, logon_time=s.start)
+
+    # -- static ---------------------------------------------------------
+    def system_info(self) -> SystemInfo:
+        """The static metrics of section 3.1.1."""
+        spec = self._m.spec
+        return SystemInfo(
+            hostname=spec.hostname,
+            processor_name=spec.cpu.model,
+            processor_mhz=spec.cpu.mhz,
+            os_name=spec.os_name,
+            total_phys_mb=spec.ram_mb,
+            total_swap_mb=spec.swap_mb,
+            disk_serial=spec.disk_serial,
+            disk_total_bytes=spec.disk_bytes,
+            macs=(spec.mac,),
+        )

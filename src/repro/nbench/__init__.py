@@ -1,0 +1,41 @@
+"""NBench (BYTEmark) re-implementation.
+
+The paper normalises machine performance with NBench indexes (Table 1):
+NBench, "derived from the well-known Bytemark benchmark", was compiled
+for Windows and executed on every machine through a DDC benchmark probe.
+The INT index aggregates seven integer kernels, the FP index three
+floating-point kernels, each as a geometric mean of rates relative to a
+fixed baseline machine.
+
+This subpackage provides:
+
+- :mod:`repro.nbench.kernels` -- executable re-implementations of the ten
+  kernels (numeric sort, string sort, bitfield, FP emulation, Fourier,
+  assignment, IDEA, Huffman, neural net, LU decomposition),
+- :mod:`repro.nbench.index` -- rate -> index aggregation (geometric mean
+  against the baseline rates),
+- :mod:`repro.nbench.model` -- the performance model mapping a simulated
+  machine's hardware to the kernel rates it would score (used by the
+  benchmark probe, since simulated machines cannot execute host code at
+  period-correct speed),
+- :mod:`repro.nbench.runner` -- times the real kernels on the *host*
+  machine, demonstrating the measurement path end to end.
+"""
+
+from repro.nbench.kernels import ALL_KERNELS, INT_KERNELS, FP_KERNELS, Kernel
+from repro.nbench.index import BASELINE_RATES, compute_indexes, geometric_mean
+from repro.nbench.model import predict_rates, predict_indexes
+from repro.nbench.runner import run_benchmark_suite
+
+__all__ = [
+    "Kernel",
+    "ALL_KERNELS",
+    "INT_KERNELS",
+    "FP_KERNELS",
+    "BASELINE_RATES",
+    "compute_indexes",
+    "geometric_mean",
+    "predict_rates",
+    "predict_indexes",
+    "run_benchmark_suite",
+]

@@ -1,0 +1,71 @@
+"""NBench index computation.
+
+NBench reports two composite indexes: **INT** over the seven integer
+kernels and **FP** over the three floating-point kernels.  Each index is
+the geometric mean of the machine's per-kernel iteration rates divided by
+a fixed baseline machine's rates, so a machine "twice as fast" on every
+kernel scores exactly 2x the index -- the property Fig. 6's normalisation
+relies on.
+
+The baseline rates below define our reference machine (index = 1.0 on
+both groups).  Their absolute values are arbitrary constants; only ratios
+enter any result.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.nbench.kernels import FP_KERNELS, INT_KERNELS
+
+__all__ = ["BASELINE_RATES", "geometric_mean", "compute_indexes"]
+
+#: Iteration rates (runs/second) of the baseline machine, per kernel.
+BASELINE_RATES: Dict[str, float] = {
+    "numsort": 38.0,
+    "strsort": 5.1,
+    "bitfield": 120.0,
+    "fpemu": 2.1,
+    "assign": 11.0,
+    "idea": 7.3,
+    "huffman": 3.0,
+    "fourier": 95.0,
+    "neural": 14.0,
+    "lu": 23.0,
+}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Computed in log space for numerical robustness (products of many
+    rates overflow/underflow quickly).
+    """
+    logs = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+        logs.append(math.log(v))
+    if not logs:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(sum(logs) / len(logs))
+
+
+def compute_indexes(rates: Mapping[str, float]) -> Tuple[float, float]:
+    """Aggregate per-kernel rates into ``(int_index, fp_index)``.
+
+    Parameters
+    ----------
+    rates:
+        Mapping kernel name -> measured iteration rate (runs/second).
+        All ten kernels must be present.
+
+    Raises
+    ------
+    KeyError
+        If any kernel's rate is missing.
+    """
+    int_ratios = [rates[k.name] / BASELINE_RATES[k.name] for k in INT_KERNELS]
+    fp_ratios = [rates[k.name] / BASELINE_RATES[k.name] for k in FP_KERNELS]
+    return geometric_mean(int_ratios), geometric_mean(fp_ratios)

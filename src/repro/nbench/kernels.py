@@ -1,0 +1,339 @@
+"""Executable re-implementations of the ten NBench/BYTEmark kernels.
+
+Each kernel is a deterministic unit of work with a verifiable result, so
+the suite doubles as a correctness test bed: ``kernel.run(seed)`` returns
+a checksum that must be stable across runs and platforms.  Sizes are
+scaled down from the C original (these run in milliseconds, not seconds)
+-- what matters for the reproduction is *relative* machine speed, and for
+the library that the measurement path (time a kernel, divide by baseline,
+aggregate indexes) is exercised for real.
+
+Kernel groups follow BYTEmark:
+
+- **INT**: numeric sort, string sort, bitfield, FP emulation, assignment,
+  IDEA, Huffman;
+- **FP**: Fourier, neural net, LU decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Kernel", "ALL_KERNELS", "INT_KERNELS", "FP_KERNELS", "kernel_by_name"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in probe output and baseline tables.
+    group:
+        ``"int"`` or ``"fp"``.
+    func:
+        ``func(seed) -> int`` performing one iteration of work and
+        returning a checksum.
+    """
+
+    name: str
+    group: str
+    func: Callable[[int], int]
+
+    def run(self, seed: int = 0) -> int:
+        """Execute one iteration; returns the work's checksum."""
+        return self.func(seed)
+
+
+# ----------------------------------------------------------------------
+# INT kernels
+# ----------------------------------------------------------------------
+
+def numeric_sort(seed: int) -> int:
+    """Sort arrays of signed 32-bit integers (original: heapsort)."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    arr = rng.integers(-(2**31), 2**31 - 1, size=2048, dtype=np.int64)
+    arr.sort()
+    return int(arr[::64].sum() & 0xFFFFFFFF)
+
+
+def string_sort(seed: int) -> int:
+    """Sort arrays of variable-length byte strings."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0x5151))
+    lengths = rng.integers(4, 30, size=512)
+    strings = [
+        bytes(rng.integers(65, 91, size=int(n), dtype=np.uint8)) for n in lengths
+    ]
+    strings.sort()
+    acc = 0
+    for s in strings[::16]:
+        acc = (acc * 131 + s[0]) & 0xFFFFFFFF
+    return acc
+
+
+def bitfield(seed: int) -> int:
+    """Set / clear / complement runs of bits in a large bitmap."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0xB17F))
+    bits = np.zeros(4096, dtype=np.uint8)  # one bit per byte, simple model
+    ops = rng.integers(0, 3, size=512)
+    starts = rng.integers(0, 4096 - 64, size=512)
+    lengths = rng.integers(1, 64, size=512)
+    for op, start, length in zip(ops, starts, lengths):
+        sl = slice(int(start), int(start + length))
+        if op == 0:
+            bits[sl] = 1
+        elif op == 1:
+            bits[sl] = 0
+        else:
+            bits[sl] ^= 1
+    return int(bits.sum())
+
+
+def fp_emulation(seed: int) -> int:
+    """Software floating point: add/mul/div on a fixed-point format.
+
+    The original emulates IEEE-754 in integer arithmetic; we keep the
+    spirit with a Q32.32 fixed-point datapath implemented on Python ints.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0xF9E0))
+    one = 1 << 32
+    vals = [int(v) for v in rng.integers(1, one, size=128, dtype=np.int64)]
+    acc = one
+    for v in vals:
+        acc = (acc + v) & ((1 << 64) - 1)
+        acc = ((acc * v) >> 32) & ((1 << 64) - 1)
+        if v:
+            acc = (acc << 32) // (v | 1)
+        acc = acc & ((1 << 64) - 1) or one
+    return acc & 0xFFFFFFFF
+
+
+def assignment(seed: int) -> int:
+    """Task-assignment problem (original: Hungarian-style algorithm).
+
+    Solves a small rectangular cost-minimisation exactly with iterative
+    row/column reduction plus greedy augmentation -- sufficient for the
+    benchmark's deterministic workload (and checked by tests against a
+    brute-force solution on tiny instances).
+    """
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0xA551))
+    n = 24
+    cost = rng.integers(0, 1000, size=(n, n)).astype(np.int64)
+    c = cost - cost.min(axis=1, keepdims=True)
+    c -= c.min(axis=0, keepdims=True)
+    # Greedy zero-cover assignment with escalation: raise uncovered rows.
+    assigned = np.full(n, -1, dtype=np.int64)
+    for _ in range(4 * n):
+        taken_cols = set(int(x) for x in assigned if x >= 0)
+        progress = False
+        for i in range(n):
+            if assigned[i] >= 0:
+                continue
+            zeros = np.flatnonzero(c[i] == 0)
+            for j in zeros:
+                if int(j) not in taken_cols:
+                    assigned[i] = int(j)
+                    taken_cols.add(int(j))
+                    progress = True
+                    break
+        if (assigned >= 0).all():
+            break
+        if not progress:
+            # raise the smallest uncovered entry to create new zeros
+            unassigned = assigned < 0
+            free_cols = np.setdiff1d(np.arange(n), assigned[assigned >= 0])
+            sub = c[np.ix_(np.flatnonzero(unassigned), free_cols)]
+            c[np.ix_(np.flatnonzero(unassigned), free_cols)] = sub - sub.min()
+    total = int(cost[np.arange(n), np.where(assigned >= 0, assigned, 0)].sum())
+    return total & 0xFFFFFFFF
+
+
+_IDEA_ROUNDS = 8
+
+
+def _idea_mul(a: int, b: int) -> int:
+    """IDEA's multiplication modulo 2^16 + 1 (0 represents 2^16)."""
+    if a == 0:
+        a = 0x10000
+    if b == 0:
+        b = 0x10000
+    r = (a * b) % 0x10001
+    return r & 0xFFFF
+
+
+def idea_cipher(seed: int) -> int:
+    """IDEA block cipher over a small buffer (encryption only)."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0x1DEA))
+    subkeys = [int(k) for k in rng.integers(0, 0x10000, size=6 * _IDEA_ROUNDS + 4)]
+    blocks = rng.integers(0, 0x10000, size=(64, 4))
+    acc = 0
+    for blk in blocks:
+        x1, x2, x3, x4 = (int(v) for v in blk)
+        k = 0
+        for _ in range(_IDEA_ROUNDS):
+            x1 = _idea_mul(x1, subkeys[k])
+            x2 = (x2 + subkeys[k + 1]) & 0xFFFF
+            x3 = (x3 + subkeys[k + 2]) & 0xFFFF
+            x4 = _idea_mul(x4, subkeys[k + 3])
+            t1 = x1 ^ x3
+            t2 = x2 ^ x4
+            t1 = _idea_mul(t1, subkeys[k + 4])
+            t2 = (t1 + t2) & 0xFFFF
+            t2 = _idea_mul(t2, subkeys[k + 5])
+            t1 = (t1 + t2) & 0xFFFF
+            x1 ^= t2
+            x4 ^= t1
+            x2, x3 = x3 ^ t2, x2 ^ t1
+            k += 6
+        x1 = _idea_mul(x1, subkeys[k])
+        x2 = (x2 + subkeys[k + 1]) & 0xFFFF
+        x3 = (x3 + subkeys[k + 2]) & 0xFFFF
+        x4 = _idea_mul(x4, subkeys[k + 3])
+        acc = (acc * 31 + x1 + x2 + x3 + x4) & 0xFFFFFFFF
+    return acc
+
+
+def huffman(seed: int) -> int:
+    """Huffman tree construction + encode/decode round-trip."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0x4FF0))
+    data = bytes(rng.integers(97, 107, size=2048, dtype=np.uint8))
+    freq: Dict[int, int] = {}
+    for b in data:
+        freq[b] = freq.get(b, 0) + 1
+    # build tree with a sorted-list priority queue
+    import heapq
+
+    heap: list = [(f, i, (sym, None, None)) for i, (sym, f) in enumerate(sorted(freq.items()))]
+    heapq.heapify(heap)
+    counter = len(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, (None, n1, n2)))
+        counter += 1
+    root = heap[0][2]
+    codes: Dict[int, str] = {}
+
+    def walk(node, prefix: str) -> None:
+        sym, left, right = node
+        if sym is not None:
+            codes[sym] = prefix or "0"
+            return
+        walk(left, prefix + "0")
+        walk(right, prefix + "1")
+
+    walk(root, "")
+    encoded = "".join(codes[b] for b in data)
+    # decode and verify
+    out = bytearray()
+    node = root
+    for bit in encoded:
+        node = node[1] if bit == "0" else node[2]
+        if node[0] is not None:
+            out.append(node[0])
+            node = root
+    if bytes(out) != data:
+        raise AssertionError("huffman round-trip failed")
+    return len(encoded) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# FP kernels
+# ----------------------------------------------------------------------
+
+def fourier(seed: int) -> int:
+    """Fourier coefficients of a waveform by trapezoid integration."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0xF0F0))
+    a, b = 0.0, 2.0
+    x = np.linspace(a, b, 257)
+    f = (x + 1.0) ** (1.0 + rng.random())
+    coeffs = []
+    for k in range(1, 17):
+        ck = np.trapezoid(f * np.cos(np.pi * k * x), x)
+        sk = np.trapezoid(f * np.sin(np.pi * k * x), x)
+        coeffs.append(ck * ck + sk * sk)
+    return int(abs(sum(coeffs)) * 1e3) & 0xFFFFFFFF
+
+
+def neural_net(seed: int) -> int:
+    """Back-propagation training of a tiny multilayer perceptron."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0x0EE7))
+    x = rng.random((16, 8))
+    y = (x.sum(axis=1, keepdims=True) > 4.0).astype(float)
+    w1 = rng.normal(0, 0.5, (8, 6))
+    w2 = rng.normal(0, 0.5, (6, 1))
+    lr = 0.3
+    for _ in range(40):
+        h = 1.0 / (1.0 + np.exp(-(x @ w1)))
+        o = 1.0 / (1.0 + np.exp(-(h @ w2)))
+        d_o = (o - y) * o * (1 - o)
+        d_h = (d_o @ w2.T) * h * (1 - h)
+        w2 -= lr * h.T @ d_o
+        w1 -= lr * x.T @ d_h
+    err = float(np.abs(o - y).mean())
+    return int(err * 1e6) & 0xFFFFFFFF
+
+
+def lu_decomposition(seed: int) -> int:
+    """LU decomposition with partial pivoting, then solve (Doolittle)."""
+    rng = np.random.Generator(np.random.PCG64(seed ^ 0x10DE))
+    n = 32
+    a = rng.random((n, n)) + np.eye(n) * n
+    b = rng.random(n)
+    lu = a.copy()
+    piv = np.arange(n)
+    for k in range(n - 1):
+        p = k + int(np.argmax(np.abs(lu[k:, k])))
+        if p != k:
+            lu[[k, p]] = lu[[p, k]]
+            piv[[k, p]] = piv[[p, k]]
+        lu[k + 1 :, k] /= lu[k, k]
+        lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+    # forward/back substitution
+    y = b[piv].copy()
+    for i in range(1, n):
+        y[i] -= lu[i, :i] @ y[:i]
+    x = y.copy()
+    for i in range(n - 1, -1, -1):
+        x[i] = (x[i] - lu[i, i + 1 :] @ x[i + 1 :]) / lu[i, i]
+    resid = float(np.abs(a @ x - b).max())
+    if resid > 1e-6:
+        raise AssertionError(f"LU solve residual too large: {resid}")
+    return int(abs(x.sum()) * 1e3) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+INT_KERNELS: Tuple[Kernel, ...] = (
+    Kernel("numsort", "int", numeric_sort),
+    Kernel("strsort", "int", string_sort),
+    Kernel("bitfield", "int", bitfield),
+    Kernel("fpemu", "int", fp_emulation),
+    Kernel("assign", "int", assignment),
+    Kernel("idea", "int", idea_cipher),
+    Kernel("huffman", "int", huffman),
+)
+
+FP_KERNELS: Tuple[Kernel, ...] = (
+    Kernel("fourier", "fp", fourier),
+    Kernel("neural", "fp", neural_net),
+    Kernel("lu", "fp", lu_decomposition),
+)
+
+ALL_KERNELS: Tuple[Kernel, ...] = INT_KERNELS + FP_KERNELS
+
+_BY_NAME = {k.name: k for k in ALL_KERNELS}
+
+
+def kernel_by_name(name: str) -> Kernel:
+    """Look a kernel up by its stable name.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    return _BY_NAME[name]

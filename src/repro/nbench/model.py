@@ -1,0 +1,97 @@
+"""Performance model: simulated hardware -> NBench kernel rates.
+
+A simulated Pentium cannot execute the host's Python kernels at
+period-correct speed, so the benchmark probe needs a model of what a
+given machine *would* score.  Table 1 gives us ground truth: each lab's
+measured INT and FP indexes.  The model therefore:
+
+1. takes the machine's catalogued indexes as the expected group speedups
+   over the baseline machine,
+2. scales every baseline kernel rate by its group's speedup,
+3. perturbs each kernel with small log-normal measurement noise
+   (real NBench runs vary a few percent between executions).
+
+Running :func:`repro.nbench.index.compute_indexes` on the modelled rates
+recovers the Table-1 indexes up to the noise -- which is exactly the
+round trip the probe + post-collect pipeline exercises.
+
+For machines outside the catalog (hypothetical fleets), a frequency-based
+fallback estimates indexes from the CPU family and clock, least-squares
+fitted on the Table-1 rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.machines.hardware import MachineSpec
+from repro.nbench.index import BASELINE_RATES
+from repro.nbench.kernels import FP_KERNELS, INT_KERNELS
+
+__all__ = ["predict_rates", "predict_indexes", "frequency_model_indexes"]
+
+#: Per-(family) linear coefficients index ~= a * GHz + b, least-squares
+#: fitted on Table 1 (see tests/test_nbench_model.py for the residuals).
+_FREQ_MODEL: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "P4": {"int": (9.93, 9.90), "fp": (11.96, 4.33)},
+    "PIII": {"int": (21.11, -0.02), "fp": (17.33, 0.73)},
+}
+
+
+def predict_indexes(spec: MachineSpec) -> Tuple[float, float]:
+    """Expected ``(int_index, fp_index)`` for a machine.
+
+    Uses the catalogued Table-1 indexes when present (NaN-free), else the
+    frequency fallback model.
+    """
+    if np.isfinite(spec.nbench_int) and np.isfinite(spec.nbench_fp):
+        return float(spec.nbench_int), float(spec.nbench_fp)
+    return frequency_model_indexes(spec.cpu.family, spec.cpu.ghz)
+
+
+def frequency_model_indexes(family: str, ghz: float) -> Tuple[float, float]:
+    """Frequency-based index estimate for CPUs outside the catalog."""
+    coeff = _FREQ_MODEL.get(family)
+    if coeff is None:
+        # Unknown family: interpolate between the known ones by clock.
+        a_int = np.mean([c["int"][0] for c in _FREQ_MODEL.values()])
+        b_int = np.mean([c["int"][1] for c in _FREQ_MODEL.values()])
+        a_fp = np.mean([c["fp"][0] for c in _FREQ_MODEL.values()])
+        b_fp = np.mean([c["fp"][1] for c in _FREQ_MODEL.values()])
+        return float(a_int * ghz + b_int), float(a_fp * ghz + b_fp)
+    (ai, bi), (af, bf) = coeff["int"], coeff["fp"]
+    return float(ai * ghz + bi), float(af * ghz + bf)
+
+
+def predict_rates(
+    spec: MachineSpec,
+    rng: np.random.Generator,
+    *,
+    noise_sigma: float = 0.03,
+) -> Dict[str, float]:
+    """Kernel iteration rates this machine would measure.
+
+    Parameters
+    ----------
+    spec:
+        The machine whose performance is being modelled.
+    rng:
+        Measurement-noise stream.
+    noise_sigma:
+        Sigma of the per-kernel log-normal noise (~3% run-to-run spread).
+    """
+    int_idx, fp_idx = predict_indexes(spec)
+    if int_idx <= 0 or fp_idx <= 0:
+        raise ValueError(f"non-positive predicted index for {spec.hostname}")
+    rates: Dict[str, float] = {}
+    for k in INT_KERNELS:
+        rates[k.name] = BASELINE_RATES[k.name] * int_idx * float(
+            rng.lognormal(0.0, noise_sigma)
+        )
+    for k in FP_KERNELS:
+        rates[k.name] = BASELINE_RATES[k.name] * fp_idx * float(
+            rng.lognormal(0.0, noise_sigma)
+        )
+    return rates

@@ -1,0 +1,85 @@
+"""Host benchmark runner: time the real kernels on this machine.
+
+Demonstrates the full NBench measurement path with actual execution: run
+each kernel repeatedly, measure iterations/second with a monotonic clock,
+and aggregate indexes -- the same procedure the authors' benchmark probe
+performed on each classroom machine.
+
+This is host-speed measurement (your laptop, not a simulated Pentium);
+it's used by the quickstart example and by the benchmark harness to show
+the pipeline working end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.nbench.index import compute_indexes
+from repro.nbench.kernels import ALL_KERNELS, Kernel
+
+__all__ = ["KernelTiming", "time_kernel", "run_benchmark_suite"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Measured performance of one kernel on the host.
+
+    Attributes
+    ----------
+    name / group:
+        Kernel identity.
+    rate:
+        Iterations per second.
+    iterations:
+        How many iterations the measurement used.
+    checksum:
+        Work checksum of the last iteration (determinism guard).
+    """
+
+    name: str
+    group: str
+    rate: float
+    iterations: int
+    checksum: int
+
+
+def time_kernel(
+    kernel: Kernel,
+    *,
+    min_duration: float = 0.05,
+    max_iterations: int = 10_000,
+) -> KernelTiming:
+    """Time one kernel: run until ``min_duration`` seconds have elapsed.
+
+    The iteration seed varies per run so the compiler/runtime cannot
+    memoise work, matching how NBench cycles its buffers.
+    """
+    if min_duration <= 0:
+        raise ValueError("min_duration must be positive")
+    start = time.perf_counter()
+    iterations = 0
+    checksum = 0
+    while True:
+        checksum = kernel.run(iterations)
+        iterations += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_duration or iterations >= max_iterations:
+            break
+    return KernelTiming(
+        name=kernel.name,
+        group=kernel.group,
+        rate=iterations / max(elapsed, 1e-9),
+        iterations=iterations,
+        checksum=checksum,
+    )
+
+
+def run_benchmark_suite(
+    *, min_duration: float = 0.05
+) -> Tuple[Dict[str, KernelTiming], float, float]:
+    """Run all ten kernels; returns ``(timings, int_index, fp_index)``."""
+    timings = {k.name: time_kernel(k, min_duration=min_duration) for k in ALL_KERNELS}
+    int_idx, fp_idx = compute_indexes({n: t.rate for n, t in timings.items()})
+    return timings, int_idx, fp_idx

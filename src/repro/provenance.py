@@ -1,0 +1,159 @@
+"""Experiment provenance: record exactly what produced a trace.
+
+A trace file without its generating configuration is half a result.
+:func:`provenance_record` captures everything needed to regenerate a
+run bit-for-bit -- the full nested configuration, the root seed, the
+library version, the fleet catalog digest and collection accounting --
+as a JSON-serialisable dict; :func:`write_provenance` /
+:func:`read_provenance` handle the sidecar file, and
+:func:`verify_provenance` re-runs a (shortened) experiment to check a
+record still reproduces on the current code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+import repro
+from repro.config import ExperimentConfig
+from repro.errors import ReproError
+from repro.experiment import MonitoringResult, run_experiment
+
+__all__ = [
+    "fleet_digest",
+    "provenance_record",
+    "write_provenance",
+    "read_provenance",
+    "verify_provenance",
+]
+
+
+def fleet_digest(result: MonitoringResult) -> str:
+    """Stable SHA-256 over the fleet's static identity.
+
+    Hashes (hostname, CPU, RAM, disk size, serial) per machine in roster
+    order, so any catalog change invalidates old provenance records.
+    """
+    h = hashlib.sha256()
+    for spec in result.fleet.specs:
+        h.update(
+            f"{spec.hostname}|{spec.cpu.model}|{spec.cpu.ghz}|{spec.ram_mb}|"
+            f"{spec.disk_gb}|{spec.disk_serial}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def provenance_record(result: MonitoringResult) -> Dict[str, Any]:
+    """Build the provenance dict for a finished run."""
+    coord = result.coordinator
+    return {
+        "format": "repro-provenance/1",
+        "library_version": repro.__version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "config": result.config.to_dict(),
+        "seed": result.config.seed,
+        "days": result.config.days,
+        "fleet_digest": fleet_digest(result),
+        "samples": len(result.store),
+        "iterations_run": coord.iterations_run,
+        "attempts": coord.attempts,
+        "timeouts": coord.timeouts,
+    }
+
+
+def write_provenance(result: MonitoringResult, path: Union[str, Path]) -> Path:
+    """Write the run's provenance record as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(provenance_record(result), indent=2) + "\n")
+    return path
+
+
+def read_provenance(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a provenance record.
+
+    Raises
+    ------
+    ReproError
+        On unknown format or missing mandatory keys.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != "repro-provenance/1":
+        raise ReproError(f"unknown provenance format {data.get('format')!r}")
+    required = {"config", "seed", "days", "samples", "fleet_digest"}
+    missing = required - data.keys()
+    if missing:
+        raise ReproError(f"provenance record missing keys: {sorted(missing)}")
+    return data
+
+
+def _config_from_record(record: Dict[str, Any],
+                        days: Optional[int] = None) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from a record's config dict."""
+    from repro.config import (
+        BehaviorParams,
+        DdcParams,
+        PowerParams,
+        SmartParams,
+        WorkloadParams,
+    )
+
+    cfg = dict(record["config"])
+    behavior = dict(cfg["behavior"])
+    behavior["weekday_demand"] = tuple(behavior["weekday_demand"])
+    power = dict(cfg["power"])
+    for key in ("leave_on_bias_beta", "short_cycle_uptime"):
+        power[key] = tuple(power[key])
+    workload = dict(cfg["workload"])
+    workload["os_mem_frac"] = {int(k): v for k, v in workload["os_mem_frac"].items()}
+    for key in ("idle_net_bps", "active_net_bps"):
+        workload[key] = tuple(workload[key])
+    ddc = dict(cfg["ddc"])
+    ddc["exec_latency"] = tuple(ddc["exec_latency"])
+    smart = dict(cfg["smart"])
+    smart["age_years_range"] = tuple(smart["age_years_range"])
+    return ExperimentConfig(
+        seed=cfg["seed"],
+        days=days if days is not None else cfg["days"],
+        behavior=BehaviorParams(**behavior),
+        power=PowerParams(**power),
+        workload=WorkloadParams(**workload),
+        ddc=DdcParams(**ddc),
+        smart=SmartParams(**smart),
+    )
+
+
+def verify_provenance(
+    path: Union[str, Path], *, days: Optional[int] = None
+) -> Dict[str, Any]:
+    """Re-run a recorded experiment and compare the outcome.
+
+    Parameters
+    ----------
+    path:
+        Provenance file.
+    days:
+        Optionally re-run a shortened horizon (sample counts then cannot
+        be compared; the fleet digest still can).
+
+    Returns a dict with ``reproduced`` (bool) plus the compared fields.
+    """
+    record = read_provenance(path)
+    cfg = _config_from_record(record, days)
+    result = run_experiment(cfg)
+    digest_ok = fleet_digest(result) == record["fleet_digest"]
+    full_run = days is None or days == record["days"]
+    samples_ok = (len(result.store) == record["samples"]) if full_run else None
+    return {
+        "reproduced": digest_ok and (samples_ok is not False),
+        "fleet_digest_matches": digest_ok,
+        "samples_match": samples_ok,
+        "samples_expected": record["samples"],
+        "samples_measured": len(result.store),
+    }

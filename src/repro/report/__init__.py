@@ -1,0 +1,25 @@
+"""Reporting: ASCII tables, figure series export, paper comparisons.
+
+- :mod:`repro.report.paperdata` -- the paper's published numbers, as
+  structured constants (the ground truth every bench compares against),
+- :mod:`repro.report.tables` -- fixed-width table rendering,
+- :mod:`repro.report.series` -- text sparklines / CSV export of figure
+  series,
+- :mod:`repro.report.experiments` -- the run-everything harness that
+  regenerates all tables and figures from one trace.
+"""
+
+from repro.report.paperdata import PAPER
+from repro.report.tables import Table, render_comparison
+from repro.report.series import render_sparkline, series_to_csv
+from repro.report.experiments import ExperimentReport, generate_report
+
+__all__ = [
+    "PAPER",
+    "Table",
+    "render_comparison",
+    "render_sparkline",
+    "series_to_csv",
+    "ExperimentReport",
+    "generate_report",
+]

@@ -1,0 +1,212 @@
+"""Run-everything harness: regenerate all tables and figures from a trace.
+
+:func:`generate_report` computes every analysis once (sharing the
+pairwise CPU estimates, the expensive intermediate) and packages the
+results with their paper counterparts.  The benchmark suite and the
+EXPERIMENTS.md generator both consume :class:`ExperimentReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.availability import (
+    AvailabilitySeries,
+    UptimeRatios,
+    machines_on_series,
+    uptime_ratios,
+)
+from repro.analysis.cpu import PairwiseCpu, pairwise_cpu
+from repro.analysis.equivalence import EquivalenceResult, cluster_equivalence
+from repro.analysis.mainresults import MainResults, compute_main_results
+from repro.analysis.sessions import (
+    ForgottenStats,
+    SessionBuckets,
+    first_bucket_above,
+    forgotten_stats,
+    relative_hour_buckets,
+)
+from repro.analysis.stability import (
+    MachineSessions,
+    SmartStats,
+    detect_machine_sessions,
+    smart_power_cycle_stats,
+)
+from repro.analysis.weekly import WeeklyProfiles, weekly_profiles
+from repro.experiment import MonitoringResult
+from repro.report.paperdata import PAPER
+from repro.report.tables import render_comparison
+from repro.traces.columnar import ColumnarTrace
+
+__all__ = ["ExperimentReport", "generate_report"]
+
+
+@dataclass
+class ExperimentReport:
+    """All analyses of one monitoring run, plus rendering helpers."""
+
+    result: MonitoringResult
+    trace: ColumnarTrace
+    pairs: PairwiseCpu
+    main: MainResults
+    buckets: SessionBuckets
+    forgotten: ForgottenStats
+    availability: AvailabilitySeries
+    ratios: UptimeRatios
+    sessions: MachineSessions
+    smart: SmartStats
+    weekly: WeeklyProfiles
+    equivalence: EquivalenceResult
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def scale_rows(self) -> List[Tuple]:
+        """Headline scale numbers (section 5 intro)."""
+        coord = self.result.coordinator
+        return [
+            ("iterations run", PAPER.iterations, coord.iterations_run),
+            ("samples collected", PAPER.samples, len(self.trace)),
+            ("response rate %", 100 * PAPER.response_rate, 100 * coord.response_rate),
+        ]
+
+    @cached_property
+    def table2_rows(self) -> List[Tuple]:
+        """Table 2, flattened to (metric, paper, measured) rows."""
+        rows: List[Tuple] = []
+        classes = (("no_login", self.main.no_login), ("with_login", self.main.with_login),
+                   ("both", self.main.both))
+        for key, row in classes:
+            rows.extend(
+                [
+                    (f"uptime % [{key}]", PAPER.t2_uptime_pct[key], row.uptime_pct),
+                    (f"CPU idle % [{key}]", PAPER.t2_cpu_idle_pct[key], row.cpu_idle_pct),
+                    (f"RAM load % [{key}]", PAPER.t2_ram_load_pct[key], row.ram_load_pct),
+                    (f"swap load % [{key}]", PAPER.t2_swap_load_pct[key], row.swap_load_pct),
+                    (f"disk used GB [{key}]", PAPER.t2_disk_used_gb[key], row.disk_used_gb),
+                    (f"sent bps [{key}]", PAPER.t2_sent_bps[key], row.sent_bps),
+                    (f"recv bps [{key}]", PAPER.t2_recv_bps[key], row.recv_bps),
+                ]
+            )
+        return rows
+
+    @cached_property
+    def fig2_rows(self) -> List[Tuple]:
+        first = first_bucket_above(self.buckets)
+        return [
+            ("first hour with idleness >= 99%", PAPER.fig2_first_hour_above_99, first),
+            (
+                "forgotten fraction of login samples",
+                PAPER.forgotten_fraction_of_login,
+                self.forgotten.forgotten_fraction,
+            ),
+        ]
+
+    @cached_property
+    def fig3_rows(self) -> List[Tuple]:
+        return [
+            ("avg powered-on machines", PAPER.fig3_avg_powered_on,
+             self.availability.avg_powered_on),
+            ("avg user-free machines", PAPER.fig3_avg_user_free,
+             self.availability.avg_user_free),
+        ]
+
+    @cached_property
+    def fig4_rows(self) -> List[Tuple]:
+        s = self.ratios.summary()
+        hist = self.sessions.length_histogram()
+        return [
+            ("machines with uptime ratio > 0.5", PAPER.fig4_above_05, s["above_0.5"]),
+            ("machines with uptime ratio > 0.8", PAPER.fig4_above_08_max, s["above_0.8"]),
+            ("machines with uptime ratio > 0.9", PAPER.fig4_above_09, s["above_0.9"]),
+            ("detected machine sessions/day/machine",
+             PAPER.machine_sessions / PAPER.n_machines / PAPER.days,
+             len(self.sessions) / self.trace.meta.n_machines
+             / (self.trace.meta.horizon / 86400.0)),
+            ("session mean length h", PAPER.session_mean_h,
+             self.sessions.mean_length / 3600.0),
+            ("session std length h", PAPER.session_std_h,
+             self.sessions.std_length / 3600.0),
+            ("share of sessions <= 96 h", PAPER.sessions_le_96h_share,
+             float(hist["sessions_share"][0])),
+            ("share of uptime <= 96 h", PAPER.uptime_le_96h_share,
+             float(hist["uptime_share"][0])),
+        ]
+
+    @cached_property
+    def smart_rows(self) -> List[Tuple]:
+        return [
+            ("power cycles / machine / day", PAPER.smart_cycles_per_day,
+             self.smart.cycles_per_day),
+            ("cycle excess over detected sessions", PAPER.smart_cycle_excess,
+             self.smart.cycle_excess_over_sessions(len(self.sessions))),
+            ("uptime per cycle h (experiment)", PAPER.uptime_per_cycle_h,
+             self.smart.uptime_per_cycle_h_mean),
+            ("uptime per cycle h (whole life)", PAPER.life_uptime_per_cycle_h,
+             self.smart.life_uptime_per_cycle_h_mean),
+            ("whole-life std h", PAPER.life_uptime_per_cycle_std_h,
+             self.smart.life_uptime_per_cycle_h_std),
+        ]
+
+    @cached_property
+    def fig5_rows(self) -> List[Tuple]:
+        dip_hour, dip_val = self.weekly.minimum_idleness()
+        ram_floor = float(np.nanmin(self.weekly.ram_load_pct))
+        sent = self.weekly.sent_bps
+        recv = self.weekly.recv_bps
+        valid = np.isfinite(sent) & np.isfinite(recv) & (sent > 0)
+        recv_over_sent = float(np.nanmean(recv[valid] / sent[valid]))
+        return [
+            ("deepest weekly idleness dip %", PAPER.fig5_tuesday_dip_below_pct, dip_val),
+            ("dip falls on Tuesday (weekday idx)", 1, int(dip_hour // 24)),
+            ("RAM load floor %", PAPER.fig5_ram_floor_pct, ram_floor),
+            ("recv/sent rate ratio", PAPER.t2_recv_bps["both"] / PAPER.t2_sent_bps["both"],
+             recv_over_sent),
+        ]
+
+    @cached_property
+    def fig6_rows(self) -> List[Tuple]:
+        eq = self.equivalence
+        return [
+            ("cluster equivalence ratio", PAPER.equivalence_total, eq.ratio_total),
+            ("occupied contribution", PAPER.equivalence_occupied, eq.ratio_occupied),
+            ("user-free contribution", PAPER.equivalence_free, eq.ratio_free),
+        ]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the full paper-vs-measured report as text."""
+        parts = [
+            render_comparison(self.scale_rows, title="Experiment scale (section 5)"),
+            render_comparison(self.table2_rows, title="Table 2: main results"),
+            render_comparison(self.fig2_rows, title="Fig 2: forgotten sessions"),
+            render_comparison(self.fig3_rows, title="Fig 3: availability"),
+            render_comparison(self.fig4_rows, title="Fig 4: uptime & stability"),
+            render_comparison(self.smart_rows, title="Section 5.2.2: SMART"),
+            render_comparison(self.fig5_rows, title="Fig 5: weekly profiles"),
+            render_comparison(self.fig6_rows, title="Fig 6: cluster equivalence"),
+        ]
+        return "\n\n".join(parts)
+
+
+def generate_report(result: MonitoringResult) -> ExperimentReport:
+    """Compute every analysis of a finished run, sharing intermediates."""
+    trace = result.trace
+    pairs = pairwise_cpu(trace)
+    return ExperimentReport(
+        result=result,
+        trace=trace,
+        pairs=pairs,
+        main=compute_main_results(trace, pairs=pairs),
+        buckets=relative_hour_buckets(trace, pairs),
+        forgotten=forgotten_stats(trace),
+        availability=machines_on_series(trace),
+        ratios=uptime_ratios(trace),
+        sessions=detect_machine_sessions(trace),
+        smart=smart_power_cycle_stats(trace),
+        weekly=weekly_profiles(trace, pairs),
+        equivalence=cluster_equivalence(trace, pairs=pairs),
+    )

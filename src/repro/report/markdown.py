@@ -1,0 +1,72 @@
+"""Markdown rendering of comparison reports.
+
+EXPERIMENTS.md-style output: the same ``(metric, paper, measured)`` rows
+the text renderer consumes, emitted as GitHub-flavoured Markdown tables
+with a deviation column.  Used by the CLI's ``report --markdown`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.report.tables import fmt
+
+__all__ = ["markdown_table", "markdown_comparison", "markdown_report"]
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, ndigits: int = 2
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    head = "| " + " | ".join(headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = []
+    for row in rows:
+        cells = [fmt(c, ndigits) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError("row width does not match headers")
+        body.append("| " + " | ".join(cells) + " |")
+    return "\n".join([head, sep, *body])
+
+
+def markdown_comparison(
+    rows: Sequence[tuple], *, title: Optional[str] = None, ndigits: int = 2
+) -> str:
+    """Render ``(metric, paper, measured)`` rows as a Markdown section."""
+    table_rows = []
+    for metric, paper, measured in rows:
+        if paper is None or measured is None:
+            dev = "—"
+        elif isinstance(paper, (int, float)) and float(paper) != 0.0:
+            dev = f"{100.0 * (float(measured) - float(paper)) / abs(float(paper)):+.1f}%"
+        else:
+            dev = f"{float(measured) - float(paper):+.3g}"
+        table_rows.append((metric, paper, measured, dev))
+    table = markdown_table(
+        ["metric", "paper", "measured", "deviation"], table_rows, ndigits=ndigits
+    )
+    if title:
+        return f"## {title}\n\n{table}"
+    return table
+
+
+def markdown_report(report) -> str:
+    """Full paper-vs-measured report as Markdown.
+
+    ``report`` is an :class:`~repro.report.experiments.ExperimentReport`.
+    """
+    sections = [
+        ("Experiment scale (section 5)", report.scale_rows),
+        ("Table 2: main results", report.table2_rows),
+        ("Fig 2: forgotten sessions", report.fig2_rows),
+        ("Fig 3: availability", report.fig3_rows),
+        ("Fig 4: uptime & stability", report.fig4_rows),
+        ("Section 5.2.2: SMART", report.smart_rows),
+        ("Fig 5: weekly profiles", report.fig5_rows),
+        ("Fig 6: cluster equivalence", report.fig6_rows),
+    ]
+    parts = ["# Paper vs. measured\n"]
+    parts.extend(markdown_comparison(rows, title=title) for title, rows in sections)
+    return "\n\n".join(parts) + "\n"

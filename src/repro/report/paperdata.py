@@ -1,0 +1,149 @@
+"""The paper's published numbers, as structured constants.
+
+Everything the evaluation section reports is transcribed here so that
+benchmarks and EXPERIMENTS.md compare measured values against the same
+source of truth.  Section references are to *Resource Usage of Windows
+Computer Laboratories* (Domingues, Marques & Silva, ICPP 2005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["PaperNumbers", "PAPER"]
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """All headline numbers of the paper's evaluation."""
+
+    # -- experiment scale (sections 4, 5) ------------------------------
+    n_machines: int = 169
+    n_labs: int = 11
+    days: int = 77
+    sample_period_min: float = 15.0
+    iterations: int = 6883
+    samples: int = 583653
+    login_samples_raw: int = 277513
+    forgotten_samples: int = 87830
+    forgotten_threshold_h: float = 10.0
+
+    # -- Table 2 (by login state, after reclassification) --------------
+    #: samples per class: no-login / with-login / both
+    t2_samples: Mapping[str, int] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 393970, "with_login": 189683, "both": 583653}
+        )
+    )
+    t2_uptime_pct: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 33.9, "with_login": 16.3, "both": 50.2}
+        )
+    )
+    t2_cpu_idle_pct: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 99.7, "with_login": 94.2, "both": 97.9}
+        )
+    )
+    t2_ram_load_pct: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 54.8, "with_login": 67.6, "both": 58.9}
+        )
+    )
+    t2_swap_load_pct: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 25.7, "with_login": 32.8, "both": 28.0}
+        )
+    )
+    t2_disk_used_gb: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 13.6, "with_login": 13.6, "both": 13.6}
+        )
+    )
+    t2_sent_bps: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 255.3, "with_login": 2601.8, "both": 1071.9}
+        )
+    )
+    t2_recv_bps: Mapping[str, float] = field(
+        default_factory=lambda: MappingProxyType(
+            {"no_login": 359.2, "with_login": 8662.1, "both": 3057.9}
+        )
+    )
+
+    # -- Table 1 fleet totals (section 4.1) ----------------------------
+    total_ram_gb: float = 56.62
+    total_disk_tb: float = 6.66
+    avg_nbench_int: float = 25.5
+    avg_nbench_fp: float = 24.6
+
+    # -- Fig 2 (section 4.2) -------------------------------------------
+    fig2_first_hour_above_99: int = 10
+
+    # -- Fig 3 (section 5.1) -------------------------------------------
+    fig3_avg_powered_on: float = 84.87
+    fig3_avg_user_free: float = 57.29
+
+    # -- Fig 4 left (section 5.1) ---------------------------------------
+    fig4_above_05: int = 30
+    fig4_above_08_max: int = 10   # "less than 10"
+    fig4_above_09: int = 0
+
+    # -- Fig 4 right / section 5.2.1 -------------------------------------
+    machine_sessions: int = 10688
+    session_mean_h: float = 15.92       # 15 h 55 m
+    session_std_h: float = 26.65
+    sessions_le_96h_share: float = 0.987
+    uptime_le_96h_share: float = 0.8793
+
+    # -- section 5.2.2 (SMART) -------------------------------------------
+    smart_cycles: int = 13871
+    smart_cycles_per_machine: float = 82.57
+    smart_cycles_per_machine_std: float = 37.05
+    smart_cycles_per_day: float = 1.07
+    smart_cycle_excess: float = 0.30    # "30% higher than machine sessions"
+    uptime_per_cycle_h: float = 13.9    # 13 h 54 m
+    uptime_per_cycle_std_h: float = 8.0
+    life_uptime_per_cycle_h: float = 6.46
+    life_uptime_per_cycle_std_h: float = 4.78
+
+    # -- Fig 5 (section 5.3) ---------------------------------------------
+    fig5_tuesday_dip_below_pct: float = 91.0
+    fig5_min_idleness_pct: float = 90.0   # "never drops below 90%"
+    fig5_ram_floor_pct: float = 50.0      # "RAM load never falls below 50%"
+
+    # -- Fig 6 (section 5.4) ----------------------------------------------
+    equivalence_total: float = 0.51
+    equivalence_occupied: float = 0.26
+    equivalence_free: float = 0.25
+
+    # -- comparisons quoted from related work ------------------------------
+    heap_windows_server_idle_pct: float = 95.0
+    heap_unix_server_idle_pct: float = 85.0
+    bolosky_corporate_cpu_usage_pct: float = 15.0
+
+    @property
+    def attempts(self) -> int:
+        """Probe attempts = iterations x machines (1,163,227)."""
+        return self.iterations * self.n_machines
+
+    @property
+    def response_rate(self) -> float:
+        """Samples / attempts (50.2%)."""
+        return self.samples / self.attempts
+
+    @property
+    def raw_login_share(self) -> float:
+        """Raw login samples / collected samples (47.5%)."""
+        return self.login_samples_raw / self.samples
+
+    @property
+    def forgotten_fraction_of_login(self) -> float:
+        """Forgotten samples / raw login samples (31.6%)."""
+        return self.forgotten_samples / self.login_samples_raw
+
+
+#: Singleton instance used throughout benches and reports.
+PAPER = PaperNumbers()

@@ -1,0 +1,82 @@
+"""Figure series export: text sparklines and CSV.
+
+The paper's figures are line plots; in a terminal-first reproduction we
+render each series as a Unicode sparkline (for eyeballing shape) and
+export exact values as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_sparkline", "series_to_csv"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    values: Sequence[float] | np.ndarray,
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render a series as a Unicode sparkline.
+
+    NaNs render as spaces.  ``lo``/``hi`` pin the scale (useful when
+    comparing two sparklines); ``width`` downsamples by averaging.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("sparkline takes a 1-D series")
+    if width is not None and width > 0 and arr.size > width:
+        # average consecutive chunks
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [np.nanmean(arr[a:b]) if b > a else np.nan for a, b in zip(edges, edges[1:])]
+        )
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    vlo = float(finite.min()) if lo is None else float(lo)
+    vhi = float(finite.max()) if hi is None else float(hi)
+    span = vhi - vlo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_BARS[4])
+            continue
+        k = int(round((v - vlo) / span * (len(_BARS) - 2))) + 1
+        out.append(_BARS[max(1, min(len(_BARS) - 1, k))])
+    return "".join(out)
+
+
+def series_to_csv(
+    columns: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    float_format: str = "%.6g",
+) -> str:
+    """Serialise named, equal-length series as CSV text."""
+    if not columns:
+        raise ValueError("series_to_csv needs at least one column")
+    names = list(columns)
+    arrays = [np.asarray(columns[n], dtype=float) for n in names]
+    n = arrays[0].shape[0]
+    if any(a.shape != (n,) for a in arrays):
+        raise ValueError("all series must be 1-D with equal length")
+    buf = io.StringIO()
+    buf.write(",".join(names) + "\n")
+    for k in range(n):
+        buf.write(
+            ",".join(
+                "" if not np.isfinite(a[k]) else float_format % a[k] for a in arrays
+            )
+            + "\n"
+        )
+    return buf.getvalue()

@@ -1,0 +1,88 @@
+"""Fixed-width ASCII table rendering.
+
+Small, dependency-free table formatter used by the benchmark harness and
+the examples to print paper-style tables and paper-vs-measured
+comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "render_comparison", "fmt"]
+
+Cell = Union[str, int, float, None]
+
+
+def fmt(value: Cell, ndigits: int = 2) -> str:
+    """Format one cell: floats rounded, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-width text table.
+
+    >>> t = Table(["lab", "cpu"])
+    >>> t.add_row(["L01", "P4 2.4"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    lab | cpu
+    ----+-------
+    L01 | P4 2.4
+    """
+
+    def __init__(self, headers: Sequence[str], *, ndigits: int = 2):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = list(headers)
+        self.ndigits = ndigits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; must match the header width."""
+        row = [fmt(c, self.ndigits) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as fixed-width text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        sep = "-+-".join("-" * w for w in widths)
+        return "\n".join([line(self.headers), sep, *map(line, self.rows)])
+
+
+def render_comparison(
+    rows: Sequence[tuple],
+    *,
+    title: Optional[str] = None,
+    ndigits: int = 2,
+) -> str:
+    """Render ``(metric, paper, measured)`` rows with a deviation column.
+
+    Deviation is relative when the paper value is nonzero, absolute
+    otherwise.  This is the canonical output format of every bench.
+    """
+    table = Table(["metric", "paper", "measured", "deviation"], ndigits=ndigits)
+    for metric, paper, measured in rows:
+        if paper is None or measured is None:
+            dev = "-"
+        elif isinstance(paper, (int, float)) and float(paper) != 0.0:
+            dev = f"{100.0 * (float(measured) - float(paper)) / abs(float(paper)):+.1f}%"
+        else:
+            dev = f"{float(measured) - float(paper):+.3g}"
+        table.add_row([metric, paper, measured, dev])
+    body = table.render()
+    if title:
+        return f"{title}\n{'=' * len(title)}\n{body}"
+    return body

@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides everything needed to *replay* an academic Windows
+classroom environment in simulated time:
+
+- :mod:`repro.sim.engine` -- the generic discrete-event engine,
+- :mod:`repro.sim.random` -- deterministic per-component RNG streams,
+- :mod:`repro.sim.calendar` -- the academic calendar (opening hours,
+  class timetable, weekends),
+- :mod:`repro.sim.behavior` -- stochastic user behaviour (arrivals,
+  session durations, forgotten logouts),
+- :mod:`repro.sim.power` -- machine power on/off policies,
+- :mod:`repro.sim.workload` -- resource usage profiles per activity state,
+- :mod:`repro.sim.fleet` -- the orchestrating fleet simulator.
+"""
+
+from repro.sim.engine import Event, EventHandle, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.calendar import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    AcademicCalendar,
+    ClassBlock,
+    SimClock,
+)
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "RandomStreams",
+    "SimClock",
+    "AcademicCalendar",
+    "ClassBlock",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+]

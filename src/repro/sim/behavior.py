@@ -1,0 +1,243 @@
+"""Stochastic user behaviour: who sits at a machine, and for how long.
+
+The behaviour model plans, for each machine and each day, a list of
+*intended uses* (:class:`PlannedUse`):
+
+- **class attendance** -- during each timetabled class block of the
+  machine's lab, the machine is taken with probability
+  ``class_occupancy``; the CPU-heavy Tuesday class is inherited from the
+  block;
+- **walk-in usage** -- outside class blocks, students arrive at the
+  machine following a non-homogeneous Poisson process whose intensity
+  follows the daily demand profile (mornings/afternoons busy, nights and
+  Saturdays quiet, Sundays closed), with log-normal session durations.
+
+The *forget-to-logout* behaviour of section 4.2 is also decided here:
+with probability ``p_forget`` the user walks away leaving the session
+open; the session then lingers until the machine is powered off or the
+next user logs it out, producing the >= 10 h "ghost" sessions the paper
+had to filter out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import BehaviorParams
+from repro.machines.hardware import MachineSpec
+from repro.sim.calendar import DAY, HOUR, MINUTE, AcademicCalendar
+
+__all__ = ["PlannedUse", "BehaviorModel", "DEMAND_PROFILE"]
+
+
+#: Relative walk-in intensity by hour of day (index = hour).  Zero outside
+#: opening hours by construction; the early-morning 0-4 h band is the thin
+#: tail of night-owl usage the paper's Fig 5 shows.
+DEMAND_PROFILE: np.ndarray = np.array(
+    [
+        0.12, 0.08, 0.05, 0.03,   # 00-04  (pre-closure trickle)
+        0.0, 0.0, 0.0, 0.0,       # 04-08  closed
+        0.75, 1.0, 1.0, 1.0,      # 08-12  morning peak
+        0.8, 0.8,                 # 12-14  lunch dip
+        1.0, 1.0, 1.0, 0.95,      # 14-18  afternoon peak
+        0.8, 0.7, 0.55, 0.4,      # 18-22  evening decline
+        0.3, 0.2,                 # 22-24  night
+    ]
+)
+
+
+@dataclass(frozen=True)
+class PlannedUse:
+    """One intended occupation of a machine by a student.
+
+    Attributes
+    ----------
+    start:
+        Absolute arrival time.
+    duration:
+        Intended active use, seconds (actual use may be truncated by the
+        fleet when the machine is taken or the lab closes).
+    kind:
+        ``"class"`` or ``"walkin"``.
+    heavy:
+        CPU-heavy class workload flag.
+    forget:
+        The user will leave without logging out at the end of the use.
+    """
+
+    start: float
+    duration: float
+    kind: str
+    heavy: bool = False
+    forget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("planned use must have positive duration")
+        if self.kind not in ("class", "walkin"):
+            raise ValueError(f"unknown use kind {self.kind!r}")
+
+    @property
+    def end(self) -> float:
+        """Intended end of active use."""
+        return self.start + self.duration
+
+
+class BehaviorModel:
+    """Generates per-machine daily usage plans.
+
+    Parameters
+    ----------
+    params:
+        Calibrated behaviour constants.
+    calendar:
+        The academic calendar providing opening hours and the timetable.
+    """
+
+    def __init__(self, params: BehaviorParams, calendar: AcademicCalendar):
+        self.params = params
+        self.calendar = calendar
+
+    # ------------------------------------------------------------------
+    def machine_popularity(
+        self, lab_multiplier: float, rng: np.random.Generator
+    ) -> float:
+        """Draw a machine's stable demand multiplier.
+
+        Demand is heterogeneous at two levels: labs serve different
+        curricula (some are busy daily, others see one class a week), and
+        within a lab the machines by the door are taken before the ones in
+        the corner.  This heterogeneity is what produces Fig. 4's shape:
+        most machines below 0.5 cumulated uptime ratio while the fleet
+        average stays ~0.5.
+        """
+        machine_mult = float(rng.lognormal(-0.02, 0.20))  # mean 1.0
+        return float(np.clip(lab_multiplier * machine_mult, 0.05, 4.0))
+
+    def lab_demand_multiplier(self, rng: np.random.Generator) -> float:
+        """Draw a lab-level demand multiplier (mean 1.0)."""
+        return float(rng.lognormal(-0.01, 0.12))
+
+    def plan_day(
+        self,
+        spec: MachineSpec,
+        day: int,
+        rng: np.random.Generator,
+        popularity: float = 1.0,
+    ) -> List[PlannedUse]:
+        """Plan all intended uses of ``spec`` starting on day ``day``.
+
+        A weekday's plan covers arrivals in ``[08:00, 04:00 + 1 day)``
+        (the full opening period that *starts* that day), so plans never
+        overlap across days.  ``popularity`` scales both class attendance
+        and walk-in intensity (see :meth:`machine_popularity`).
+        """
+        clock = self.calendar.clock
+        wd = (day + clock.epoch_weekday) % 7
+        demand = self.params.weekday_demand[wd]
+        if demand <= 0.0:
+            return []
+        uses: List[PlannedUse] = []
+        uses.extend(self._class_uses(spec, day, rng, popularity))
+        uses.extend(self._walkin_uses(spec, day, wd, demand * popularity, rng))
+        uses.sort(key=lambda u: u.start)
+        return uses
+
+    # ------------------------------------------------------------------
+    def _class_uses(
+        self,
+        spec: MachineSpec,
+        day: int,
+        rng: np.random.Generator,
+        popularity: float = 1.0,
+    ) -> List[PlannedUse]:
+        """Class-block attendance for the machine's lab."""
+        out: List[PlannedUse] = []
+        occupancy = min(0.95, self.params.class_occupancy * popularity)
+        for block in self.calendar.blocks_for_day(spec.lab, day):
+            # The CPU-heavy practical is a taught class with enrolled
+            # students: attendance is high regardless of the machine's
+            # walk-in popularity (that is what makes the Tuesday dip of
+            # Fig 5 so sharp).
+            p_attend = 0.70 if block.cpu_heavy else occupancy
+            if rng.random() >= p_attend:
+                continue
+            # Students trickle in during the first minutes and pack up a
+            # little before the end.
+            start = block.start + float(rng.uniform(0.0, 10 * MINUTE))
+            end = block.end - float(rng.uniform(0.0, 8 * MINUTE))
+            if end <= start:
+                continue
+            out.append(
+                PlannedUse(
+                    start=start,
+                    duration=end - start,
+                    kind="class",
+                    heavy=block.cpu_heavy,
+                    forget=rng.random() < self.params.p_forget * 0.5,
+                )
+            )
+        return out
+
+    def _walkin_uses(
+        self,
+        spec: MachineSpec,
+        day: int,
+        weekday: int,
+        demand: float,
+        rng: np.random.Generator,
+    ) -> List[PlannedUse]:
+        """Poisson walk-in arrivals over the day's opening period."""
+        del spec
+        clock = self.calendar.clock
+        open_t = clock.at(day, self.calendar.OPEN_HOUR)
+        if weekday == 5:
+            close_t = clock.at(day, self.calendar.SATURDAY_CLOSE_HOUR)
+        else:
+            close_t = clock.at(day + 1, self.calendar.CLOSE_HOUR)
+        base_rate = demand / self.params.walkin_mean_gap  # arrivals per second
+        out: List[PlannedUse] = []
+        t = open_t
+        # Thinning algorithm for the non-homogeneous Poisson process.
+        while True:
+            t += float(rng.exponential(1.0 / base_rate))
+            if t >= close_t:
+                break
+            hour = int(clock.second_of_day(t) // HOUR) % 24
+            if rng.random() >= DEMAND_PROFILE[hour]:
+                continue
+            duration = self._session_duration(rng)
+            duration = min(duration, close_t - t)
+            if duration < self.params.session_min:
+                continue
+            out.append(
+                PlannedUse(
+                    start=t,
+                    duration=duration,
+                    kind="walkin",
+                    heavy=False,
+                    forget=rng.random() < self.params.p_forget,
+                )
+            )
+        return out
+
+    def _session_duration(self, rng: np.random.Generator) -> float:
+        """Log-normal session duration, clipped to credible bounds."""
+        p = self.params
+        d = float(rng.lognormal(np.log(p.session_median), p.session_sigma))
+        return float(np.clip(d, p.session_min, p.session_max))
+
+    # ------------------------------------------------------------------
+    def expected_walkins_per_day(self, weekday: int) -> float:
+        """Analytic expectation of walk-in count (used by tests)."""
+        demand = self.params.weekday_demand[weekday]
+        if demand <= 0:
+            return 0.0
+        open_h = 8
+        close_h = 21 if weekday == 5 else 28  # 04:00 next day
+        hours = np.arange(open_h, close_h)
+        weights = DEMAND_PROFILE[hours % 24]
+        return float(demand / (self.params.walkin_mean_gap / HOUR) * weights.sum())

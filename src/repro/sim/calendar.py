@@ -1,0 +1,325 @@
+"""Simulation time base and the academic calendar.
+
+Time convention
+---------------
+Simulation time is a float number of **seconds** since the start of the
+monitoring experiment, which by convention is **Monday 00:00**.  The paper's
+experiment spans 77 consecutive days (11 whole weeks), so the default
+horizon is ``77 * DAY``.
+
+Opening hours (section 4.2 of the paper)
+----------------------------------------
+Classrooms are open 20 hours per weekday, closing only from 04:00 to 08:00.
+On weekends the closure extends from **Saturday 21:00 to Monday 08:00**;
+Saturdays themselves are open (08:00-21:00).  A weekday's opening period
+therefore runs from 08:00 until 04:00 *of the following day*.
+
+The calendar also owns the weekly **class timetable**: per-lab blocks of
+taught classes during which most machines are occupied by students.  One
+distinguished block reproduces the paper's observation of a Tuesday
+afternoon class that consumed ~50% CPU (Fig. 5's dip below 91% idleness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "WEEKDAY_NAMES",
+    "SimClock",
+    "ClassBlock",
+    "AcademicCalendar",
+]
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+WEEK: float = 7 * DAY
+
+#: Weekday names indexed by ``SimClock.weekday`` (0 = Monday).
+WEEKDAY_NAMES: Tuple[str, ...] = (
+    "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun",
+)
+
+
+class SimClock:
+    """Stateless conversions between simulation seconds and calendar units.
+
+    All methods are ``staticmethod``-like but kept on an instantiable class
+    so alternative epochs (e.g. an experiment starting mid-week) can be
+    modelled by subclassing with an ``offset``.
+
+    Parameters
+    ----------
+    epoch_weekday:
+        Weekday of ``t = 0`` (0 = Monday).  The paper's plots label Mondays
+        on the x axis, so the default epoch is a Monday.
+    """
+
+    def __init__(self, epoch_weekday: int = 0):
+        if not 0 <= epoch_weekday <= 6:
+            raise ValueError(f"epoch_weekday must be in [0, 6], got {epoch_weekday}")
+        self.epoch_weekday = int(epoch_weekday)
+
+    def day(self, t: float) -> int:
+        """Day index (0-based) containing time ``t``."""
+        return int(np.floor(t / DAY))
+
+    def weekday(self, t: float) -> int:
+        """Weekday of ``t`` (0 = Monday ... 6 = Sunday)."""
+        return (self.day(t) + self.epoch_weekday) % 7
+
+    def week(self, t: float) -> int:
+        """Week index (0-based) containing ``t``."""
+        return self.day(t) // 7
+
+    def second_of_day(self, t: float) -> float:
+        """Seconds elapsed since the most recent midnight."""
+        return float(t - self.day(t) * DAY)
+
+    def second_of_week(self, t: float) -> float:
+        """Seconds elapsed since the most recent Monday 00:00."""
+        return self.weekday(t) * DAY + self.second_of_day(t)
+
+    def is_weekend(self, t: float) -> bool:
+        """True on Saturdays and Sundays."""
+        return self.weekday(t) >= 5
+
+    def day_start(self, day: int) -> float:
+        """Absolute time of 00:00 on day index ``day``."""
+        return day * DAY
+
+    def at(self, day: int, hour: float, minute: float = 0.0) -> float:
+        """Absolute time of ``hour:minute`` on day index ``day``."""
+        return day * DAY + hour * HOUR + minute * MINUTE
+
+    def label(self, t: float) -> str:
+        """Human-readable ``'D12 Tue 14:30'`` label for time ``t``."""
+        d = self.day(t)
+        sod = self.second_of_day(t)
+        hh = int(sod // HOUR)
+        mm = int((sod % HOUR) // MINUTE)
+        return f"D{d:02d} {WEEKDAY_NAMES[self.weekday(t)]} {hh:02d}:{mm:02d}"
+
+
+@dataclass(frozen=True)
+class ClassBlock:
+    """A scheduled taught class occupying (most of) a lab.
+
+    Attributes
+    ----------
+    lab:
+        Lab name, e.g. ``"L03"``.
+    start, end:
+        Absolute simulation times bounding the class.
+    occupancy:
+        Expected fraction of the lab's machines taken by enrolled students.
+    cpu_heavy:
+        Whether the class runs a CPU-intensive workload (the paper's
+        anomalous Tuesday-afternoon class averaging ~50% CPU usage).
+    """
+
+    lab: str
+    start: float
+    end: float
+    occupancy: float = 0.85
+    cpu_heavy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("ClassBlock end must follow start")
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in [0, 1]")
+
+    @property
+    def duration(self) -> float:
+        """Length of the class in seconds."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether ``t`` falls inside the block (half-open interval)."""
+        return self.start <= t < self.end
+
+
+class AcademicCalendar:
+    """Opening hours plus a randomly generated weekly class timetable.
+
+    The timetable is generated once per (lab, weekday) pattern and repeated
+    every week of the experiment, matching how real semesters work.  Slots
+    are the classic two-hour teaching blocks; each (lab, weekday, slot) is
+    taught with probability ``class_density``.
+
+    Parameters
+    ----------
+    labs:
+        Lab names to build timetables for.
+    rng:
+        Generator used for timetable construction (timetables are part of
+        the scenario, so they come from a dedicated stream).
+    class_density:
+        Probability that a given two-hour slot hosts a class.
+    cpu_heavy_labs:
+        Number of labs that host the Tuesday-afternoon CPU-heavy class.
+    clock:
+        Time base; defaults to a Monday-epoch :class:`SimClock`.
+    """
+
+    #: Two-hour teaching slots, in hours since midnight (weekdays).
+    WEEKDAY_SLOTS: Tuple[Tuple[float, float], ...] = (
+        (8, 10), (10, 12), (14, 16), (16, 18), (18, 20), (20, 22),
+    )
+    #: Saturday slots (shorter teaching day: lab closes 21:00).
+    SATURDAY_SLOTS: Tuple[Tuple[float, float], ...] = ((9, 11), (11, 13), (14, 16))
+
+    OPEN_HOUR: float = 8.0       #: labs open at 08:00
+    CLOSE_HOUR: float = 4.0      #: overnight closure starts at 04:00
+    SATURDAY_CLOSE_HOUR: float = 21.0
+
+    def __init__(
+        self,
+        labs: Sequence[str],
+        rng: np.random.Generator,
+        *,
+        class_density: float = 0.45,
+        saturday_density: float = 0.15,
+        cpu_heavy_labs: int = 2,
+        clock: SimClock | None = None,
+    ):
+        if not 0.0 <= class_density <= 1.0:
+            raise ValueError("class_density must be in [0, 1]")
+        self.labs = list(labs)
+        self.clock = clock or SimClock()
+        self.class_density = float(class_density)
+        self.saturday_density = float(saturday_density)
+        # weekly pattern: {(lab, weekday): [(start_h, end_h, cpu_heavy), ...]}
+        self._pattern: dict[tuple[str, int], list[tuple[float, float, bool]]] = {}
+        heavy = set(
+            rng.choice(len(self.labs), size=min(cpu_heavy_labs, len(self.labs)),
+                       replace=False).tolist()
+        ) if self.labs else set()
+        for i, lab in enumerate(self.labs):
+            for wd in range(6):  # Mon..Sat
+                slots = self.SATURDAY_SLOTS if wd == 5 else self.WEEKDAY_SLOTS
+                density = self.saturday_density if wd == 5 else self.class_density
+                chosen: list[tuple[float, float, bool]] = []
+                for (h0, h1) in slots:
+                    if rng.random() < density:
+                        cpu_heavy = (i in heavy) and wd == 1 and h0 == 14
+                        chosen.append((h0, h1, cpu_heavy))
+                # Guarantee the CPU-heavy Tuesday class exists for heavy labs.
+                if i in heavy and wd == 1 and not any(c for *_, c in chosen):
+                    chosen = [c for c in chosen if c[0] != 14]
+                    chosen.append((14.0, 16.0, True))
+                    chosen.sort()
+                self._pattern[(lab, wd)] = chosen
+
+    # ------------------------------------------------------------------
+    # opening hours
+    # ------------------------------------------------------------------
+    def is_open(self, t: float) -> bool:
+        """Whether classrooms are open to users at time ``t``.
+
+        Implements: weekdays 08:00 -> 04:00(+1d); Saturday 08:00 -> 21:00;
+        closed all Sunday and until Monday 08:00.
+        """
+        wd = self.clock.weekday(t)
+        sod = self.clock.second_of_day(t)
+        if sod < self.CLOSE_HOUR * HOUR:
+            # Early morning belongs to the previous day's opening period.
+            prev_wd = (wd - 1) % 7
+            return prev_wd <= 4  # open only if yesterday was Mon-Fri
+        if wd <= 4:
+            return sod >= self.OPEN_HOUR * HOUR
+        if wd == 5:
+            return self.OPEN_HOUR * HOUR <= sod < self.SATURDAY_CLOSE_HOUR * HOUR
+        return False
+
+    def next_opening(self, t: float) -> float:
+        """Earliest time ``>= t`` at which classrooms are (still) open."""
+        # Scan at most two weeks in 1-minute steps would be wasteful; use
+        # the closed-form day structure instead.
+        probe = float(t)
+        for _ in range(15):  # at most ~15 candidate boundaries
+            if self.is_open(probe):
+                return probe
+            day = self.clock.day(probe)
+            sod = self.clock.second_of_day(probe)
+            open_t = self.clock.at(day, self.OPEN_HOUR)
+            if sod < self.OPEN_HOUR * HOUR and self.clock.weekday(open_t) <= 5:
+                probe = open_t
+                if self.is_open(probe):
+                    return probe
+            probe = self.clock.at(day + 1, self.OPEN_HOUR)
+        raise RuntimeError("next_opening found no opening in two weeks")  # pragma: no cover
+
+    def closing_time(self, t: float) -> float:
+        """End of the opening period containing ``t`` (``t`` must be open)."""
+        if not self.is_open(t):
+            raise ValueError(f"closing_time called at closed time {t}")
+        wd = self.clock.weekday(t)
+        day = self.clock.day(t)
+        sod = self.clock.second_of_day(t)
+        if sod < self.CLOSE_HOUR * HOUR:
+            return self.clock.at(day, self.CLOSE_HOUR)
+        if wd == 5:
+            return self.clock.at(day, self.SATURDAY_CLOSE_HOUR)
+        if wd == 4:
+            # Friday runs to Saturday 04:00.
+            return self.clock.at(day + 1, self.CLOSE_HOUR)
+        return self.clock.at(day + 1, self.CLOSE_HOUR)
+
+    def open_seconds_per_week(self) -> float:
+        """Total open time in one week (paper: 5x20h + 13h Saturday)."""
+        total = 0.0
+        t = 0.0
+        step = 15 * MINUTE
+        while t < WEEK:
+            if self.is_open(t):
+                total += step
+            t += step
+        return total
+
+    # ------------------------------------------------------------------
+    # class timetable
+    # ------------------------------------------------------------------
+    def weekly_pattern(self, lab: str, weekday: int) -> List[Tuple[float, float, bool]]:
+        """Raw weekly slots ``(start_hour, end_hour, cpu_heavy)`` for a lab."""
+        return list(self._pattern.get((lab, weekday), ()))
+
+    def blocks_for_day(self, lab: str, day: int) -> List[ClassBlock]:
+        """Materialised :class:`ClassBlock` list for ``lab`` on day ``day``."""
+        wd = (day + self.clock.epoch_weekday) % 7
+        out: List[ClassBlock] = []
+        for (h0, h1, heavy) in self._pattern.get((lab, wd), ()):
+            out.append(
+                ClassBlock(
+                    lab=lab,
+                    start=self.clock.at(day, h0),
+                    end=self.clock.at(day, h1),
+                    cpu_heavy=heavy,
+                )
+            )
+        return out
+
+    def blocks_between(self, lab: str, t0: float, t1: float) -> List[ClassBlock]:
+        """All class blocks of ``lab`` intersecting ``[t0, t1)``."""
+        out: List[ClassBlock] = []
+        for day in range(self.clock.day(t0), self.clock.day(t1) + 1):
+            for blk in self.blocks_for_day(lab, day):
+                if blk.end > t0 and blk.start < t1:
+                    out.append(blk)
+        return out
+
+    def cpu_heavy_blocks(self, t0: float, t1: float) -> List[ClassBlock]:
+        """All CPU-heavy blocks across labs in ``[t0, t1)``."""
+        out: List[ClassBlock] = []
+        for lab in self.labs:
+            out.extend(b for b in self.blocks_between(lab, t0, t1) if b.cpu_heavy)
+        return out

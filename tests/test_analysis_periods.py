@@ -1,0 +1,66 @@
+"""Tests for the open / night / weekend partition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.periods import partition_by_period, period_of_week_second
+from repro.sim.calendar import DAY, HOUR
+
+
+class TestClassification:
+    def test_weekday_daytime_is_open(self):
+        assert period_of_week_second(np.array([1 * DAY + 12 * HOUR]))[0] == 0
+
+    def test_weekday_overnight_before_4_is_open(self):
+        # Tuesday 02:00 belongs to Monday's opening period
+        assert period_of_week_second(np.array([1 * DAY + 2 * HOUR]))[0] == 0
+
+    def test_weekday_night_closure(self):
+        for day in range(1, 6):  # Tue..Sat 04:00-08:00
+            code = period_of_week_second(np.array([day * DAY + 5 * HOUR]))[0]
+            assert code == 1, day
+
+    def test_saturday_daytime_open(self):
+        assert period_of_week_second(np.array([5 * DAY + 12 * HOUR]))[0] == 0
+
+    def test_saturday_evening_weekend(self):
+        assert period_of_week_second(np.array([5 * DAY + 22 * HOUR]))[0] == 2
+
+    def test_sunday_weekend(self):
+        for h in (0, 6, 12, 23):
+            assert period_of_week_second(np.array([6 * DAY + h * HOUR]))[0] == 2
+
+    def test_monday_early_morning_weekend(self):
+        assert period_of_week_second(np.array([3 * HOUR]))[0] == 2
+
+    def test_wraps_across_weeks(self):
+        a = period_of_week_second(np.array([1 * DAY + 12 * HOUR]))
+        b = period_of_week_second(np.array([8 * DAY + 12 * HOUR]))
+        assert a[0] == b[0]
+
+
+class TestPartition:
+    @pytest.fixture(scope="class")
+    def slices(self, week_trace, week_pairs):
+        return partition_by_period(week_trace, week_pairs)
+
+    def test_partition_covers_everything(self, slices):
+        assert set(slices) == {"open", "night", "weekend"}
+        total = sum(s.sample_share for s in slices.values())
+        assert total == pytest.approx(1.0)
+
+    def test_open_hours_dominate_samples(self, slices):
+        assert slices["open"].sample_share > 0.6
+
+    def test_closed_periods_are_idler(self, slices):
+        # "apart from weekends and 4-8am, absolute idleness is limited"
+        assert slices["night"].cpu_idle_pct > slices["open"].cpu_idle_pct
+        assert slices["weekend"].cpu_idle_pct > slices["open"].cpu_idle_pct
+        assert slices["night"].cpu_idle_pct > 99.0
+
+    def test_open_hours_still_very_idle(self, slices):
+        # "even on working hours, idleness levels are quite high"
+        assert slices["open"].cpu_idle_pct > 95.0
+
+    def test_more_machines_on_during_open_hours(self, slices):
+        assert slices["open"].mean_powered_on > slices["weekend"].mean_powered_on

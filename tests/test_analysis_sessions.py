@@ -1,0 +1,140 @@
+"""Unit tests for session analysis (Fig 2, section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cpu import pairwise_cpu
+from repro.analysis.sessions import (
+    first_bucket_above,
+    forgotten_stats,
+    reconstruct_login_sessions,
+    relative_hour_buckets,
+)
+from repro.errors import AnalysisError
+from tests.test_analysis_cpu import build_trace
+from tests.test_store import make_sample
+
+
+class TestBuckets:
+    def test_bucketing_by_session_age(self):
+        samples = [make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=890.0)]
+        # three samples of one session, hourly after logon
+        for k in range(1, 4):
+            t = 900.0 + k * 3600.0
+            samples.append(
+                make_sample(0, t=t, uptime_s=t, cpu_idle_s=t * 0.97,
+                            session=True, session_start=900.0)
+            )
+        tr = build_trace(samples)
+        pairs = pairwise_cpu(tr, max_gap=3700.0)
+        buckets = relative_hour_buckets(tr, pairs, max_hours=6)
+        # ages at the three login samples: exactly 1 h, 2 h, 3 h
+        assert buckets.counts[0] == 0
+        assert buckets.counts[1] == 1
+        assert buckets.counts[2] == 1
+        assert buckets.counts[3] == 1
+        assert buckets.counts[4] == 0
+
+    def test_overflow_folds_into_last_bucket(self):
+        t0 = 900.0
+        t1 = t0 + 900.0
+        tr = build_trace([
+            make_sample(0, t=200_000.0, uptime_s=200_000.0, cpu_idle_s=1.0),
+            make_sample(0, t=200_900.0, uptime_s=200_900.0, cpu_idle_s=1.0,
+                        session=True, session_start=100.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        buckets = relative_hour_buckets(tr, pairs, max_hours=24)
+        assert buckets.counts[23] == 1
+
+    def test_no_login_samples_raises(self):
+        tr = build_trace([
+            make_sample(0, t=900.0),
+            make_sample(0, t=1800.0, uptime_s=1800.0),
+        ])
+        pairs = pairwise_cpu(tr)
+        with pytest.raises(AnalysisError):
+            relative_hour_buckets(tr, pairs)
+
+    def test_bad_max_hours(self, small_trace, small_pairs):
+        with pytest.raises(AnalysisError):
+            relative_hour_buckets(small_trace, small_pairs, max_hours=0)
+
+    def test_first_bucket_above(self):
+        from repro.analysis.sessions import SessionBuckets
+
+        b = SessionBuckets(
+            counts=np.array([5, 5, 5]),
+            idle_pct=np.array([95.0, 99.2, 99.5]),
+        )
+        assert first_bucket_above(b) == 1
+        assert first_bucket_above(b, level=99.9) is None
+
+    def test_full_run_gradient(self, week_trace, week_pairs):
+        buckets = relative_hour_buckets(week_trace, week_pairs)
+        # early buckets show real activity, late buckets are ghosts
+        assert buckets.idle_pct[0] < 97.0
+        late = np.nanmean(buckets.idle_pct[11:16])
+        assert late > 99.0
+        first = first_bucket_above(buckets)
+        assert first is not None
+        assert 6 <= first <= 13  # paper: hour 10
+
+    def test_hours_property(self, week_trace, week_pairs):
+        buckets = relative_hour_buckets(week_trace, week_pairs, max_hours=24)
+        assert list(buckets.hours[:3]) == [0.0, 1.0, 2.0]
+
+
+class TestForgottenStats:
+    def test_counting(self):
+        tr = build_trace([
+            make_sample(0, t=900.0, session=True, session_start=800.0),
+            make_sample(0, t=90_000.0, uptime_s=90_000.0, session=True,
+                        session_start=10_000.0),
+            make_sample(1, t=900.0),
+        ])
+        fs = forgotten_stats(tr)
+        assert fs.login_samples == 2
+        assert fs.forgotten_samples == 1
+        assert fs.occupied_samples == 1
+        assert fs.forgotten_fraction == 0.5
+
+    def test_full_run_fraction_in_paper_range(self, week_trace):
+        fs = forgotten_stats(week_trace)
+        # paper: 31.6% of login samples were forgotten
+        assert 0.15 < fs.forgotten_fraction < 0.45
+
+    def test_no_login_fraction_nan(self):
+        tr = build_trace([make_sample(0, t=900.0)])
+        assert np.isnan(forgotten_stats(tr).forgotten_fraction)
+
+
+class TestReconstruction:
+    def test_sessions_grouped_by_logon_time(self):
+        tr = build_trace([
+            make_sample(0, t=900.0, session=True, session_start=800.0),
+            make_sample(0, t=1800.0, uptime_s=1800.0, session=True,
+                        session_start=800.0),
+            make_sample(0, t=2700.0, uptime_s=2700.0, session=True,
+                        session_start=2650.0),
+            make_sample(1, t=900.0, session=True, session_start=800.0),
+        ])
+        sessions = reconstruct_login_sessions(tr)
+        assert len(sessions) == 3
+        s0 = sessions[0]
+        assert s0.n_samples == 2
+        assert s0.logon_time == 800.0
+        assert s0.observed_age == pytest.approx(1000.0)
+
+    def test_empty_when_no_sessions(self):
+        tr = build_trace([make_sample(0, t=900.0)])
+        assert reconstruct_login_sessions(tr) == []
+
+    def test_full_run_against_ground_truth(self, small_result):
+        trace = small_result.trace
+        rebuilt = reconstruct_login_sessions(trace)
+        truth = sum(len(m.session_log) for m in small_result.fleet.machines)
+        truth += sum(1 for m in small_result.fleet.machines if m.session)
+        # sampling misses sessions shorter than the period, never invents
+        assert 0 < len(rebuilt) <= truth
+        assert len(rebuilt) > 0.5 * truth

@@ -1,0 +1,77 @@
+"""Unit tests for analysis statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    availability_nines,
+    binned_mean,
+    histogram_share,
+    weighted_mean,
+)
+from repro.errors import AnalysisError
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean(np.array([1.0, 3.0]), np.array([1.0, 1.0])) == 2.0
+
+    def test_weights_matter(self):
+        assert weighted_mean(np.array([1.0, 3.0]), np.array([3.0, 1.0])) == 1.5
+
+    def test_zero_weight_raises(self):
+        with pytest.raises(AnalysisError):
+            weighted_mean(np.array([1.0]), np.array([0.0]))
+
+
+class TestNines:
+    def test_known_values(self):
+        assert availability_nines(0.9) == pytest.approx(1.0)
+        assert availability_nines(0.99) == pytest.approx(2.0)
+        assert availability_nines(0.0) == pytest.approx(0.0)
+
+    def test_perfect_availability_is_inf(self):
+        assert availability_nines(1.0) == np.inf
+
+    def test_array_input(self):
+        out = availability_nines(np.array([0.9, 0.99]))
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(AnalysisError):
+            availability_nines(-0.1)
+        with pytest.raises(AnalysisError):
+            availability_nines(np.array([0.5, 1.1]))
+
+
+class TestBinnedMean:
+    def test_basic(self):
+        means, counts = binned_mean(
+            np.array([0, 0, 1]), np.array([1.0, 3.0, 10.0]), 3
+        )
+        assert means[0] == 2.0
+        assert means[1] == 10.0
+        assert np.isnan(means[2])
+        assert list(counts) == [2.0, 1.0, 0.0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            binned_mean(np.array([0]), np.array([1.0, 2.0]), 2)
+
+    def test_out_of_range_bin_raises(self):
+        with pytest.raises(AnalysisError):
+            binned_mean(np.array([5]), np.array([1.0]), 3)
+
+
+class TestHistogramShare:
+    def test_counts_and_share(self):
+        values = np.array([1.0, 1.5, 5.0])
+        counts, share = histogram_share(values, np.array([0.0, 2.0, 10.0]))
+        assert list(counts) == [2, 1]
+        assert share[0] == pytest.approx(2.5 / 7.5)
+        assert share.sum() == pytest.approx(1.0)
+
+    def test_empty_values(self):
+        counts, share = histogram_share(np.array([]), np.array([0.0, 1.0]))
+        assert counts.sum() == 0
+        assert share.sum() == 0.0

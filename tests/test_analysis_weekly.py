@@ -1,0 +1,82 @@
+"""Unit + integration tests for weekly profiles (Fig 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.weekly import week_bin_index, weekly_profiles
+from repro.errors import AnalysisError
+from repro.sim.calendar import DAY, HOUR, WEEK
+
+
+class TestWeekBinIndex:
+    def test_fold_onto_week(self):
+        t = np.array([0.0, WEEK, WEEK + 3 * HOUR])
+        assert list(week_bin_index(t, HOUR)) == [0, 0, 3]
+
+    def test_bin_size_validation(self):
+        with pytest.raises(AnalysisError):
+            week_bin_index(np.array([0.0]), 0.0)
+        with pytest.raises(AnalysisError):
+            week_bin_index(np.array([0.0]), 2 * WEEK)
+
+
+class TestFullRunProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self, week_trace, week_pairs):
+        return weekly_profiles(week_trace, week_pairs)
+
+    def test_bin_count(self, profiles):
+        assert profiles.n_bins == 168  # hourly bins over one week
+
+    def test_night_closure_raises_idleness(self, profiles):
+        # Tuesday 05:00-07:00 (closed; survivors fully idle) vs Tuesday
+        # afternoon peak
+        night = np.nanmean(profiles.cpu_idle_pct[24 + 5:24 + 7])
+        afternoon = np.nanmean(profiles.cpu_idle_pct[24 + 15:24 + 17])
+        assert night > afternoon
+
+    def test_idleness_never_below_88(self, profiles):
+        # paper: never drops below 90% (weekly average); leave slack
+        assert np.nanmin(profiles.cpu_idle_pct) > 88.0
+
+    def test_tuesday_dip(self, profiles):
+        hour, value = profiles.minimum_idleness()
+        # the CPU-heavy class sits on Tuesday (hours 24-47), 14:00-16:00
+        assert 24 <= hour < 48
+        assert 38 <= hour <= 41
+        assert value < 96.0
+
+    def test_ram_floor_50pct(self, profiles):
+        assert np.nanmin(profiles.ram_load_pct) > 48.0
+
+    def test_swap_tracks_ram_attenuated(self, profiles):
+        valid = np.isfinite(profiles.ram_load_pct) & np.isfinite(profiles.swap_load_pct)
+        ram = profiles.ram_load_pct[valid]
+        swap = profiles.swap_load_pct[valid]
+        assert np.corrcoef(ram, swap)[0, 1] > 0.5
+        assert swap.std() < ram.std()
+
+    def test_recv_dominates_sent(self, profiles):
+        valid = np.isfinite(profiles.recv_bps) & np.isfinite(profiles.sent_bps)
+        assert profiles.recv_bps[valid].mean() > 2 * profiles.sent_bps[valid].mean()
+
+    def test_weekend_quieter_than_weekday(self, profiles):
+        wk = profiles.weekday_mask(1)   # Tuesday
+        sun = profiles.weekday_mask(6)  # Sunday
+        recv_wk = np.nansum(np.nan_to_num(profiles.recv_bps[wk]))
+        recv_sun = np.nansum(np.nan_to_num(profiles.recv_bps[sun]))
+        assert recv_wk > recv_sun
+
+    def test_sample_counts_follow_usage(self, profiles):
+        mon_noon = profiles.sample_counts[12]
+        sun_noon = profiles.sample_counts[6 * 24 + 12]
+        assert mon_noon > sun_noon
+
+    def test_weekday_mask(self, profiles):
+        m = profiles.weekday_mask(0)
+        assert m.sum() == 24
+        assert m[0] and m[23] and not m[24]
+
+    def test_custom_bins(self, week_trace, week_pairs):
+        p = weekly_profiles(week_trace, week_pairs, bin_seconds=DAY)
+        assert p.n_bins == 7

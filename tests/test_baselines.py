@@ -1,0 +1,103 @@
+"""Integration tests for the related-work baseline environments.
+
+Baselines run shortened (3-4 day) experiments; the assertions target the
+*orderings* the literature reports, not absolute levels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cpu import pairwise_cpu
+from repro.analysis.mainresults import compute_main_results
+from repro.baselines.comparison import summarize_run
+from repro.baselines.corporate import corporate_config, run_corporate_baseline
+from repro.baselines.servers import run_server_baseline, server_config
+from repro.baselines.unixlab import run_unixlab_baseline
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+
+
+@pytest.fixture(scope="module")
+def classroom():
+    return summarize_run("classroom", run_experiment(ExperimentConfig(days=4, seed=9)))
+
+
+@pytest.fixture(scope="module")
+def corporate():
+    return summarize_run("corporate", run_corporate_baseline(seed=9, days=4))
+
+
+@pytest.fixture(scope="module")
+def win_servers():
+    return summarize_run("win", run_server_baseline("windows", seed=9, days=4))
+
+
+@pytest.fixture(scope="module")
+def unix_servers():
+    return summarize_run("unix", run_server_baseline("unix", seed=9, days=4))
+
+
+@pytest.fixture(scope="module")
+def unixlab():
+    return summarize_run("unixlab", run_unixlab_baseline(seed=9, days=4))
+
+
+class TestCorporate:
+    def test_idleness_below_classroom(self, corporate, classroom):
+        # Bolosky: ~15% mean CPU usage vs the classrooms' ~2%
+        assert corporate.cpu_idle_pct < classroom.cpu_idle_pct
+
+    def test_idleness_roughly_bolosky(self, corporate):
+        assert 82.0 < corporate.cpu_idle_pct < 96.0
+
+    def test_uptime_above_classroom(self, corporate, classroom):
+        # owners and night owls keep corporate machines up more
+        assert corporate.uptime_pct > classroom.uptime_pct
+
+    def test_config_has_no_classes(self):
+        cfg = corporate_config(days=4)
+        assert cfg.behavior.class_density == 0.0
+        assert cfg.power.night_owl_fraction > 0.5
+
+
+class TestServers:
+    def test_always_on(self, win_servers, unix_servers):
+        assert win_servers.uptime_pct > 99.0
+        assert unix_servers.uptime_pct > 99.0
+
+    def test_heap_ordering(self, win_servers, unix_servers):
+        # Heap: Windows servers ~95% idle, Unix servers ~85%
+        assert win_servers.cpu_idle_pct > unix_servers.cpu_idle_pct
+        assert win_servers.cpu_idle_pct == pytest.approx(95.0, abs=2.5)
+        assert unix_servers.cpu_idle_pct == pytest.approx(85.0, abs=4.0)
+
+    def test_no_interactive_usage(self, win_servers):
+        assert np.isnan(win_servers.cpu_idle_occupied_pct)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_server_baseline("vms", days=1)
+
+    def test_server_config_power(self):
+        cfg = server_config(days=1)
+        assert cfg.power.p_off_at_close == 0.0
+
+
+class TestUnixLab:
+    def test_workstations_stay_on(self, unixlab, classroom):
+        assert unixlab.uptime_pct > 70.0
+        assert unixlab.uptime_pct > classroom.uptime_pct
+
+    def test_equivalence_above_classroom(self, unixlab, classroom):
+        # always-on fleets convert nearly all idleness into equivalence
+        assert unixlab.equivalence_ratio > classroom.equivalence_ratio
+
+
+class TestCrossEnvironment:
+    def test_classroom_near_two_to_one(self, classroom):
+        assert 0.35 < classroom.equivalence_ratio < 0.65
+
+    def test_servers_equivalence_tracks_idleness(self, win_servers):
+        assert win_servers.equivalence_ratio == pytest.approx(
+            win_servers.cpu_idle_pct / 100.0, abs=0.05
+        )

@@ -1,0 +1,130 @@
+"""Unit tests for the user behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.config import BehaviorParams
+from repro.machines.hardware import build_fleet
+from repro.sim.behavior import DEMAND_PROFILE, BehaviorModel, PlannedUse
+from repro.sim.calendar import DAY, HOUR, AcademicCalendar
+
+
+@pytest.fixture()
+def model(rng):
+    params = BehaviorParams()
+    cal = AcademicCalendar([f"L{i:02d}" for i in range(1, 12)], rng,
+                           class_density=params.class_density,
+                           saturday_density=params.saturday_density)
+    return BehaviorModel(params, cal)
+
+
+@pytest.fixture()
+def spec():
+    return build_fleet()[0]
+
+
+class TestPlannedUse:
+    def test_end_property(self):
+        u = PlannedUse(start=10.0, duration=5.0, kind="walkin")
+        assert u.end == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlannedUse(start=0.0, duration=0.0, kind="walkin")
+        with pytest.raises(ValueError):
+            PlannedUse(start=0.0, duration=1.0, kind="lecture")
+
+
+class TestPlanDay:
+    def test_sunday_is_empty(self, model, spec, rng):
+        assert model.plan_day(spec, 6, rng) == []
+
+    def test_plans_are_sorted(self, model, spec, rng):
+        for day in range(6):
+            uses = model.plan_day(spec, day, rng)
+            starts = [u.start for u in uses]
+            assert starts == sorted(starts)
+
+    def test_uses_fall_within_opening_period(self, model, spec, rng):
+        cal = model.calendar
+        for day in range(6):
+            for use in model.plan_day(spec, day, rng):
+                assert cal.is_open(use.start), (day, use)
+
+    def test_weekday_has_usage_on_average(self, model, spec, rng):
+        counts = [len(model.plan_day(spec, d, rng)) for d in range(5) for _ in range(10)]
+        assert np.mean(counts) > 0.5
+
+    def test_durations_respect_bounds(self, model, spec, rng):
+        p = model.params
+        for day in range(6):
+            for use in model.plan_day(spec, day, rng):
+                if use.kind == "walkin":
+                    assert p.session_min <= use.duration <= p.session_max
+
+    def test_zero_popularity_kills_walkins(self, model, spec, rng):
+        uses = [u for d in range(5) for u in model.plan_day(spec, d, rng, popularity=1e-9)]
+        assert all(u.kind == "class" for u in uses)
+        # class attendance scales with popularity too
+        assert len(uses) == 0 or len(uses) < 3
+
+    def test_popularity_scales_walkin_count(self, model, spec):
+        rng_lo = np.random.Generator(np.random.PCG64(1))
+        rng_hi = np.random.Generator(np.random.PCG64(1))
+        lo = sum(len(model.plan_day(spec, d, rng_lo, popularity=0.3)) for d in range(30))
+        hi = sum(len(model.plan_day(spec, d, rng_hi, popularity=2.5)) for d in range(30))
+        assert hi > lo
+
+    def test_class_uses_align_with_blocks(self, model, spec, rng):
+        cal = model.calendar
+        for day in range(6):
+            blocks = cal.blocks_for_day(spec.lab, day)
+            for use in model.plan_day(spec, day, rng):
+                if use.kind != "class":
+                    continue
+                assert any(
+                    b.start <= use.start and use.end <= b.end for b in blocks
+                )
+
+    def test_heavy_flag_only_on_class_uses(self, model, spec, rng):
+        for day in range(6):
+            for use in model.plan_day(spec, day, rng):
+                if use.heavy:
+                    assert use.kind == "class"
+
+    def test_forget_rate_roughly_matches_parameter(self, model, spec, rng):
+        uses = [u for d in range(200) for u in model.plan_day(spec, d % 5, rng)]
+        walkins = [u for u in uses if u.kind == "walkin"]
+        assert len(walkins) > 100
+        rate = np.mean([u.forget for u in walkins])
+        assert rate == pytest.approx(model.params.p_forget, abs=0.06)
+
+
+class TestPopularity:
+    def test_popularity_mean_near_one(self, model):
+        rng = np.random.Generator(np.random.PCG64(0))
+        pops = [model.machine_popularity(1.0, rng) for _ in range(2000)]
+        assert np.mean(pops) == pytest.approx(1.0, abs=0.05)
+
+    def test_popularity_clipped(self, model, rng):
+        assert model.machine_popularity(100.0, rng) <= 4.0
+        assert model.machine_popularity(1e-9, rng) >= 0.05
+
+    def test_lab_multiplier_positive(self, model, rng):
+        for _ in range(100):
+            assert model.lab_demand_multiplier(rng) > 0
+
+
+class TestDemandProfile:
+    def test_profile_has_24_entries(self):
+        assert DEMAND_PROFILE.shape == (24,)
+
+    def test_closed_hours_have_zero_demand(self):
+        assert all(DEMAND_PROFILE[4:8] == 0.0)
+
+    def test_daytime_peak(self):
+        assert DEMAND_PROFILE[9:12].min() >= DEMAND_PROFILE[20]
+
+    def test_expected_walkins_helper(self, model):
+        assert model.expected_walkins_per_day(6) == 0.0
+        assert model.expected_walkins_per_day(0) > model.expected_walkins_per_day(5)

@@ -1,0 +1,173 @@
+"""Unit tests for the time base and academic calendar."""
+
+import numpy as np
+import pytest
+
+from repro.sim.calendar import (
+    DAY,
+    HOUR,
+    WEEK,
+    AcademicCalendar,
+    ClassBlock,
+    SimClock,
+)
+
+
+@pytest.fixture()
+def cal(rng):
+    return AcademicCalendar([f"L{i:02d}" for i in range(1, 12)], rng)
+
+
+# ----------------------------------------------------------------------
+# SimClock
+# ----------------------------------------------------------------------
+class TestSimClock:
+    def test_epoch_is_monday(self):
+        clock = SimClock()
+        assert clock.weekday(0.0) == 0
+
+    def test_weekday_cycles(self):
+        clock = SimClock()
+        assert clock.weekday(6 * DAY) == 6
+        assert clock.weekday(7 * DAY) == 0
+
+    def test_second_of_day(self):
+        clock = SimClock()
+        assert clock.second_of_day(3 * DAY + 5 * HOUR) == 5 * HOUR
+
+    def test_second_of_week(self):
+        clock = SimClock()
+        assert clock.second_of_week(WEEK + 2 * DAY + HOUR) == 2 * DAY + HOUR
+
+    def test_weekend_detection(self):
+        clock = SimClock()
+        assert not clock.is_weekend(4 * DAY)   # Friday
+        assert clock.is_weekend(5 * DAY)        # Saturday
+        assert clock.is_weekend(6 * DAY)        # Sunday
+
+    def test_at_and_day_start(self):
+        clock = SimClock()
+        assert clock.at(2, 14, 30) == 2 * DAY + 14 * HOUR + 30 * 60
+        assert clock.day_start(3) == 3 * DAY
+
+    def test_label(self):
+        clock = SimClock()
+        assert clock.label(DAY + 9.5 * HOUR) == "D01 Tue 09:30"
+
+    def test_custom_epoch(self):
+        clock = SimClock(epoch_weekday=5)  # experiment starts Saturday
+        assert clock.weekday(0.0) == 5
+        assert clock.weekday(2 * DAY) == 0
+
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(epoch_weekday=7)
+
+
+# ----------------------------------------------------------------------
+# opening hours
+# ----------------------------------------------------------------------
+class TestOpeningHours:
+    def test_weekday_daytime_open(self, cal):
+        assert cal.is_open(0 * DAY + 10 * HOUR)  # Monday 10:00
+
+    def test_weekday_early_morning_closed(self, cal):
+        assert not cal.is_open(1 * DAY + 5 * HOUR)  # Tuesday 05:00
+
+    def test_overnight_period_open_before_4am(self, cal):
+        assert cal.is_open(1 * DAY + 2 * HOUR)  # Tuesday 02:00 (Mon session)
+
+    def test_monday_before_8_closed(self, cal):
+        # Monday 02:00 belongs to Sunday, which is closed.
+        assert not cal.is_open(0 * DAY + 2 * HOUR)
+
+    def test_saturday_open_daytime_closed_evening(self, cal):
+        assert cal.is_open(5 * DAY + 10 * HOUR)       # Sat 10:00
+        assert not cal.is_open(5 * DAY + 22 * HOUR)   # Sat 22:00
+
+    def test_saturday_early_morning_open_from_friday(self, cal):
+        assert cal.is_open(5 * DAY + 3 * HOUR)  # Sat 03:00 (Friday session)
+
+    def test_sunday_fully_closed(self, cal):
+        for h in (1, 9, 15, 23):
+            assert not cal.is_open(6 * DAY + h * HOUR)
+
+    def test_closing_time_weekday(self, cal):
+        t = 0 * DAY + 10 * HOUR
+        assert cal.closing_time(t) == 1 * DAY + 4 * HOUR
+
+    def test_closing_time_saturday(self, cal):
+        t = 5 * DAY + 10 * HOUR
+        assert cal.closing_time(t) == 5 * DAY + 21 * HOUR
+
+    def test_closing_time_requires_open(self, cal):
+        with pytest.raises(ValueError):
+            cal.closing_time(6 * DAY + 12 * HOUR)
+
+    def test_next_opening_from_sunday(self, cal):
+        t = cal.next_opening(6 * DAY + 12 * HOUR)
+        assert t == 7 * DAY + 8 * HOUR  # Monday 08:00
+
+    def test_next_opening_identity_when_open(self, cal):
+        t = 2 * DAY + 12 * HOUR
+        assert cal.next_opening(t) == t
+
+    def test_open_seconds_per_week(self, cal):
+        # 5 weekdays x 20h + Saturday 13h = 113 h
+        assert cal.open_seconds_per_week() == pytest.approx(113 * HOUR, rel=0.02)
+
+
+# ----------------------------------------------------------------------
+# timetable
+# ----------------------------------------------------------------------
+class TestTimetable:
+    def test_blocks_repeat_weekly(self, cal):
+        lab = cal.labs[0]
+        week0 = [(b.start % WEEK, b.end % WEEK) for b in cal.blocks_for_day(lab, 1)]
+        week1 = [(b.start % WEEK, b.end % WEEK) for b in cal.blocks_for_day(lab, 8)]
+        assert week0 == week1
+
+    def test_no_sunday_classes(self, cal):
+        for lab in cal.labs:
+            assert cal.blocks_for_day(lab, 6) == []
+
+    def test_cpu_heavy_class_exists_on_tuesday(self, cal):
+        heavy = cal.cpu_heavy_blocks(0.0, 7 * DAY)
+        assert heavy, "calendar must schedule the Tuesday CPU-heavy class"
+        clock = cal.clock
+        for blk in heavy:
+            assert clock.weekday(blk.start) == 1
+            assert clock.second_of_day(blk.start) == 14 * HOUR
+
+    def test_heavy_labs_count(self, rng):
+        cal = AcademicCalendar(["A", "B", "C", "D"], rng, cpu_heavy_labs=2)
+        heavy_labs = {b.lab for b in cal.cpu_heavy_blocks(0.0, 7 * DAY)}
+        assert len(heavy_labs) == 2
+
+    def test_blocks_between_filters_interval(self, cal):
+        lab = cal.labs[0]
+        all_week = cal.blocks_between(lab, 0.0, 7 * DAY)
+        day0 = cal.blocks_between(lab, 0.0, 1 * DAY)
+        assert all(b.start < DAY for b in day0)
+        assert len(day0) <= len(all_week)
+
+    def test_blocks_within_teaching_hours(self, cal):
+        for lab in cal.labs:
+            for day in range(7):
+                for blk in cal.blocks_for_day(lab, day):
+                    sod = cal.clock.second_of_day(blk.start)
+                    assert 8 * HOUR <= sod <= 22 * HOUR
+
+
+# ----------------------------------------------------------------------
+# ClassBlock validation
+# ----------------------------------------------------------------------
+def test_class_block_validation():
+    with pytest.raises(ValueError):
+        ClassBlock("L01", start=10.0, end=5.0)
+    with pytest.raises(ValueError):
+        ClassBlock("L01", start=0.0, end=1.0, occupancy=1.5)
+    blk = ClassBlock("L01", start=0.0, end=2 * HOUR)
+    assert blk.duration == 2 * HOUR
+    assert blk.contains(HOUR)
+    assert not blk.contains(2 * HOUR)

@@ -1,0 +1,72 @@
+"""Tests for the calibration scorecard."""
+
+import math
+
+import pytest
+
+from repro.calibration import (
+    DEFAULT_TARGETS,
+    CalibrationTarget,
+    evaluate_calibration,
+)
+from repro.errors import CalibrationError
+from repro.report.experiments import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(week_result):
+    return generate_report(week_result)
+
+
+def test_targets_are_well_formed():
+    assert len(DEFAULT_TARGETS) >= 20
+    names = [t.name for t in DEFAULT_TARGETS]
+    assert len(set(names)) == len(names)
+    for t in DEFAULT_TARGETS:
+        assert t.rel_tol >= 0 and t.abs_tol >= 0
+
+
+def test_evaluate_returns_one_result_per_target(report):
+    results = evaluate_calibration(report)
+    assert len(results) == len(DEFAULT_TARGETS)
+    for r in results:
+        assert math.isfinite(r.measured)
+
+
+def test_week_run_passes_most_targets(report):
+    """A 7-day run should already satisfy the bulk of the scorecard.
+
+    (The defaults were fitted at 14-21 days; a week has more weekday
+    weighting, so allow a handful of misses.)
+    """
+    results = evaluate_calibration(report)
+    passed = sum(r.ok for r in results)
+    assert passed >= 0.7 * len(results), [
+        (r.target.name, r.measured, r.target.paper_value)
+        for r in results
+        if not r.ok
+    ]
+
+
+def test_custom_target_pass_and_fail(report):
+    always_pass = CalibrationTarget("x", 1.0, lambda r: 1.05, rel_tol=0.10)
+    always_fail = CalibrationTarget("y", 1.0, lambda r: 2.0, rel_tol=0.10)
+    res = evaluate_calibration(report, [always_pass, always_fail])
+    assert res[0].ok and not res[1].ok
+    assert res[1].rel_deviation == pytest.approx(1.0)
+
+
+def test_abs_tol_rescues_small_absolute_misses(report):
+    t = CalibrationTarget("z", 0.0, lambda r: 0.5, rel_tol=0.0, abs_tol=1.0)
+    assert evaluate_calibration(report, [t])[0].ok
+
+
+def test_nan_measurement_raises(report):
+    t = CalibrationTarget("nan", 1.0, lambda r: float("nan"))
+    with pytest.raises(CalibrationError):
+        evaluate_calibration(report, [t])
+
+
+def test_empty_targets_raises(report):
+    with pytest.raises(CalibrationError):
+        evaluate_calibration(report, [])

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.days == 77
+        assert args.seed == 2005
+        assert args.out == "trace.csv"
+
+    def test_report_markdown_flag(self):
+        args = build_parser().parse_args(["report", "--markdown", "--days", "3"])
+        assert args.markdown
+        assert args.days == 3
+
+
+class TestCommands:
+    def test_run_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        rc = main(["run", "--days", "1", "--seed", "4", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "samples" in capsys.readouterr().out
+        from repro.traces.store import TraceStore
+
+        assert len(TraceStore.read_csv(out)) > 0
+
+    def test_run_writes_jsonl(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main(["run", "--days", "1", "--seed", "4", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_run_rejects_unknown_format(self, tmp_path, capsys):
+        rc = main(["run", "--days", "1", "--out", str(tmp_path / "t.parquet")])
+        assert rc == 2
+
+    def test_report_text(self, capsys):
+        rc = main(["report", "--days", "2", "--seed", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2: main results" in out
+
+    def test_report_markdown_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = main(["report", "--days", "2", "--seed", "4", "--markdown",
+                   "--out", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert text.startswith("# Paper vs. measured")
+        assert "| metric |" in text
+
+    def test_bench_host(self, capsys):
+        rc = main(["bench-host", "--seconds", "0.01"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "INT index" in out
+
+    def test_probe_local(self, capsys):
+        from repro.ddc.localprobe import local_probe_available
+
+        rc = main(["probe-local"])
+        out = capsys.readouterr()
+        if local_probe_available():
+            assert rc == 0
+            assert out.out.startswith("W32Probe/")
+        else:
+            assert rc == 2
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--days", "2", "--seed", "4"])
+        assert rc == 0
+        assert "classroom (paper)" in capsys.readouterr().out

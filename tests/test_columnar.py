@@ -1,0 +1,113 @@
+"""Unit tests for the columnar trace view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+def build_store(samples):
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0)
+    store = TraceStore(meta)
+    store.extend(samples)
+    return store
+
+
+def test_empty_store_rejected():
+    with pytest.raises(AnalysisError):
+        ColumnarTrace(TraceStore())
+
+
+def test_sorted_by_machine_then_time():
+    store = build_store([
+        make_sample(1, t=900.0),
+        make_sample(0, t=1800.0),
+        make_sample(0, t=900.0),
+        make_sample(1, t=1800.0),
+    ])
+    tr = ColumnarTrace(store)
+    assert list(tr.machine_id) == [0, 0, 1, 1]
+    assert list(tr.t) == [900.0, 1800.0, 900.0, 1800.0]
+
+
+def test_arrays_are_read_only():
+    tr = ColumnarTrace(build_store([make_sample(0)]))
+    with pytest.raises(ValueError):
+        tr.t[0] = 0.0
+
+
+def test_derived_columns():
+    tr = ColumnarTrace(build_store([make_sample(0, session=True)]))
+    assert tr.disk_used[0] == 14_500_000_000
+    assert tr.session_age[0] == pytest.approx(600.0)
+
+
+def test_consecutive_pairs_same_machine_only():
+    store = build_store([
+        make_sample(0, t=900.0),
+        make_sample(0, t=1800.0),
+        make_sample(1, t=900.0),
+    ])
+    i, j = ColumnarTrace(store).consecutive_pairs()
+    assert list(i) == [0]
+    assert list(j) == [1]
+
+
+def test_consecutive_pairs_gap_cap():
+    store = build_store([
+        make_sample(0, t=900.0, uptime_s=900.0),
+        make_sample(0, t=10_000.0, uptime_s=10_000.0),
+    ])
+    tr = ColumnarTrace(store)
+    i, _ = tr.consecutive_pairs()           # default cap 1.75 x period
+    assert i.size == 0
+    i, _ = tr.consecutive_pairs(max_gap=20_000.0)
+    assert i.size == 1
+
+
+def test_reboot_detection():
+    store = build_store([
+        make_sample(0, t=900.0, uptime_s=900.0, cpu_idle_s=890.0),
+        # rebooted: uptime smaller than gap implies a reset
+        make_sample(0, t=1800.0, uptime_s=100.0, cpu_idle_s=99.0, boot_time=1700.0),
+        make_sample(0, t=2700.0, uptime_s=1000.0, cpu_idle_s=990.0, boot_time=1700.0),
+    ])
+    tr = ColumnarTrace(store)
+    i, j = tr.consecutive_pairs()
+    reboots = tr.reboot_between(i, j)
+    assert list(reboots) == [True, False]
+
+
+def test_occupied_mask_threshold():
+    store = build_store([
+        make_sample(0, t=900.0, session=True, session_start=800.0),       # young
+        make_sample(0, t=90_000.0, uptime_s=90_000.0, session=True,
+                    session_start=10_000.0),                              # >10 h
+        make_sample(1, t=900.0),                                          # free
+    ])
+    tr = ColumnarTrace(store)
+    assert list(tr.occupied_mask()) == [True, False, False]
+    assert list(tr.occupied_mask(None)) == [True, True, False]
+    assert list(tr.occupied_mask(200.0)) == [True, False, False]
+
+
+def test_n_machines(small_trace):
+    assert small_trace.n_machines <= 169
+    assert small_trace.n_machines > 150  # nearly all machines seen in 3 days
+
+
+def test_full_run_invariants(small_trace):
+    tr = small_trace
+    assert np.all(tr.idle <= tr.uptime + 1e-6)
+    assert np.all(tr.uptime >= 0)
+    assert np.all((tr.mem >= 0) & (tr.mem <= 100))
+    assert np.all((tr.swap >= 0) & (tr.swap <= 100))
+    assert np.all(tr.disk_free >= 0)
+    assert np.all(tr.cycles > 0)
+    # sorted layout
+    order = np.lexsort((tr.t, tr.machine_id))
+    assert np.array_equal(order, np.arange(len(tr)))

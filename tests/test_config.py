@@ -1,0 +1,75 @@
+"""Unit tests for the experiment configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BehaviorParams,
+    DdcParams,
+    ExperimentConfig,
+    PowerParams,
+    WorkloadParams,
+    paper_config,
+)
+
+
+def test_paper_config_defaults():
+    cfg = paper_config()
+    assert cfg.days == 77
+    assert cfg.ddc.sample_period == 900.0
+    assert cfg.horizon == 77 * 86400.0
+
+
+def test_replace_returns_new_config():
+    cfg = paper_config()
+    short = cfg.replace(days=3)
+    assert short.days == 3
+    assert cfg.days == 77
+
+
+def test_to_dict_nested():
+    d = paper_config().to_dict()
+    assert d["behavior"]["p_forget"] == BehaviorParams().p_forget
+    assert d["ddc"]["sample_period"] == 900.0
+
+
+def test_config_is_frozen():
+    cfg = paper_config()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.days = 1
+
+
+def test_days_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(days=0)
+
+
+def test_behavior_validation():
+    with pytest.raises(ValueError):
+        BehaviorParams(p_forget=1.5)
+    with pytest.raises(ValueError):
+        BehaviorParams(session_min=10.0, session_max=5.0)
+    with pytest.raises(ValueError):
+        BehaviorParams(weekday_demand=(1.0,))
+
+
+def test_ddc_validation():
+    with pytest.raises(ValueError):
+        DdcParams(sample_period=0.0)
+    with pytest.raises(ValueError):
+        DdcParams(coordinator_availability=0.0)
+
+
+def test_workload_os_mem_map_covers_table1_sizes():
+    w = WorkloadParams()
+    assert set(w.os_mem_frac) == {512, 256, 128}
+
+
+def test_power_probabilities_are_probabilities():
+    p = PowerParams()
+    for name in ("p_off_after_use_day", "p_off_after_use_evening",
+                 "p_off_at_close", "night_owl_fraction",
+                 "initial_on_owl", "initial_on_other"):
+        v = getattr(p, name)
+        assert 0.0 <= v <= 1.0, name

@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "late")
+    sim.schedule(5.0, fired.append, "early")
+    sim.schedule(7.5, fired.append, "middle")
+    sim.run_until(20.0)
+    assert fired == ["early", "middle", "late"]
+
+
+def test_equal_timestamps_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run_until(1.0)
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_run_until_end():
+    sim = Simulator()
+    sim.run_until(42.0)
+    assert sim.now == 42.0
+
+
+def test_step_advances_clock_to_event_time():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    event = sim.step()
+    assert event is not None
+    assert event.time == 3.0
+    assert sim.now == 3.0
+
+
+def test_step_on_empty_queue_returns_none_and_keeps_clock():
+    sim = Simulator(start=5.0)
+    assert sim.step() is None
+    assert sim.now == 5.0
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(ScheduleError):
+        sim.schedule(5.0, lambda: None)
+
+
+def test_scheduling_nan_or_inf_raises():
+    sim = Simulator()
+    with pytest.raises(ScheduleError):
+        sim.schedule(float("nan"), lambda: None)
+    with pytest.raises(ScheduleError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_run_until_backwards_raises():
+    sim = Simulator()
+    sim.run_until(10.0)
+    with pytest.raises(ScheduleError):
+        sim.run_until(5.0)
+
+
+def test_schedule_after_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(ScheduleError):
+        sim.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_events_scheduled_during_callback_run_same_pass():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(sim.now + 1.0, fired.append, "inner")
+
+    sim.schedule(0.0, outer)
+    sim.run_until(5.0)
+    assert fired == ["outer", "inner"]
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in")
+    sim.schedule(10.0, fired.append, "out")
+    sim.run_until(5.0)
+    assert fired == ["in"]
+    sim.run_until(10.0)
+    assert fired == ["in", "out"]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda: None)
+    cancelled = sim.schedule(4.0, lambda: None)
+    cancelled.cancel()
+    sim.run_until(10.0)
+    assert sim.events_fired == 3
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_run_drains_everything():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.run() == 2
+    assert fired == [1, 2]
+
+
+def test_run_until_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run_until(100.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run_until(10.0)
+    assert len(errors) == 1
+
+
+def test_callback_args_are_passed():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
+    sim.run_until(1.0)
+    assert got == [(1, "two")]

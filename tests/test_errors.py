@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy and error-path accounting."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.config import DdcParams
+from repro.ddc.coordinator import DdcCoordinator
+from repro.ddc.postcollect import SamplePostCollector
+from repro.ddc.remote import Credentials
+from repro.ddc.w32probe import W32Probe
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.sim.engine import Simulator
+from repro.traces.store import TraceStore
+
+
+def test_every_error_derives_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError), name
+        assert issubclass(exc, Exception)
+
+
+def test_specific_parent_child_relations():
+    assert issubclass(errors.ScheduleError, errors.SimulationError)
+    assert issubclass(errors.RemoteTimeout, errors.RemoteExecError)
+    assert issubclass(errors.AccessDenied, errors.RemoteExecError)
+    assert issubclass(errors.MachineUnreachable, errors.RemoteExecError)
+    assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+
+def test_catch_all_via_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.HarvestError("x")
+
+
+def test_coordinator_counts_access_denied():
+    """Wrong credentials are accounted separately from timeouts."""
+    machines = []
+    for spec in build_fleet()[:3]:
+        m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes))
+        m.boot(0.0)
+        machines.append(m)
+    sim = Simulator()
+    coord = DdcCoordinator(
+        machines,
+        sim,
+        DdcParams(),
+        W32Probe(),
+        SamplePostCollector(TraceStore()),
+        np.random.Generator(np.random.PCG64(0)),
+        horizon=1000.0,
+        credentials=Credentials.create("intruder", "guess"),
+    )
+    # the fleet accepts only the executor's admin account; forge a
+    # mismatch by replacing the coordinator's own credentials
+    coord.credentials = Credentials.create("intruder", "guess2")
+    coord.start()
+    sim.run_until(1000.0)
+    assert coord.access_denied == coord.attempts
+    assert coord.samples_collected == 0
+    assert coord.timeouts == 0

@@ -1,0 +1,93 @@
+"""End-to-end integration tests of the full monitoring pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+from repro.machines.hardware import TABLE1_LABS
+
+
+class TestEndToEnd:
+    def test_samples_flow_into_store(self, small_result):
+        assert len(small_result.store) > 10_000
+        assert small_result.coordinator.samples_collected == len(small_result.store)
+
+    def test_trace_is_cached(self, small_result):
+        assert small_result.trace is small_result.trace
+
+    def test_meta_carries_accounting(self, small_result):
+        meta = small_result.meta
+        assert meta.attempts == small_result.coordinator.attempts
+        assert meta.n_machines == 169
+        assert meta.sample_period == 900.0
+
+    def test_nbench_statics_attached(self, small_result):
+        meta = small_result.meta
+        assert len(meta.statics) == 169
+        for static in meta.statics.values():
+            assert np.isfinite(static.nbench_int)
+            assert np.isfinite(static.nbench_fp)
+            assert static.perf_index > 0
+
+    def test_nbench_indexes_near_table1(self, small_result):
+        meta = small_result.meta
+        by_lab = {}
+        for static in meta.statics.values():
+            by_lab.setdefault(static.lab, []).append(static.nbench_int)
+        lab1 = TABLE1_LABS[0]
+        assert np.mean(by_lab["L01"]) == pytest.approx(lab1.nbench_int, rel=0.05)
+
+    def test_samples_reflect_simulated_time_range(self, small_result):
+        trace = small_result.trace
+        assert trace.t.min() >= 0.0
+        assert trace.t.max() <= small_result.config.horizon + 600.0
+
+    def test_sample_counts_consistent_with_truth(self, small_result):
+        # each sample corresponds to a machine that was powered on
+        trace = small_result.trace
+        boots = sum(len(m.boot_log) for m in small_result.fleet.machines)
+        assert boots > 0
+        assert len(trace) > 0
+
+    def test_determinism_across_runs(self):
+        a = run_experiment(ExperimentConfig(days=1, seed=99))
+        b = run_experiment(ExperimentConfig(days=1, seed=99))
+        assert len(a.store) == len(b.store)
+        from tests.test_store import samples_equal
+
+        assert samples_equal(a.store.sample_at(100), b.store.sample_at(100))
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(ExperimentConfig(days=1, seed=1))
+        b = run_experiment(ExperimentConfig(days=1, seed=2))
+        assert len(a.store) != len(b.store)
+
+    def test_without_nbench_collection(self):
+        r = run_experiment(ExperimentConfig(days=1, seed=5), collect_nbench=False)
+        assert all(
+            not np.isfinite(s.nbench_int) for s in r.meta.statics.values()
+        )
+
+    def test_subset_of_labs(self):
+        r = run_experiment(
+            ExperimentConfig(days=1, seed=5), labs=TABLE1_LABS[:2]
+        )
+        assert len(r.fleet.machines) == 32
+        assert r.meta.n_machines == 32
+
+
+class TestTraceRoundtripAtScale:
+    def test_csv_roundtrip_full_trace(self, small_result, tmp_path):
+        path = tmp_path / "trace.csv"
+        small_result.store.write_csv(path)
+        from repro.traces.store import TraceStore
+
+        back = TraceStore.read_csv(path)
+        assert len(back) == len(small_result.store)
+        # spot-check a few records
+        for i in (0, len(back) // 2, len(back) - 1):
+            a, b = back.sample_at(i), small_result.store.sample_at(i)
+            assert a.machine_id == b.machine_id
+            assert a.t == b.t
+            assert a.cpu_idle_s == b.cpu_idle_s

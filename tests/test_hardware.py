@@ -1,0 +1,94 @@
+"""Unit tests for the Table-1 hardware catalog."""
+
+import pytest
+
+from repro.machines.hardware import (
+    TABLE1_LABS,
+    CPUSpec,
+    LabSpec,
+    build_fleet,
+    fleet_totals,
+)
+
+
+def test_fleet_has_169_machines():
+    assert sum(lab.n_machines for lab in TABLE1_LABS) == 169
+    assert len(build_fleet()) == 169
+
+
+def test_eleven_labs_and_l09_has_nine_machines():
+    assert len(TABLE1_LABS) == 11
+    by_name = {lab.name: lab for lab in TABLE1_LABS}
+    assert by_name["L09"].n_machines == 9
+    assert all(lab.n_machines == 16 for name, lab in by_name.items() if name != "L09")
+
+
+def test_fleet_totals_match_paper():
+    totals = fleet_totals(build_fleet())
+    # Paper: 56.62 GB RAM, 6.66 TB disk, avg indexes 25.5 / 24.6.
+    assert totals["ram_gb"] == pytest.approx(56.62, rel=0.02)
+    assert totals["disk_tb"] == pytest.approx(6.66, rel=0.03)
+    assert totals["avg_int"] == pytest.approx(25.5, rel=0.02)
+    assert totals["avg_fp"] == pytest.approx(24.6, rel=0.02)
+
+
+def test_machine_ids_are_dense_and_ordered():
+    fleet = build_fleet()
+    assert [m.machine_id for m in fleet] == list(range(169))
+
+
+def test_hostnames_follow_lab_pattern():
+    fleet = build_fleet()
+    assert fleet[0].hostname == "L01-M01"
+    assert fleet[16].hostname == "L02-M01"
+    assert all(m.hostname.startswith(m.lab) for m in fleet)
+
+
+def test_macs_and_serials_are_unique():
+    fleet = build_fleet()
+    assert len({m.mac for m in fleet}) == len(fleet)
+    assert len({m.disk_serial for m in fleet}) == len(fleet)
+
+
+def test_swap_defaults_to_1_5x_ram():
+    fleet = build_fleet()
+    for m in fleet:
+        assert m.swap_mb == int(1.5 * m.ram_mb)
+
+
+def test_perf_index_is_mean_of_int_fp():
+    lab = TABLE1_LABS[0]
+    assert lab.perf_index == pytest.approx(0.5 * (30.5 + 33.1))
+
+
+def test_byte_conversions():
+    m = build_fleet()[0]
+    assert m.disk_bytes == int(74.5e9)
+    assert m.ram_bytes == 512 * 1024 * 1024
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CPUSpec("x", "P4", 0.0)
+    assert CPUSpec("x", "P4", 2.4).mhz == 2400.0
+
+
+def test_lab_spec_validation():
+    cpu = CPUSpec("x", "P4", 2.4)
+    with pytest.raises(ValueError):
+        LabSpec("L99", 0, cpu, 512, 74.5, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        LabSpec("L99", 4, cpu, -1, 74.5, 1.0, 1.0)
+
+
+def test_fleet_totals_empty_fleet_raises():
+    with pytest.raises(ValueError):
+        fleet_totals([])
+
+
+def test_lab_hardware_matches_paper_rows():
+    by_name = {lab.name: lab for lab in TABLE1_LABS}
+    assert by_name["L01"].cpu.ghz == 2.4 and by_name["L01"].ram_mb == 512
+    assert by_name["L06"].ram_mb == 256 and by_name["L06"].cpu.ghz == 2.6
+    assert by_name["L09"].ram_mb == 128 and by_name["L09"].cpu.ghz == 0.65
+    assert by_name["L05"].cpu.family == "PIII"

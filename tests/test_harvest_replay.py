@@ -1,0 +1,69 @@
+"""Tests for the offline harvesting replay."""
+
+import pytest
+
+from repro.errors import HarvestError
+from repro.harvest.replay import replay_harvest
+from repro.harvest.scheduler import HarvestPolicy
+
+
+@pytest.fixture(scope="module")
+def replay(week_trace, week_pairs):
+    return replay_harvest(week_trace, pairs=week_pairs)
+
+
+def test_basic_accounting(replay):
+    assert replay.harvested_norm_seconds > 0
+    assert replay.eligible_intervals > 0
+    assert replay.evictions > 0
+    assert 0.0 < replay.achieved_ratio < 1.0
+
+
+def test_net_below_gross(replay, week_trace):
+    denom = 169 * week_trace.meta.horizon
+    gross_ratio = replay.harvested_norm_seconds / denom
+    assert replay.achieved_ratio <= gross_ratio * 1.1
+
+
+def test_occupied_policy_harvests_more(week_trace, week_pairs):
+    free_only = replay_harvest(week_trace, pairs=week_pairs)
+    occupied = replay_harvest(
+        week_trace, HarvestPolicy(harvest_occupied=True), pairs=week_pairs
+    )
+    assert occupied.achieved_ratio > free_only.achieved_ratio
+    assert occupied.eligible_intervals > free_only.eligible_intervals
+
+
+def test_checkpoint_interval_tradeoff(week_trace, week_pairs):
+    frequent = replay_harvest(
+        week_trace, HarvestPolicy(checkpoint_interval=300.0, checkpoint_cost=30.0),
+        pairs=week_pairs,
+    )
+    rare = replay_harvest(
+        week_trace, HarvestPolicy(checkpoint_interval=7200.0, checkpoint_cost=30.0),
+        pairs=week_pairs,
+    )
+    assert frequent.checkpoint_overhead > rare.checkpoint_overhead
+
+
+def test_replay_tracks_live_scheduler(week_result, week_trace, week_pairs):
+    """The closed-form replay approximates the live scheduler's yield."""
+    from repro.config import ExperimentConfig
+    from repro.harvest.validation import validate_equivalence
+
+    cfg = week_result.config
+    live = validate_equivalence(
+        ExperimentConfig(days=cfg.days, seed=cfg.seed),
+        n_tasks=800, mean_work_hours=30.0,
+    )
+    offline = replay_harvest(week_trace, pairs=week_pairs)
+    assert offline.achieved_ratio == pytest.approx(live.achieved_ratio, rel=0.35)
+
+
+def test_requires_metadata(week_trace, week_pairs):
+    import copy
+
+    trace = copy.copy(week_trace)
+    trace.meta = None
+    with pytest.raises(HarvestError):
+        replay_harvest(trace, pairs=week_pairs)

@@ -1,0 +1,55 @@
+"""Tests for the real-host /proc probe (Linux only)."""
+
+import pytest
+
+from repro.ddc.localprobe import local_probe_available, read_local_report
+from repro.ddc.postcollect import PostCollectContext, SamplePostCollector
+from repro.ddc.w32probe import parse_w32probe
+from repro.errors import ProbeError
+from repro.traces.store import TraceStore
+
+linux_only = pytest.mark.skipif(
+    not local_probe_available(), reason="needs a Linux /proc filesystem"
+)
+
+
+@linux_only
+def test_report_parses_with_the_same_parser():
+    report = parse_w32probe(read_local_report("testhost"))
+    assert report["host"] == "testhost"
+    assert float(report["uptime_s"]) > 0
+    assert 0 <= int(report["mem.load_pct"]) <= 100
+
+
+@linux_only
+def test_idle_within_uptime():
+    report = parse_w32probe(read_local_report())
+    assert 0.0 <= float(report["cpu.idle_s"]) <= float(report["uptime_s"])
+
+
+@linux_only
+def test_counters_are_monotone_between_reads():
+    a = parse_w32probe(read_local_report())
+    b = parse_w32probe(read_local_report())
+    assert float(b["uptime_s"]) >= float(a["uptime_s"])
+    assert int(b["net.recv_bytes"]) >= int(a["net.recv_bytes"])
+
+
+@linux_only
+def test_feeds_the_standard_postcollect_pipeline():
+    store = TraceStore()
+    collector = SamplePostCollector(store)
+    ctx = PostCollectContext(machine_id=0, hostname="local", lab="HOST",
+                             t=1e9, iteration=0)
+    sample = collector(read_local_report(), "", ctx)
+    assert sample is not None
+    assert len(store) == 1
+    assert sample.disk_total_b > 0
+
+
+def test_unavailable_hosts_raise(monkeypatch):
+    import repro.ddc.localprobe as lp
+
+    monkeypatch.setattr(lp, "local_probe_available", lambda: False)
+    with pytest.raises(ProbeError):
+        lp.read_local_report()

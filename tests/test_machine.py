@@ -1,0 +1,199 @@
+"""Unit tests for the SimMachine state model."""
+
+import pytest
+
+from repro.errors import MachineStateError
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+
+
+@pytest.fixture()
+def machine():
+    spec = build_fleet()[0]
+    disk = SmartDisk(spec.disk_serial, spec.disk_bytes)
+    return SimMachine(spec, disk, base_disk_used_bytes=int(13e9))
+
+
+class TestPowerLifecycle:
+    def test_starts_off(self, machine):
+        assert not machine.powered
+
+    def test_boot_and_uptime(self, machine):
+        machine.boot(100.0)
+        assert machine.powered
+        assert machine.boot_time == 100.0
+        assert machine.uptime(160.0) == 60.0
+
+    def test_double_boot_raises(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(MachineStateError):
+            machine.boot(1.0)
+
+    def test_shutdown_records_boot_log(self, machine):
+        machine.boot(10.0)
+        machine.shutdown(110.0)
+        assert not machine.powered
+        assert len(machine.boot_log) == 1
+        assert machine.boot_log[0].duration == 100.0
+
+    def test_shutdown_off_machine_raises(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.shutdown(5.0)
+
+    def test_counters_reset_on_reboot(self, machine):
+        machine.boot(0.0)
+        machine.set_cpu_busy(0.0, 0.5)
+        machine.shutdown(100.0)
+        machine.boot(200.0)
+        assert machine.cpu_idle_seconds(260.0) == pytest.approx(60.0)
+        assert machine.total_sent_bytes(260.0) == 0.0
+
+    def test_disk_cycles_follow_machine(self, machine):
+        machine.boot(0.0)
+        machine.shutdown(10.0)
+        machine.boot(20.0)
+        machine.shutdown(30.0)
+        assert machine.disk.power_cycles == 2
+
+    def test_uptime_query_requires_power(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.uptime(0.0)
+
+
+class TestCpuAccounting:
+    def test_fully_idle_by_default(self, machine):
+        machine.boot(0.0)
+        assert machine.cpu_idle_seconds(100.0) == pytest.approx(100.0)
+
+    def test_busy_fraction_integrates(self, machine):
+        machine.boot(0.0)
+        machine.set_cpu_busy(0.0, 0.25)
+        assert machine.cpu_idle_seconds(100.0) == pytest.approx(75.0)
+
+    def test_piecewise_segments(self, machine):
+        machine.boot(0.0)
+        machine.set_cpu_busy(0.0, 0.5)      # 0-100: idle 50
+        machine.set_cpu_busy(100.0, 0.0)    # 100-200: idle 100
+        assert machine.cpu_idle_seconds(200.0) == pytest.approx(150.0)
+
+    def test_invalid_busy_fraction_rejected(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(ValueError):
+            machine.set_cpu_busy(1.0, 1.5)
+        with pytest.raises(ValueError):
+            machine.set_cpu_busy(1.0, -0.1)
+
+    def test_backwards_update_rejected(self, machine):
+        machine.boot(0.0)
+        machine.set_cpu_busy(100.0, 0.2)
+        with pytest.raises(MachineStateError):
+            machine.set_cpu_busy(50.0, 0.1)
+
+    def test_idle_never_exceeds_uptime(self, machine):
+        machine.boot(0.0)
+        machine.set_cpu_busy(10.0, 0.3)
+        t = 500.0
+        assert machine.cpu_idle_seconds(t) <= machine.uptime(t)
+
+
+class TestNetworkAccounting:
+    def test_rates_integrate(self, machine):
+        machine.boot(0.0)
+        machine.set_net_rates(0.0, 100.0, 400.0)
+        assert machine.total_sent_bytes(10.0) == pytest.approx(1000.0)
+        assert machine.total_recv_bytes(10.0) == pytest.approx(4000.0)
+
+    def test_rate_change_preserves_accumulation(self, machine):
+        machine.boot(0.0)
+        machine.set_net_rates(0.0, 100.0, 0.0)
+        machine.set_net_rates(10.0, 0.0, 0.0)
+        assert machine.total_sent_bytes(50.0) == pytest.approx(1000.0)
+
+    def test_negative_rates_rejected(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(ValueError):
+            machine.set_net_rates(0.0, -1.0, 0.0)
+
+
+class TestMemoryAndDisk:
+    def test_memory_load_set_get(self, machine):
+        machine.boot(0.0)
+        machine.set_memory_load(0.0, 55.0, 25.0)
+        assert machine.memory_load == 55.0
+        assert machine.swap_load == 25.0
+
+    def test_memory_bounds_enforced(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(ValueError):
+            machine.set_memory_load(0.0, 101.0, 0.0)
+
+    def test_disk_usage_and_temp(self, machine):
+        assert machine.disk_used_bytes == int(13e9)
+        machine.set_temp_disk_used(200_000_000)
+        assert machine.disk_used_bytes == int(13e9) + 200_000_000
+        assert machine.disk_free_bytes == machine.spec.disk_bytes - machine.disk_used_bytes
+
+    def test_temp_beyond_capacity_rejected(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.set_temp_disk_used(machine.spec.disk_bytes)
+
+    def test_base_disk_beyond_capacity_rejected(self):
+        spec = build_fleet()[0]
+        disk = SmartDisk(spec.disk_serial, spec.disk_bytes)
+        with pytest.raises(ValueError):
+            SimMachine(spec, disk, base_disk_used_bytes=spec.disk_bytes + 1)
+
+
+class TestSessions:
+    def test_login_logout_cycle(self, machine):
+        machine.boot(0.0)
+        machine.login(10.0, "alice")
+        assert machine.session is not None
+        assert machine.session.username == "alice"
+        machine.logout(100.0)
+        assert machine.session is None
+        assert len(machine.session_log) == 1
+        assert machine.session_log[0].duration == 90.0
+
+    def test_double_login_raises(self, machine):
+        machine.boot(0.0)
+        machine.login(1.0, "a")
+        with pytest.raises(MachineStateError):
+            machine.login(2.0, "b")
+
+    def test_login_requires_power(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.login(0.0, "a")
+
+    def test_logout_without_session_raises(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(MachineStateError):
+            machine.logout(1.0)
+
+    def test_shutdown_closes_open_session(self, machine):
+        machine.boot(0.0)
+        machine.login(5.0, "a")
+        machine.shutdown(50.0)
+        assert len(machine.session_log) == 1
+        assert machine.session_log[0].end == 50.0
+
+    def test_mark_forgotten(self, machine):
+        machine.boot(0.0)
+        machine.login(5.0, "a")
+        machine.mark_forgotten()
+        assert machine.session.forgotten
+        machine.logout(10.0)
+        assert machine.session_log[0].forgotten
+
+    def test_logout_reclaims_temp_space(self, machine):
+        machine.boot(0.0)
+        machine.login(1.0, "a")
+        machine.set_temp_disk_used(100_000_000)
+        machine.logout(2.0)
+        assert machine.disk_used_bytes == int(13e9)
+
+    def test_empty_username_rejected(self, machine):
+        machine.boot(0.0)
+        with pytest.raises(ValueError):
+            machine.login(1.0, "")

@@ -1,0 +1,48 @@
+"""Tests for Markdown rendering."""
+
+import pytest
+
+from repro.report.markdown import markdown_comparison, markdown_report, markdown_table
+
+
+class TestTable:
+    def test_shape(self):
+        out = markdown_table(["a", "b"], [(1, 2.5), ("x", None)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"
+        assert lines[3] == "| x | - |"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [(1, 2)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+
+class TestComparison:
+    def test_relative_deviation(self):
+        out = markdown_comparison([("m", 100.0, 110.0)])
+        assert "+10.0%" in out
+
+    def test_zero_paper_value_absolute(self):
+        out = markdown_comparison([("m", 0, 2)])
+        assert "+2" in out
+
+    def test_title_becomes_heading(self):
+        out = markdown_comparison([("m", 1, 1)], title="Fig 9")
+        assert out.startswith("## Fig 9")
+
+
+class TestFullReport:
+    def test_report_contains_all_sections(self, week_result):
+        from repro.report.experiments import generate_report
+
+        md = markdown_report(generate_report(week_result))
+        for heading in ("## Table 2", "## Fig 2", "## Fig 3", "## Fig 4",
+                        "## Section 5.2.2", "## Fig 5", "## Fig 6"):
+            assert heading in md
+        assert md.startswith("# Paper vs. measured")

@@ -1,0 +1,101 @@
+"""Unit tests for NBench index computation and the performance model."""
+
+import numpy as np
+import pytest
+
+from repro.machines.hardware import build_fleet
+from repro.nbench.index import BASELINE_RATES, compute_indexes, geometric_mean
+from repro.nbench.kernels import ALL_KERNELS
+from repro.nbench.model import frequency_model_indexes, predict_indexes, predict_rates
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        base = geometric_mean([2.0, 3.0, 5.0])
+        assert geometric_mean([4.0, 6.0, 10.0]) == pytest.approx(2 * base)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestComputeIndexes:
+    def test_baseline_machine_scores_one(self):
+        int_idx, fp_idx = compute_indexes(dict(BASELINE_RATES))
+        assert int_idx == pytest.approx(1.0)
+        assert fp_idx == pytest.approx(1.0)
+
+    def test_uniform_speedup_scales_index(self):
+        rates = {k: 3.0 * v for k, v in BASELINE_RATES.items()}
+        int_idx, fp_idx = compute_indexes(rates)
+        assert int_idx == pytest.approx(3.0)
+        assert fp_idx == pytest.approx(3.0)
+
+    def test_groups_are_independent(self):
+        rates = dict(BASELINE_RATES)
+        for k in ("fourier", "neural", "lu"):
+            rates[k] *= 10.0
+        int_idx, fp_idx = compute_indexes(rates)
+        assert int_idx == pytest.approx(1.0)
+        assert fp_idx == pytest.approx(10.0)
+
+    def test_missing_kernel_raises(self):
+        rates = dict(BASELINE_RATES)
+        del rates["lu"]
+        with pytest.raises(KeyError):
+            compute_indexes(rates)
+
+    def test_all_kernels_have_baselines(self):
+        assert {k.name for k in ALL_KERNELS} == set(BASELINE_RATES)
+
+
+class TestModel:
+    def test_catalog_machines_roundtrip(self, rng):
+        for spec in build_fleet()[::16]:
+            rates = predict_rates(spec, rng, noise_sigma=0.0)
+            int_idx, fp_idx = compute_indexes(rates)
+            assert int_idx == pytest.approx(spec.nbench_int, rel=1e-9)
+            assert fp_idx == pytest.approx(spec.nbench_fp, rel=1e-9)
+
+    def test_noise_keeps_indexes_close(self, rng):
+        spec = build_fleet()[0]
+        rates = predict_rates(spec, rng)  # default 3% noise
+        int_idx, fp_idx = compute_indexes(rates)
+        assert int_idx == pytest.approx(spec.nbench_int, rel=0.08)
+        assert fp_idx == pytest.approx(spec.nbench_fp, rel=0.08)
+
+    def test_predict_indexes_prefers_catalog(self):
+        spec = build_fleet()[0]
+        assert predict_indexes(spec) == (spec.nbench_int, spec.nbench_fp)
+
+    def test_frequency_fallback_for_unknown_machine(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            build_fleet()[0], nbench_int=float("nan"), nbench_fp=float("nan")
+        )
+        int_idx, fp_idx = predict_indexes(spec)
+        assert int_idx > 0 and fp_idx > 0
+
+    def test_frequency_model_reasonable_for_table1(self):
+        # P4 2.4 GHz -> ~30 INT (Table 1 says 30.5)
+        int_idx, fp_idx = frequency_model_indexes("P4", 2.4)
+        assert int_idx == pytest.approx(30.5, rel=0.15)
+        assert fp_idx == pytest.approx(33.1, rel=0.15)
+        # PIII 0.65 GHz -> ~13.7 INT
+        int_idx, _ = frequency_model_indexes("PIII", 0.65)
+        assert int_idx == pytest.approx(13.7, rel=0.15)
+
+    def test_unknown_family_interpolates(self):
+        int_idx, fp_idx = frequency_model_indexes("Athlon", 1.4)
+        assert int_idx > 0 and fp_idx > 0
+
+    def test_faster_clock_scores_higher(self):
+        slow = frequency_model_indexes("P4", 1.5)
+        fast = frequency_model_indexes("P4", 2.6)
+        assert fast[0] > slow[0] and fast[1] > slow[1]

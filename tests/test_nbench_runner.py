@@ -1,0 +1,85 @@
+"""Unit tests for the host benchmark runner and probes."""
+
+import numpy as np
+import pytest
+
+from repro.ddc.nbenchprobe import (
+    NBenchProbe,
+    host_nbench_report,
+    parse_nbench_output,
+)
+from repro.errors import ProbeError
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.machines.winapi import Win32Api
+from repro.nbench.kernels import ALL_KERNELS
+from repro.nbench.runner import run_benchmark_suite, time_kernel
+
+
+class TestRunner:
+    def test_time_kernel_measures_rate(self):
+        timing = time_kernel(ALL_KERNELS[0], min_duration=0.02)
+        assert timing.rate > 0
+        assert timing.iterations >= 1
+        assert timing.name == ALL_KERNELS[0].name
+
+    def test_time_kernel_validation(self):
+        with pytest.raises(ValueError):
+            time_kernel(ALL_KERNELS[0], min_duration=0.0)
+
+    def test_suite_produces_indexes(self):
+        timings, int_idx, fp_idx = run_benchmark_suite(min_duration=0.01)
+        assert set(timings) == {k.name for k in ALL_KERNELS}
+        assert int_idx > 0 and fp_idx > 0
+
+
+class TestNBenchProbe:
+    @pytest.fixture()
+    def api(self):
+        spec = build_fleet()[2]
+        m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes))
+        m.boot(0.0)
+        return Win32Api(m), spec
+
+    def test_probe_reports_catalog_indexes(self, api, rng):
+        facade, spec = api
+        probe = NBenchProbe(rng)
+        report = parse_nbench_output(probe.run(facade, 100.0).stdout)
+        assert report["int"] == pytest.approx(spec.nbench_int, rel=0.1)
+        assert report["fp"] == pytest.approx(spec.nbench_fp, rel=0.1)
+
+    def test_probe_costs_cpu(self, api, rng):
+        facade, _ = api
+        result = NBenchProbe(rng).run(facade, 100.0)
+        assert result.cpu_seconds > 1.0  # a benchmark suite is not free
+
+    def test_probe_reports_all_kernels(self, api, rng):
+        facade, _ = api
+        report = parse_nbench_output(NBenchProbe(rng).run(facade, 0.0).stdout)
+        for k in ALL_KERNELS:
+            assert k.name in report
+
+
+class TestHostReport:
+    def test_host_report_parses(self):
+        report = parse_nbench_output(host_nbench_report(min_duration=0.01))
+        assert "int" in report and "fp" in report
+
+
+class TestParser:
+    def test_rejects_foreign_report(self):
+        with pytest.raises(ProbeError):
+            parse_nbench_output("W32Probe/1.2\nhost: x\n")
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ProbeError):
+            parse_nbench_output("NBenchProbe/1.0\nbroken line\n")
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ProbeError):
+            parse_nbench_output("NBenchProbe/1.0\nbogus.key: 1\n")
+
+    def test_rejects_incomplete_report(self):
+        with pytest.raises(ProbeError):
+            parse_nbench_output("NBenchProbe/1.0\nkernel.numsort: 5.0\n")

@@ -1,0 +1,96 @@
+"""Unit tests for the post-collecting code."""
+
+import pytest
+
+from repro.ddc.postcollect import PostCollectContext, SamplePostCollector
+from repro.ddc.w32probe import W32Probe
+from repro.errors import ProbeError
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.machines.winapi import Win32Api
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+
+
+@pytest.fixture()
+def machine():
+    spec = build_fleet()[3]
+    m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes),
+                   base_disk_used_bytes=int(11e9))
+    m.boot(500.0)
+    m.set_memory_load(500.0, 52.0, 24.0)
+    return m
+
+
+@pytest.fixture()
+def stdout(machine):
+    return W32Probe().run(Win32Api(machine), 1500.0).stdout
+
+
+@pytest.fixture()
+def ctx(machine):
+    spec = machine.spec
+    return PostCollectContext(
+        machine_id=spec.machine_id, hostname=spec.hostname, lab=spec.lab,
+        t=1500.5, iteration=7,
+    )
+
+
+def test_sample_is_parsed_and_stored(stdout, ctx):
+    store = TraceStore(TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0))
+    collector = SamplePostCollector(store)
+    sample = collector(stdout, "", ctx)
+    assert sample is not None
+    assert len(store) == 1
+    assert sample.machine_id == ctx.machine_id
+    assert sample.iteration == 7
+    assert sample.t == 1500.5
+    assert sample.uptime_s == pytest.approx(1000.0)
+    assert not sample.has_session
+
+
+def test_static_info_registered_once(stdout, ctx):
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0)
+    store = TraceStore(meta)
+    collector = SamplePostCollector(store)
+    collector(stdout, "", ctx)
+    collector(stdout, "", ctx)
+    assert list(meta.statics) == [ctx.machine_id]
+    static = meta.statics[ctx.machine_id]
+    assert static.hostname == ctx.hostname
+    assert static.ram_mb == 512
+
+
+def test_session_sample(machine, ctx):
+    machine.login(800.0, "dave")
+    stdout = W32Probe().run(Win32Api(machine), 1500.0).stdout
+    store = TraceStore()
+    sample = SamplePostCollector(store)(stdout, "", ctx)
+    assert sample.has_session
+    assert sample.username == "dave"
+    assert sample.session_start == 800.0
+    assert sample.session_age() == pytest.approx(700.5)
+
+
+def test_strict_mode_raises_on_garbage(ctx):
+    collector = SamplePostCollector(TraceStore(), strict=True)
+    with pytest.raises(ProbeError):
+        collector("garbage output", "", ctx)
+
+
+def test_lenient_mode_counts_failures(ctx):
+    collector = SamplePostCollector(TraceStore(), strict=False)
+    assert collector("garbage output", "", ctx) is None
+    assert collector.parse_failures == 1
+    assert len(collector.store) == 0
+
+
+def test_idle_clamped_to_uptime(stdout, ctx):
+    # forge a report where idle slightly exceeds uptime (clock skew)
+    forged = stdout.replace(
+        next(l for l in stdout.splitlines() if l.startswith("cpu.idle_s")),
+        "cpu.idle_s: 1000.100",
+    )
+    sample = SamplePostCollector(TraceStore())(forged, "", ctx)
+    assert sample.cpu_idle_s <= sample.uptime_s

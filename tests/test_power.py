@@ -1,0 +1,121 @@
+"""Unit tests for the power policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import PowerParams
+from repro.sim.calendar import DAY, HOUR, MINUTE, AcademicCalendar
+from repro.sim.power import MachinePowerTraits, PowerPolicy
+
+
+@pytest.fixture()
+def policy(rng):
+    cal = AcademicCalendar(["L01"], rng)
+    return PowerPolicy(PowerParams(), cal)
+
+
+def _rate(fn, n=3000, seed=0):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return np.mean([fn(rng) for _ in range(n)])
+
+
+class TestTraits:
+    def test_bias_in_unit_interval(self, policy, rng):
+        for _ in range(200):
+            t = policy.traits(rng)
+            assert 0.0 <= t.leave_on_bias < 1.0
+
+    def test_night_owl_fraction(self, policy):
+        rng = np.random.Generator(np.random.PCG64(1))
+        owls = np.mean([policy.traits(rng).night_owl for _ in range(5000)])
+        assert owls == pytest.approx(policy.params.night_owl_fraction, abs=0.03)
+
+
+class TestOffAfterUse:
+    def test_evening_more_likely_than_day(self, policy):
+        traits = MachinePowerTraits(leave_on_bias=0.0)
+        noon = 0 * DAY + 12 * HOUR
+        night = 0 * DAY + 22 * HOUR
+        day_rate = _rate(lambda r: policy.off_after_use(noon, traits, r))
+        eve_rate = _rate(lambda r: policy.off_after_use(night, traits, r))
+        assert eve_rate > day_rate
+
+    def test_early_morning_counts_as_evening(self, policy):
+        traits = MachinePowerTraits(leave_on_bias=0.0)
+        t = 1 * DAY + 2 * HOUR  # 02:00
+        rate = _rate(lambda r: policy.off_after_use(t, traits, r))
+        assert rate == pytest.approx(policy.params.p_off_after_use_evening, abs=0.04)
+
+    def test_bias_reduces_off_probability(self, policy):
+        noon = 12 * HOUR
+        lo = _rate(lambda r: policy.off_after_use(noon, MachinePowerTraits(0.0), r))
+        hi = _rate(lambda r: policy.off_after_use(noon, MachinePowerTraits(0.95), r))
+        assert hi < lo
+
+    def test_night_owls_rarely_power_off(self, policy):
+        noon = 12 * HOUR
+        owl = MachinePowerTraits(0.0, night_owl=True)
+        normal = MachinePowerTraits(0.0, night_owl=False)
+        assert _rate(lambda r: policy.off_after_use(noon, owl, r)) < _rate(
+            lambda r: policy.off_after_use(noon, normal, r)
+        )
+
+
+class TestOffAtClose:
+    def test_baseline_rate(self, policy):
+        traits = MachinePowerTraits(0.0)
+        rate = _rate(lambda r: policy.off_at_close(traits, r))
+        assert rate == pytest.approx(policy.params.p_off_at_close, abs=0.03)
+
+    def test_forgotten_session_spares_machine(self, policy):
+        traits = MachinePowerTraits(0.0)
+        plain = _rate(lambda r: policy.off_at_close(traits, r))
+        ghost = _rate(lambda r: policy.off_at_close(traits, r, forgotten_session=True))
+        assert ghost < 0.5 * plain
+
+    def test_night_owl_survives_sweep_more_often(self, policy):
+        owl = MachinePowerTraits(0.0, night_owl=True)
+        normal = MachinePowerTraits(0.0, night_owl=False)
+        owl_rate = _rate(lambda r: policy.off_at_close(owl, r))
+        normal_rate = _rate(lambda r: policy.off_at_close(normal, r))
+        assert owl_rate < 0.7 * normal_rate
+
+
+class TestShortCycles:
+    def test_no_short_cycles_on_sunday(self, policy, rng):
+        assert policy.plan_short_cycles(6, rng) == []
+
+    def test_cycles_fall_in_open_hours(self, policy, rng):
+        cal = policy.calendar
+        for day in range(6):
+            for start, uptime in policy.plan_short_cycles(day, rng):
+                assert cal.is_open(start)
+                lo, hi = policy.params.short_cycle_uptime
+                assert lo <= uptime <= hi
+
+    def test_cycles_sorted(self, policy, rng):
+        for day in range(6):
+            cycles = policy.plan_short_cycles(day, rng)
+            assert cycles == sorted(cycles)
+
+    def test_mean_rate_matches_parameter(self, policy):
+        rng = np.random.Generator(np.random.PCG64(7))
+        counts = [len(policy.plan_short_cycles(d % 5, rng)) for d in range(2000)]
+        assert np.mean(counts) == pytest.approx(
+            policy.params.short_cycles_per_day, rel=0.1
+        )
+
+    def test_uptimes_are_sub_sampling_period(self, policy, rng):
+        lo, hi = policy.params.short_cycle_uptime
+        assert hi < 15 * MINUTE
+
+
+def test_boot_duration_positive(policy):
+    assert policy.boot_duration() > 0
+
+
+def test_power_params_validation():
+    with pytest.raises(ValueError):
+        PowerParams(p_off_at_close=1.5)
+    with pytest.raises(ValueError):
+        PowerParams(boot_duration=0.0)

@@ -1,0 +1,107 @@
+"""Unit tests for W32Probe and its wire format."""
+
+import pytest
+
+from repro.ddc.w32probe import W32Probe, parse_w32probe, session_fields
+from repro.errors import ProbeError
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.machines.winapi import Win32Api
+
+
+@pytest.fixture()
+def machine():
+    spec = build_fleet()[0]
+    m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes),
+                   base_disk_used_bytes=int(12e9))
+    m.boot(1000.0)
+    m.set_memory_load(1000.0, 48.0, 22.0)
+    m.set_net_rates(1000.0, 200.0, 700.0)
+    return m
+
+
+def test_probe_output_parses(machine):
+    result = W32Probe().run(Win32Api(machine), 2000.0)
+    assert result.ok
+    report = parse_w32probe(result.stdout)
+    assert report["host"] == machine.spec.hostname
+    assert float(report["uptime_s"]) == pytest.approx(1000.0)
+    assert int(report["mem.load_pct"]) == 48
+
+
+def test_idle_time_consistent_with_uptime(machine):
+    result = W32Probe().run(Win32Api(machine), 2000.0)
+    report = parse_w32probe(result.stdout)
+    assert float(report["cpu.idle_s"]) <= float(report["uptime_s"]) + 1e-6
+
+
+def test_session_fields_when_logged_in(machine):
+    machine.login(1500.0, "carol")
+    report = parse_w32probe(W32Probe().run(Win32Api(machine), 2000.0).stdout)
+    assert session_fields(report) == ("carol", 1500.0)
+
+
+def test_session_fields_absent_when_free(machine):
+    report = parse_w32probe(W32Probe().run(Win32Api(machine), 2000.0).stdout)
+    assert session_fields(report) is None
+    assert "session.user" not in report
+
+
+def test_smart_counters_in_report(machine):
+    report = parse_w32probe(W32Probe().run(Win32Api(machine), 1000.0 + 7200).stdout)
+    assert int(report["smart.power_cycles"]) == 1
+    assert int(report["smart.power_on_hours"]) == 2
+
+
+def test_static_fields_in_report(machine):
+    report = parse_w32probe(W32Probe().run(Win32Api(machine), 2000.0).stdout)
+    spec = machine.spec
+    assert report["cpu.name"] == spec.cpu.model
+    assert int(report["ram.total_mb"]) == spec.ram_mb
+    assert report["disk.serial"] == spec.disk_serial
+    assert report["mac.0"] == spec.mac
+
+
+def test_probe_cpu_cost_is_tiny(machine):
+    result = W32Probe().run(Win32Api(machine), 2000.0)
+    assert result.cpu_seconds < 0.1
+
+
+class TestParserRobustness:
+    def test_empty_output_rejected(self):
+        with pytest.raises(ProbeError):
+            parse_w32probe("")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ProbeError):
+            parse_w32probe("NotAProbe/1.0\nhost: x\n")
+
+    def test_incompatible_major_version_rejected(self):
+        with pytest.raises(ProbeError):
+            parse_w32probe("W32Probe/2.0\nhost: x\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ProbeError):
+            parse_w32probe("W32Probe/1.2\nhost x no colon\n")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ProbeError):
+            parse_w32probe("W32Probe/1.2\nhost: a\nhost: b\n")
+
+    def test_truncated_report_rejected(self, machine):
+        stdout = W32Probe().run(Win32Api(machine), 2000.0).stdout
+        truncated = "\n".join(stdout.splitlines()[:5])
+        with pytest.raises(ProbeError):
+            parse_w32probe(truncated)
+
+    def test_inconsistent_session_fields_rejected(self, machine):
+        stdout = W32Probe().run(Win32Api(machine), 2000.0).stdout
+        report = parse_w32probe(stdout + "session.user: ghost\n")
+        with pytest.raises(ProbeError):
+            session_fields(report)
+
+    def test_blank_lines_tolerated(self, machine):
+        stdout = W32Probe().run(Win32Api(machine), 2000.0).stdout
+        padded = stdout.replace("\n", "\n\n")
+        assert parse_w32probe(padded)["host"] == machine.spec.hostname

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import availability_nines, binned_mean, histogram_share
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartAttribute, SmartDisk
+from repro.nbench.index import BASELINE_RATES, compute_indexes, geometric_mean
+from repro.report.series import render_sparkline, series_to_csv
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams, stable_hash32
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda tt=t: fired.append(tt))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e5), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_engine_cancellation_is_exact(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for k, (t, cancel) in enumerate(entries):
+        handles.append((sim.schedule(t, fired.append, k), cancel, k))
+    for handle, cancel, _ in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = {k for _, cancel, k in handles if not cancel}
+    assert set(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# machine counters
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=3600.0),   # segment length
+            st.floats(min_value=0.0, max_value=1.0),       # busy fraction
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_idle_counter_equals_piecewise_integral(segments):
+    spec = build_fleet()[0]
+    m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes))
+    m.boot(0.0)
+    t = 0.0
+    expected_idle = 0.0
+    for length, busy in segments:
+        m.set_cpu_busy(t, busy)
+        t += length
+        expected_idle += length * (1.0 - busy)
+    assert m.cpu_idle_seconds(t) == pytest.approx(expected_idle, rel=1e-9, abs=1e-6)
+    assert 0.0 <= m.cpu_idle_seconds(t) <= m.uptime(t) + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=3600.0),
+            st.floats(min_value=0.0, max_value=1e6),
+            st.floats(min_value=0.0, max_value=1e6),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_net_counters_monotone_and_exact(segments):
+    spec = build_fleet()[0]
+    m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes))
+    m.boot(0.0)
+    t = 0.0
+    exp_sent = exp_recv = 0.0
+    prev_sent = 0.0
+    for length, s_bps, r_bps in segments:
+        m.set_net_rates(t, s_bps, r_bps)
+        t += length
+        exp_sent += length * s_bps
+        exp_recv += length * r_bps
+        assert m.total_sent_bytes(t) >= prev_sent - 1e-6  # monotone
+        prev_sent = m.total_sent_bytes(t)
+    assert m.total_sent_bytes(t) == pytest.approx(exp_sent, rel=1e-9, abs=1e-6)
+    assert m.total_recv_bytes(t) == pytest.approx(exp_recv, rel=1e-9, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# SMART
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e5),   # on duration
+            st.floats(min_value=1.0, max_value=1e5),   # off duration
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_smart_counters_track_power_cycles(cycles):
+    d = SmartDisk("s", 1000)
+    t = 0.0
+    expected_on = 0.0
+    for on_len, off_len in cycles:
+        d.power_on(t)
+        t += on_len
+        expected_on += on_len
+        d.power_off(t)
+        t += off_len
+    assert d.power_cycles == len(cycles)
+    assert d.power_on_seconds(t) == pytest.approx(expected_on, rel=1e-9)
+    # uptime per cycle is the mean on-duration
+    assert d.uptime_per_cycle_hours(t) == pytest.approx(
+        expected_on / len(cycles) / 3600.0, rel=1e-9
+    )
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+@settings(max_examples=100, deadline=None)
+def test_smart_attribute_raw_roundtrip(raw):
+    attr = SmartAttribute(0x09, "poh", raw)
+    assert SmartAttribute.from_raw_bytes(0x09, "poh", attr.raw_bytes).raw == raw
+
+
+# ----------------------------------------------------------------------
+# RNG
+# ----------------------------------------------------------------------
+@given(st.text(min_size=0, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_stable_hash_bounds(name):
+    h = stable_hash32(name)
+    assert 0 <= h < 2**32
+    assert h == stable_hash32(name)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_streams_reproducible(seed, name):
+    a = RandomStreams(seed).stream(name).random(3)
+    b = RandomStreams(seed).stream(name).random(3)
+    assert list(a) == list(b)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=0.999999), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_nines_monotone(ratios):
+    arr = np.sort(np.array(ratios))
+    nines = availability_nines(arr)
+    assert np.all(np.diff(nines) >= -1e-12)
+    assert np.all(nines >= 0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=30),
+    st.floats(min_value=0.001, max_value=1000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_geometric_mean_homogeneous(values, scale):
+    base = geometric_mean(values)
+    scaled = geometric_mean([scale * v for v in values])
+    assert scaled == pytest.approx(scale * base, rel=1e-6)
+
+
+@given(st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_indexes_scale_with_uniform_speedup(factor):
+    rates = {k: factor * v for k, v in BASELINE_RATES.items()}
+    int_idx, fp_idx = compute_indexes(rates)
+    assert int_idx == pytest.approx(factor, rel=1e-9)
+    assert fp_idx == pytest.approx(factor, rel=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_binned_mean_conserves_totals(values, n_bins):
+    vals = np.array(values)
+    bins = (np.arange(vals.size) % n_bins).astype(np.int64)
+    means, counts = binned_mean(bins, vals, n_bins)
+    total = np.nansum(np.where(counts > 0, means * counts, 0.0))
+    assert total == pytest.approx(vals.sum(), rel=1e-9, abs=1e-6)
+    assert counts.sum() == vals.size
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=96.0), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_histogram_share_sums_to_one(values):
+    vals = np.array(values)
+    counts, share = histogram_share(vals, np.linspace(0.0, 96.0 + 1e-9, 25))
+    assert counts.sum() == vals.size
+    if vals.sum() > 0:
+        assert share.sum() == pytest.approx(1.0, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.one_of(
+            st.floats(min_value=-1e9, max_value=1e9),
+            st.just(float("nan")),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_sparkline_length_invariant(values):
+    assert len(render_sparkline(values)) == len(values)
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=5),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=3),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_series_csv_shape(columns):
+    out = series_to_csv(columns)
+    lines = out.splitlines()
+    assert len(lines) == 4  # header + 3 rows
+    assert lines[0].count(",") == len(columns) - 1

@@ -1,0 +1,115 @@
+"""Property-based tests for the extension modules (ops, periods, energy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.periods import period_of_week_second
+from repro.analysis.stats import availability_nines
+from repro.report.markdown import markdown_table
+from repro.sim.calendar import WEEK
+from repro.traces.ops import filter_samples, merge, slice_time
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+# ----------------------------------------------------------------------
+# period classification
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=3 * WEEK), min_size=1,
+                max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_period_codes_are_total_and_bounded(times):
+    codes = period_of_week_second(np.array(times))
+    assert codes.shape == (len(times),)
+    assert set(np.unique(codes)).issubset({0, 1, 2})
+
+
+@given(st.floats(min_value=0.0, max_value=WEEK - 1.0))
+@settings(max_examples=80, deadline=None)
+def test_period_weekly_periodicity(t):
+    a = period_of_week_second(np.array([t]))[0]
+    b = period_of_week_second(np.array([t + WEEK]))[0]
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# trace operations
+# ----------------------------------------------------------------------
+def _random_store(rng, n):
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0,
+                     iterations_scheduled=96, iterations_run=96,
+                     attempts=96 * 169, timeouts=0)
+    store = TraceStore(meta)
+    for _ in range(n):
+        mid = int(rng.integers(0, 20))
+        t = float(rng.uniform(0, 86400.0))
+        store.add(make_sample(mid, t=t, uptime_s=min(t, 500.0),
+                              cpu_idle_s=min(t, 500.0) * 0.9))
+    return store
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(1, 40))
+@settings(max_examples=30, deadline=None)
+def test_filter_is_subset_and_partition(seed, n):
+    rng = np.random.default_rng(seed)
+    store = _random_store(rng, n)
+    even = filter_samples(store, lambda s: s.machine_id % 2 == 0)
+    odd = filter_samples(store, lambda s: s.machine_id % 2 == 1)
+    assert len(even) + len(odd) == len(store)
+    assert all(s.machine_id % 2 == 0 for s in even.samples())
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(1, 30),
+       st.floats(min_value=1.0, max_value=86400.0))
+@settings(max_examples=30, deadline=None)
+def test_slice_window_semantics(seed, n, cut):
+    rng = np.random.default_rng(seed)
+    store = _random_store(rng, n)
+    left = slice_time(store, 0.0, cut)
+    right = slice_time(store, cut, 86400.0 + 1.0)
+    assert len(left) + len(right) == len(store)
+    assert all(s.t < cut for s in left.samples())
+    assert all(s.t >= cut for s in right.samples())
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(1, 20),
+       st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_merge_lengths_and_accounting(seed, n1, n2):
+    rng = np.random.default_rng(seed)
+    a = _random_store(rng, n1)
+    b = _random_store(rng, n2)
+    out = merge([a, b])
+    assert len(out) == n1 + n2
+    assert out.meta.attempts == a.meta.attempts + b.meta.attempts
+
+
+# ----------------------------------------------------------------------
+# markdown
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=6),
+             min_size=1, max_size=5, unique=True),
+    st.integers(0, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_markdown_table_shape(headers, n_rows):
+    rows = [[1.0] * len(headers) for _ in range(n_rows)]
+    out = markdown_table(headers, rows)
+    lines = out.splitlines()
+    assert len(lines) == 2 + n_rows
+    assert all(line.count("|") == len(headers) + 1 for line in lines)
+
+
+# ----------------------------------------------------------------------
+# nines round-trip
+# ----------------------------------------------------------------------
+@given(st.floats(min_value=0.0, max_value=0.999))
+@settings(max_examples=60, deadline=None)
+def test_nines_inverts(ratio):
+    nines = availability_nines(ratio)
+    back = 1.0 - 10.0 ** (-nines)
+    assert back == pytest.approx(ratio, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Tests for experiment provenance records."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.provenance import (
+    fleet_digest,
+    provenance_record,
+    read_provenance,
+    verify_provenance,
+    write_provenance,
+)
+
+
+@pytest.fixture(scope="module")
+def record(small_result):
+    return provenance_record(small_result)
+
+
+def test_record_contents(record, small_result):
+    assert record["format"] == "repro-provenance/1"
+    assert record["seed"] == small_result.config.seed
+    assert record["samples"] == len(small_result.store)
+    assert record["config"]["behavior"]["p_forget"] > 0
+    assert len(record["fleet_digest"]) == 64
+
+
+def test_digest_is_stable(small_result):
+    assert fleet_digest(small_result) == fleet_digest(small_result)
+
+
+def test_write_read_roundtrip(small_result, tmp_path):
+    path = write_provenance(small_result, tmp_path / "prov.json")
+    back = read_provenance(path)
+    # JSON normalises tuples to lists and dict keys to strings; compare
+    # through the same normalisation
+    assert back == json.loads(json.dumps(provenance_record(small_result)))
+
+
+def test_read_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "other/9"}))
+    with pytest.raises(ReproError):
+        read_provenance(path)
+
+
+def test_read_rejects_missing_keys(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "repro-provenance/1", "seed": 1}))
+    with pytest.raises(ReproError):
+        read_provenance(path)
+
+
+def test_verify_reproduces_exactly(tmp_path):
+    """A fresh 1-day run re-verifies bit-for-bit from its record."""
+    from repro.config import ExperimentConfig
+    from repro.experiment import run_experiment
+
+    result = run_experiment(ExperimentConfig(days=1, seed=1234))
+    path = write_provenance(result, tmp_path / "prov.json")
+    outcome = verify_provenance(path)
+    assert outcome["reproduced"], outcome
+    assert outcome["samples_match"] is True
+
+
+def test_verify_shortened_checks_digest_only(small_result, tmp_path):
+    path = write_provenance(small_result, tmp_path / "prov.json")
+    outcome = verify_provenance(path, days=1)
+    assert outcome["fleet_digest_matches"]
+    assert outcome["samples_match"] is None
+    assert outcome["reproduced"]
+
+
+def test_tampered_record_fails_verification(tmp_path):
+    from repro.config import ExperimentConfig
+    from repro.experiment import run_experiment
+
+    result = run_experiment(ExperimentConfig(days=1, seed=77))
+    path = write_provenance(result, tmp_path / "prov.json")
+    data = json.loads(path.read_text())
+    data["samples"] += 1
+    path.write_text(json.dumps(data))
+    outcome = verify_provenance(path)
+    assert not outcome["reproduced"]

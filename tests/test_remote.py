@@ -1,0 +1,93 @@
+"""Unit tests for the psexec-style remote executor."""
+
+import numpy as np
+import pytest
+
+from repro.ddc.remote import Credentials, RemoteExecutor
+from repro.ddc.w32probe import W32Probe
+from repro.errors import AccessDenied, MachineUnreachable
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+
+
+@pytest.fixture()
+def machine():
+    spec = build_fleet()[0]
+    return SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes),
+                      base_disk_used_bytes=int(10e9))
+
+
+@pytest.fixture()
+def admin():
+    return Credentials.create("DDC\\collector", "secret")
+
+
+@pytest.fixture()
+def executor(admin, rng):
+    return RemoteExecutor(admin, latency_range=(0.2, 0.8), off_timeout=1.5, rng=rng)
+
+
+class TestCredentials:
+    def test_digest_binds_username(self):
+        a = Credentials.create("alice", "pw")
+        b = Credentials.create("bob", "pw")
+        assert a.password_digest != b.password_digest
+
+    def test_matches(self, admin):
+        assert admin.matches(Credentials.create("DDC\\collector", "secret"))
+        assert not admin.matches(Credentials.create("DDC\\collector", "wrong"))
+
+    def test_no_cleartext_stored(self, admin):
+        assert "secret" not in admin.password_digest
+
+
+class TestExecution:
+    def test_off_machine_times_out(self, executor, machine, admin):
+        outcome = executor.execute(machine, W32Probe(), 0.0, admin)
+        assert not outcome.ok
+        assert isinstance(outcome.error, MachineUnreachable)
+        assert outcome.elapsed == 1.5
+
+    def test_wrong_credentials_denied(self, executor, machine, admin):
+        machine.boot(0.0)
+        bad = Credentials.create("DDC\\collector", "wrong")
+        outcome = executor.execute(machine, W32Probe(), 10.0, bad)
+        assert not outcome.ok
+        assert isinstance(outcome.error, AccessDenied)
+
+    def test_successful_execution(self, executor, machine, admin):
+        machine.boot(0.0)
+        outcome = executor.execute(machine, W32Probe(), 100.0, admin)
+        assert outcome.ok
+        assert outcome.error is None
+        assert outcome.result is not None
+        assert outcome.result.stdout.startswith("W32Probe/")
+
+    def test_elapsed_includes_latency(self, executor, machine, admin):
+        machine.boot(0.0)
+        outcome = executor.execute(machine, W32Probe(), 100.0, admin)
+        assert 0.2 <= outcome.elapsed <= 0.9
+
+    def test_probe_observes_post_latency_instant(self, admin, machine):
+        # with a fixed latency the probe's uptime reading shifts by it
+        rng = np.random.Generator(np.random.PCG64(0))
+        ex = RemoteExecutor(admin, latency_range=(0.5, 0.5000001),
+                            off_timeout=1.0, rng=rng)
+        machine.boot(0.0)
+        outcome = ex.execute(machine, W32Probe(), 100.0, admin)
+        from repro.ddc.w32probe import parse_w32probe
+        uptime = float(parse_w32probe(outcome.result.stdout)["uptime_s"])
+        assert uptime == pytest.approx(100.5, abs=1e-3)
+
+
+class TestValidation:
+    def test_bad_latency_range(self, admin, rng):
+        with pytest.raises(ValueError):
+            RemoteExecutor(admin, latency_range=(0.0, 1.0), off_timeout=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            RemoteExecutor(admin, latency_range=(2.0, 1.0), off_timeout=1.0, rng=rng)
+
+    def test_bad_timeout(self, admin, rng):
+        with pytest.raises(ValueError):
+            RemoteExecutor(admin, latency_range=(0.1, 0.2), off_timeout=0.0, rng=rng)

@@ -1,0 +1,129 @@
+"""Unit tests for tables, series rendering and the paper constants."""
+
+import numpy as np
+import pytest
+
+from repro.report.paperdata import PAPER
+from repro.report.series import render_sparkline, series_to_csv
+from repro.report.tables import Table, fmt, render_comparison
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "bb"])
+        t.add_row(["x", 1])
+        t.add_row(["long", 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all("|" in line for line in [lines[0], lines[2], lines[3]])
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(1.23456) == "1.23"
+        assert fmt(1.23456, 4) == "1.2346"
+        assert fmt("x") == "x"
+        assert fmt(7) == "7"
+
+
+class TestComparison:
+    def test_relative_deviation(self):
+        out = render_comparison([("m", 100.0, 90.0)])
+        assert "-10.0%" in out
+
+    def test_absolute_deviation_for_zero_paper_value(self):
+        out = render_comparison([("m", 0, 3)])
+        assert "+3" in out
+
+    def test_none_values(self):
+        out = render_comparison([("m", None, 3.0)])
+        assert "-" in out
+
+    def test_title(self):
+        out = render_comparison([("m", 1.0, 1.0)], title="T2")
+        assert out.startswith("T2\n==")
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(render_sparkline([1, 2, 3])) == 3
+
+    def test_monotone_shape(self):
+        s = render_sparkline([0, 1, 2, 3])
+        assert s == "".join(sorted(s))
+
+    def test_nan_renders_blank(self):
+        s = render_sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == " "
+
+    def test_constant_series(self):
+        s = render_sparkline([5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_downsampling(self):
+        s = render_sparkline(np.arange(100.0), width=10)
+        assert len(s) == 10
+
+    def test_all_nan(self):
+        assert render_sparkline([float("nan")] * 3) == "   "
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            render_sparkline(np.zeros((2, 2)))
+
+
+class TestSeriesCsv:
+    def test_roundtrip_values(self):
+        csv = series_to_csv({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,3"
+
+    def test_nan_renders_empty(self):
+        csv = series_to_csv({"a": [float("nan")]})
+        assert csv.splitlines()[1] == ""
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({})
+
+
+class TestPaperConstants:
+    def test_internal_consistency(self):
+        assert PAPER.attempts == 6883 * 169
+        assert PAPER.response_rate == pytest.approx(0.502, abs=0.001)
+        assert PAPER.t2_samples["no_login"] + PAPER.t2_samples["with_login"] == (
+            PAPER.t2_samples["both"]
+        )
+        assert PAPER.login_samples_raw - PAPER.forgotten_samples == (
+            PAPER.t2_samples["with_login"]
+        )
+        assert PAPER.raw_login_share == pytest.approx(0.475, abs=0.002)
+        assert PAPER.forgotten_fraction_of_login == pytest.approx(0.316, abs=0.002)
+
+    def test_fig3_consistency_with_samples(self):
+        assert PAPER.samples / PAPER.iterations == pytest.approx(
+            PAPER.fig3_avg_powered_on, abs=0.15
+        )
+        assert PAPER.t2_samples["no_login"] / PAPER.iterations == pytest.approx(
+            PAPER.fig3_avg_user_free, abs=0.15
+        )
+
+    def test_equivalence_split_sums(self):
+        assert PAPER.equivalence_occupied + PAPER.equivalence_free == pytest.approx(
+            PAPER.equivalence_total, abs=0.001
+        )

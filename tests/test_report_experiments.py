@@ -1,0 +1,55 @@
+"""Integration tests for the run-everything report harness."""
+
+import pytest
+
+from repro.report.experiments import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(week_result):
+    return generate_report(week_result)
+
+
+def test_report_computes_all_sections(report):
+    assert len(report.table2_rows) == 21
+    assert len(report.fig2_rows) == 2
+    assert len(report.fig3_rows) == 2
+    assert len(report.fig4_rows) == 8
+    assert len(report.smart_rows) == 5
+    assert len(report.fig5_rows) == 4
+    assert len(report.fig6_rows) == 3
+
+
+def test_rows_have_paper_and_measured(report):
+    for rows in (report.table2_rows, report.fig3_rows, report.fig6_rows):
+        for metric, paper, measured in rows:
+            assert isinstance(metric, str)
+            assert paper is not None
+            assert measured is not None
+
+
+def test_render_produces_all_sections(report):
+    text = report.render()
+    for heading in (
+        "Experiment scale",
+        "Table 2",
+        "Fig 2",
+        "Fig 3",
+        "Fig 4",
+        "SMART",
+        "Fig 5",
+        "Fig 6",
+    ):
+        assert heading in text
+
+
+def test_shared_pairs_are_reused(report):
+    # the report exposes the single pairwise computation it shares
+    assert report.pairs is not None
+    assert len(report.pairs) > 1000
+
+
+def test_scale_rows_match_coordinator(report, week_result):
+    rows = dict((r[0], r[2]) for r in report.scale_rows)
+    assert rows["samples collected"] == len(week_result.trace)
+    assert rows["iterations run"] == week_result.coordinator.iterations_run

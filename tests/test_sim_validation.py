@@ -1,0 +1,69 @@
+"""Tests for the ground-truth invariant auditor."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.sim.fleet import FleetSimulator
+from repro.sim.validation import Violation, audit_fleet
+
+
+@pytest.fixture(scope="module")
+def audited_fleet():
+    fs = FleetSimulator(ExperimentConfig(days=3, seed=41))
+    fs.run()
+    return fs
+
+
+def test_default_run_is_clean(audited_fleet):
+    violations = audit_fleet(audited_fleet)
+    assert violations == [], violations[:5]
+
+
+def test_week_run_is_clean():
+    fs = FleetSimulator(ExperimentConfig(days=7, seed=55))
+    fs.run()
+    assert audit_fleet(fs) == []
+
+
+def test_auditor_catches_forged_session(audited_fleet):
+    from repro.machines.machine import SessionRecord
+
+    machine = audited_fleet.machines[0]
+    machine.session_log.append(
+        SessionRecord("ghost", start=-100.0, end=-50.0, forgotten=False)
+    )
+    try:
+        violations = audit_fleet(audited_fleet)
+        assert any(v.rule == "session-outside-boot" for v in violations)
+        assert all(isinstance(v, Violation) for v in violations)
+    finally:
+        machine.session_log.pop()
+
+
+def test_auditor_catches_forged_boot_overlap(audited_fleet):
+    from repro.machines.machine import BootRecord
+
+    machine = audited_fleet.machines[1]
+    original = list(machine.boot_log)
+    if len(machine.boot_log) < 2:
+        pytest.skip("machine booted fewer than twice")
+    first = machine.boot_log[0]
+    machine.boot_log[0] = BootRecord(first.boot_time,
+                                     machine.boot_log[1].boot_time + 3600.0)
+    try:
+        violations = audit_fleet(audited_fleet)
+        assert any(v.rule == "boot-overlap" for v in violations)
+    finally:
+        machine.boot_log[:] = original
+
+
+def test_auditor_catches_smart_tampering(audited_fleet):
+    machine = audited_fleet.machines[2]
+    disk = machine.disk
+    original = disk._power_cycles
+    disk._power_cycles = 0
+    try:
+        violations = audit_fleet(audited_fleet)
+        assert any(v.rule == "smart-cycle-deficit" for v in violations)
+    finally:
+        disk._power_cycles = original

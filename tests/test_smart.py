@@ -1,0 +1,124 @@
+"""Unit tests for the SMART disk model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineStateError
+from repro.machines.smart import (
+    ATTR_POWER_CYCLE_COUNT,
+    ATTR_POWER_ON_HOURS,
+    SmartAttribute,
+    SmartDisk,
+)
+
+
+@pytest.fixture()
+def disk():
+    return SmartDisk("WD-TEST-0001", int(40e9))
+
+
+class TestPowerCounters:
+    def test_cycles_increment_on_power_on(self, disk):
+        disk.power_on(0.0)
+        assert disk.power_cycles == 1
+        disk.power_off(10.0)
+        disk.power_on(20.0)
+        assert disk.power_cycles == 2
+
+    def test_power_on_hours_accumulate(self, disk):
+        disk.power_on(0.0)
+        disk.power_off(7200.0)
+        assert disk.power_on_hours(7200.0) == pytest.approx(2.0)
+
+    def test_live_read_includes_current_session(self, disk):
+        disk.power_on(0.0)
+        assert disk.power_on_hours(3600.0) == pytest.approx(1.0)
+
+    def test_double_power_on_raises(self, disk):
+        disk.power_on(0.0)
+        with pytest.raises(MachineStateError):
+            disk.power_on(1.0)
+
+    def test_power_off_when_off_raises(self, disk):
+        with pytest.raises(MachineStateError):
+            disk.power_off(1.0)
+
+    def test_power_off_before_on_raises(self, disk):
+        disk.power_on(100.0)
+        with pytest.raises(MachineStateError):
+            disk.power_off(50.0)
+
+    def test_uptime_per_cycle(self, disk):
+        disk.power_on(0.0)
+        disk.power_off(3600.0)
+        disk.power_on(4000.0)
+        disk.power_off(4000.0 + 7200.0)
+        assert disk.uptime_per_cycle_hours(12000.0) == pytest.approx(1.5)
+
+    def test_uptime_per_cycle_requires_history(self, disk):
+        with pytest.raises(MachineStateError):
+            disk.uptime_per_cycle_hours(0.0)
+
+    def test_initial_history_respected(self):
+        d = SmartDisk("s", 1000, initial_power_cycles=100,
+                      initial_power_on_hours=646.0)
+        assert d.power_cycles == 100
+        assert d.uptime_per_cycle_hours(0.0) == pytest.approx(6.46)
+
+    def test_negative_history_rejected(self):
+        with pytest.raises(ValueError):
+            SmartDisk("s", 1000, initial_power_cycles=-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SmartDisk("s", 0)
+
+
+class TestAttributes:
+    def test_attribute_table_contents(self, disk):
+        disk.power_on(0.0)
+        attrs = disk.attributes(3 * 3600.0)
+        assert attrs[ATTR_POWER_CYCLE_COUNT].raw == 1
+        assert attrs[ATTR_POWER_ON_HOURS].raw == 3
+
+    def test_raw_bytes_roundtrip(self):
+        attr = SmartAttribute(ATTR_POWER_ON_HOURS, "Power-On Hours", 123456)
+        back = SmartAttribute.from_raw_bytes(
+            ATTR_POWER_ON_HOURS, "Power-On Hours", attr.raw_bytes
+        )
+        assert back == attr
+
+    def test_raw_value_48bit_bound(self):
+        with pytest.raises(ValueError):
+            SmartAttribute(0x09, "x", 1 << 48)
+
+    def test_bad_raw_bytes_length(self):
+        with pytest.raises(ValueError):
+            SmartAttribute.from_raw_bytes(0x09, "x", b"\x00\x01")
+
+
+class TestHistorySeeding:
+    def test_with_history_matches_paper_moments(self, rng):
+        lives = [
+            SmartDisk.with_history(f"s{i}", 1000, rng).uptime_per_cycle_hours(0.0)
+            for i in range(400)
+        ]
+        mean = float(np.mean(lives))
+        # paper whole-life statistic: 6.46 h mean (we seed 5.6 so that the
+        # experiment's own cycles drift the final value up toward 6.46)
+        assert 4.0 < mean < 8.0
+
+    def test_with_history_age_bound(self, rng):
+        d = SmartDisk.with_history("s", 1000, rng, age_years_range=(1.0, 1.0))
+        # can't have spun longer than its age
+        assert d.power_on_hours(0.0) <= 365 * 24
+
+    def test_with_history_bad_age_range(self, rng):
+        with pytest.raises(ValueError):
+            SmartDisk.with_history("s", 1000, rng, age_years_range=(2.0, 1.0))
+
+    def test_with_history_deterministic_per_stream(self):
+        a = SmartDisk.with_history("s", 1000, np.random.Generator(np.random.PCG64(3)))
+        b = SmartDisk.with_history("s", 1000, np.random.Generator(np.random.PCG64(3)))
+        assert a.power_cycles == b.power_cycles
+        assert a.power_on_hours(0.0) == b.power_on_hours(0.0)

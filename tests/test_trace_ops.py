@@ -1,0 +1,115 @@
+"""Tests for trace filter / slice / merge operations."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.ops import (
+    filter_labs,
+    filter_machines,
+    filter_samples,
+    merge,
+    slice_time,
+)
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+from tests.test_store import make_sample
+
+
+@pytest.fixture()
+def store():
+    meta = TraceMeta(n_machines=169, sample_period=900.0, horizon=86400.0,
+                     iterations_scheduled=96, iterations_run=96,
+                     attempts=96 * 169, timeouts=0)
+    s = TraceStore(meta)
+    s.add(make_sample(0, t=900.0))
+    s.add(make_sample(0, t=50_000.0, uptime_s=50_000.0))
+    s.add(make_sample(1, t=900.0, lab="L02", hostname="L02-M02"))
+    s.add(make_sample(2, t=70_000.0, uptime_s=70_000.0, lab="L03",
+                      hostname="L03-M03"))
+    return s
+
+
+class TestFilter:
+    def test_predicate_filter(self, store):
+        out = filter_samples(store, lambda s: s.machine_id == 0)
+        assert len(out) == 2
+        assert all(s.machine_id == 0 for s in out.samples())
+
+    def test_meta_is_cloned_not_shared(self, store):
+        out = filter_samples(store, lambda s: True)
+        assert out.meta is not store.meta
+        out.meta.attempts = 1
+        assert store.meta.attempts == 96 * 169
+
+    def test_filter_labs(self, store):
+        out = filter_labs(store, ["L02", "L03"])
+        assert len(out) == 2
+        assert {s.lab for s in out.samples()} == {"L02", "L03"}
+
+    def test_filter_labs_empty_rejected(self, store):
+        with pytest.raises(TraceError):
+            filter_labs(store, [])
+
+    def test_filter_machines(self, store):
+        out = filter_machines(store, [1, 2])
+        assert len(out) == 2
+        with pytest.raises(TraceError):
+            filter_machines(store, [])
+
+
+class TestSliceTime:
+    def test_window(self, store):
+        out = slice_time(store, 0.0, 10_000.0)
+        assert len(out) == 2
+        assert all(s.t < 10_000.0 for s in out.samples())
+
+    def test_accounting_rescaled(self, store):
+        out = slice_time(store, 0.0, 43_200.0)  # half the horizon
+        assert out.meta.horizon == 43_200.0
+        assert out.meta.iterations_run == 48
+        assert out.meta.attempts == 48 * 169 // 1
+
+    def test_bad_window_rejected(self, store):
+        with pytest.raises(TraceError):
+            slice_time(store, 10.0, 10.0)
+
+
+class TestMerge:
+    def test_concatenates_and_sums_accounting(self, store):
+        other = TraceStore(TraceMeta(n_machines=169, sample_period=900.0,
+                                     horizon=86400.0, iterations_run=96,
+                                     attempts=96 * 169, timeouts=100))
+        other.add(make_sample(5, t=1000.0, hostname="L01-M06"))
+        out = merge([store, other])
+        assert len(out) == len(store) + 1
+        assert out.meta.attempts == 2 * 96 * 169
+        assert out.meta.horizon == 2 * 86400.0
+
+    def test_conflicting_identity_rejected(self, store):
+        other = TraceStore()
+        other.add(make_sample(0, t=1000.0, hostname="DIFFERENT"))
+        with pytest.raises(TraceError):
+            merge([store, other])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceError):
+            merge([])
+
+
+class TestIntegrationWithAnalyses:
+    def test_sliced_trace_still_analysable(self, week_result):
+        from repro.analysis.mainresults import compute_main_results
+        from repro.traces.columnar import ColumnarTrace
+
+        sliced = slice_time(week_result.store, 0.0, 2 * 86400.0)
+        trace = ColumnarTrace(sliced)
+        mr = compute_main_results(trace)
+        assert 0.0 < mr.both.uptime_pct < 100.0
+
+    def test_lab_filter_matches_per_lab_counts(self, week_result):
+        from repro.traces.columnar import ColumnarTrace
+
+        out = filter_labs(week_result.store, ["L05"])
+        trace = ColumnarTrace(out)
+        assert trace.n_machines <= 16
+        assert {st.lab for st in out.meta.statics.values()} == {"L05"}

@@ -1,0 +1,101 @@
+"""Unit tests for the Win32 facade."""
+
+import pytest
+
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.machines.winapi import Win32Api
+
+
+@pytest.fixture()
+def api():
+    spec = build_fleet()[0]
+    disk = SmartDisk(spec.disk_serial, spec.disk_bytes)
+    machine = SimMachine(spec, disk, base_disk_used_bytes=int(10e9))
+    machine.boot(1000.0)
+    return Win32Api(machine), machine
+
+
+def test_tick_count_is_milliseconds(api):
+    facade, _ = api
+    assert facade.get_tick_count(1010.0) == pytest.approx(10_000.0)
+
+
+def test_boot_time(api):
+    facade, _ = api
+    assert facade.boot_time(2000.0) == 1000.0
+
+
+def test_idle_time_tracks_machine(api):
+    facade, machine = api
+    machine.set_cpu_busy(1000.0, 0.5)
+    assert facade.get_idle_time(1100.0) == pytest.approx(50.0)
+
+
+def test_memory_status_fields(api):
+    facade, machine = api
+    machine.set_memory_load(1000.0, 50.0, 25.0)
+    status = facade.global_memory_status(1000.0)
+    assert status.dw_memory_load == 50
+    assert status.dw_total_phys == machine.spec.ram_bytes
+    assert status.dw_avail_phys == pytest.approx(machine.spec.ram_bytes // 2, rel=0.01)
+    assert status.swap_load == 25
+
+
+def test_memory_status_swap_zero_total():
+    from repro.machines.winapi import MemoryStatus
+
+    s = MemoryStatus(0, 0, 0, 0, 0)
+    assert s.swap_load == 0
+
+
+def test_disk_free_space(api):
+    facade, machine = api
+    free, total = facade.get_disk_free_space(1000.0)
+    assert total == machine.spec.disk_bytes
+    assert free == machine.spec.disk_bytes - int(10e9)
+
+
+def test_if_table_counters(api):
+    facade, machine = api
+    machine.set_net_rates(1000.0, 10.0, 20.0)
+    rows = facade.get_if_table(1100.0)
+    assert len(rows) == 1
+    assert rows[0].mac == machine.spec.mac
+    assert rows[0].bytes_sent == 1000
+    assert rows[0].bytes_recv == 2000
+
+
+def test_session_query(api):
+    facade, machine = api
+    assert facade.query_interactive_session(1000.0) is None
+    machine.login(1500.0, "bob")
+    info = facade.query_interactive_session(1600.0)
+    assert info is not None
+    assert info.username == "bob"
+    assert info.logon_time == 1500.0
+
+
+def test_smart_attributes_via_facade(api):
+    facade, _ = api
+    attrs = facade.smart_read_attributes(1000.0 + 3600.0)
+    assert attrs[0x0C].raw == 1
+    assert attrs[0x09].raw == 1
+
+
+def test_system_info_static_metrics(api):
+    facade, machine = api
+    info = facade.system_info()
+    spec = machine.spec
+    assert info.hostname == spec.hostname
+    assert info.processor_mhz == spec.cpu.mhz
+    assert info.total_phys_mb == spec.ram_mb
+    assert info.disk_serial == spec.disk_serial
+    assert info.macs == (spec.mac,)
+    assert "Windows 2000" in info.os_name
+
+
+def test_machine_spec_property(api):
+    facade, machine = api
+    assert facade.machine_spec is machine.spec
