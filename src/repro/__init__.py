@@ -35,6 +35,7 @@ from repro.config import (
     paper_config,
 )
 from repro.experiment import MonitoringResult, run_experiment, run_paper_experiment
+from repro.faults import FaultPlan, FaultScenario
 
 __version__ = "1.0.0"
 
@@ -50,4 +51,6 @@ __all__ = [
     "run_experiment",
     "run_paper_experiment",
     "MonitoringResult",
+    "FaultPlan",
+    "FaultScenario",
 ]

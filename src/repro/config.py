@@ -205,12 +205,27 @@ class DdcParams:
     #: (psexec fast-fails; perfmon/WMI were rejected for multi-second
     #: timeouts).
     off_timeout: float = 1.5
+    #: Bounded retries per machine per iteration for *transient* failures
+    #: (access-denied storms, and unreachability when
+    #: :attr:`retry_unreachable` is set).  0 -- the paper's behaviour --
+    #: disables the retry layer entirely.
+    retry_limit: int = 0
+    #: Seconds waited before the first retry; doubles per further retry.
+    retry_backoff: float = 5.0
+    #: Whether :class:`~repro.errors.MachineUnreachable` is retried too.
+    #: Off by default: on a half-powered-off fleet most unreachables are
+    #: permanent for the iteration and retries only burn timeout budget.
+    retry_unreachable: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
         if not 0.0 < self.coordinator_availability <= 1.0:
             raise ValueError("coordinator_availability must be in (0, 1]")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be non-negative")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
 
 
 @dataclass(frozen=True)

@@ -34,8 +34,9 @@ import numpy as np
 from repro.config import DdcParams
 from repro.ddc.postcollect import PostCollectContext, PostCollector
 from repro.ddc.probe import Probe
-from repro.ddc.remote import Credentials, RemoteExecutor
+from repro.ddc.remote import Credentials, RemoteExecutor, RemoteOutcome
 from repro.errors import AccessDenied, MachineUnreachable
+from repro.faults.plan import FaultPlan
 from repro.machines.machine import SimMachine
 from repro.sim.engine import Simulator
 from repro.traces.records import TraceMeta
@@ -65,6 +66,10 @@ class DdcCoordinator:
         Experiment end time (seconds); iterations stop there.
     credentials:
         Admin credentials; defaults to a fleet-accepted pair.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  An empty plan is
+        dropped here, keeping the hot path hook-free and the output
+        bitwise-identical to a plan-less run.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class DdcCoordinator:
         rng: np.random.Generator,
         horizon: float,
         credentials: Optional[Credentials] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -87,6 +93,7 @@ class DdcCoordinator:
         self.post_collect = post_collect
         self.rng = rng
         self.horizon = float(horizon)
+        self.faults = faults if faults is not None and not faults.empty else None
         admin = credentials or Credentials.create("DDC\\collector", "probe!2005")
         self.credentials = admin
         self.executor = RemoteExecutor(
@@ -94,6 +101,7 @@ class DdcCoordinator:
             latency_range=params.exec_latency,
             off_timeout=params.off_timeout,
             rng=rng,
+            faults=self.faults,
         )
         # accounting
         self.iterations_scheduled = 0
@@ -102,6 +110,9 @@ class DdcCoordinator:
         self.timeouts = 0
         self.access_denied = 0
         self.samples_collected = 0
+        self.parse_failures = 0
+        self.retries = 0
+        self.retries_recovered = 0
         self.iteration_durations: List[float] = []
         self._started = False
 
@@ -116,7 +127,9 @@ class DdcCoordinator:
     def _iteration(self, k: int) -> None:
         start = self.sim.now
         self.iterations_scheduled += 1
-        if self.rng.random() < self.params.coordinator_availability:
+        if self.faults is not None and self.faults.coordinator_down(start, k):
+            pass  # injected outage: the iteration is lost entirely
+        elif self.rng.random() < self.params.coordinator_availability:
             self.iterations_run += 1
             elapsed = self._run_pass(k, start)
             self.iteration_durations.append(elapsed)
@@ -124,15 +137,47 @@ class DdcCoordinator:
         if nxt < self.horizon:
             self.sim.schedule(nxt, self._iteration, k + 1, name="ddc_iter")
 
+    def _retryable(self, error: Optional[Exception]) -> bool:
+        """Whether a failed outcome is worth a bounded retry."""
+        if isinstance(error, AccessDenied):
+            return True
+        return self.params.retry_unreachable and isinstance(
+            error, MachineUnreachable
+        )
+
+    def _execute_with_retry(
+        self, machine: SimMachine, start: float
+    ) -> "tuple[RemoteOutcome, float]":
+        """One attempt plus bounded retries; returns (outcome, elapsed)."""
+        outcome = self.executor.execute(
+            machine, self.probe, start, self.credentials
+        )
+        elapsed = outcome.elapsed
+        if outcome.ok or self.params.retry_limit == 0:
+            return outcome, elapsed
+        backoff = self.params.retry_backoff
+        for _ in range(self.params.retry_limit):
+            if not self._retryable(outcome.error):
+                break
+            self.retries += 1
+            elapsed += backoff
+            outcome = self.executor.execute(
+                machine, self.probe, start + elapsed, self.credentials
+            )
+            elapsed += outcome.elapsed
+            backoff *= 2.0
+            if outcome.ok:
+                self.retries_recovered += 1
+                break
+        return outcome, elapsed
+
     def _run_pass(self, k: int, start: float) -> float:
         """One sequential pass over the roster; returns its duration."""
         cursor = start
         for machine in self.machines:
-            outcome = self.executor.execute(
-                machine, self.probe, cursor, self.credentials
-            )
+            outcome, elapsed = self._execute_with_retry(machine, cursor)
             self.attempts += 1
-            cursor += outcome.elapsed
+            cursor += elapsed
             if outcome.ok:
                 assert outcome.result is not None
                 spec = machine.spec
@@ -146,6 +191,10 @@ class DdcCoordinator:
                 if self.post_collect(outcome.result.stdout,
                                      outcome.result.stderr, ctx) is not None:
                     self.samples_collected += 1
+                else:
+                    # Non-strict post-collecting code dropped the report
+                    # (garbled telemetry); strict mode raises instead.
+                    self.parse_failures += 1
             elif isinstance(outcome.error, MachineUnreachable):
                 self.timeouts += 1
             elif isinstance(outcome.error, AccessDenied):
@@ -159,6 +208,11 @@ class DdcCoordinator:
         meta.iterations_run = self.iterations_run
         meta.attempts = self.attempts
         meta.timeouts = self.timeouts
+        meta.access_denied = self.access_denied
+        meta.samples_collected = self.samples_collected
+        meta.parse_failures = self.parse_failures
+        meta.retries = self.retries
+        meta.retries_recovered = self.retries_recovered
         return meta
 
     @property

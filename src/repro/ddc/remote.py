@@ -20,9 +20,10 @@ machines:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.ddc.probe import Probe, ProbeResult
 from repro.errors import AccessDenied, MachineUnreachable
 from repro.machines.machine import SimMachine
 from repro.machines.winapi import Win32Api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Credentials", "RemoteOutcome", "RemoteExecutor"]
 
@@ -105,6 +109,10 @@ class RemoteExecutor:
         Seconds spent discovering that a machine is unreachable.
     rng:
         Latency noise stream.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` consulted around
+        each execution.  An empty (or absent) plan costs nothing: the
+        reference is dropped at construction and no hook ever runs.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class RemoteExecutor:
         latency_range: Tuple[float, float],
         off_timeout: float,
         rng: np.random.Generator,
+        faults: Optional["FaultPlan"] = None,
     ):
         lo, hi = latency_range
         if not 0 < lo <= hi:
@@ -123,6 +132,7 @@ class RemoteExecutor:
         self._latency = (float(lo), float(hi))
         self._off_timeout = float(off_timeout)
         self._rng = rng
+        self._faults = faults if faults is not None and not faults.empty else None
 
     def execute(
         self,
@@ -132,6 +142,17 @@ class RemoteExecutor:
         credentials: Credentials,
     ) -> RemoteOutcome:
         """Attempt to run ``probe`` on ``machine`` at time ``now``."""
+        faults = self._faults
+        if faults is not None and faults.unreachable(now, machine):
+            # A dead switch looks exactly like a dead PC from here: the
+            # coordinator pays the same fast-fail timeout.
+            return RemoteOutcome(
+                result=None,
+                elapsed=self._off_timeout,
+                error=MachineUnreachable(
+                    f"{machine.spec.hostname}: no route to host (partition)"
+                ),
+            )
         if not machine.powered:
             return RemoteOutcome(
                 result=None,
@@ -141,6 +162,8 @@ class RemoteExecutor:
                 ),
             )
         latency = float(self._rng.uniform(*self._latency))
+        if faults is not None:
+            latency *= faults.latency_factor(now, machine)
         if not credentials.matches(self._admin):
             return RemoteOutcome(
                 result=None,
@@ -150,9 +173,22 @@ class RemoteExecutor:
                     f"{credentials.username!r}"
                 ),
             )
+        if faults is not None and faults.denies_access(now, machine):
+            return RemoteOutcome(
+                result=None,
+                elapsed=latency,
+                error=AccessDenied(
+                    f"{machine.spec.hostname}: transient logon failure for "
+                    f"{credentials.username!r}"
+                ),
+            )
         api = Win32Api(machine)
         # The probe observes the machine at the instant it actually runs,
         # i.e. after the remote-execution latency has elapsed.
         exec_time = now + latency
         result = probe.run(api, exec_time)
+        if faults is not None:
+            corrupted = faults.corrupt_stdout(exec_time, machine, result.stdout)
+            if corrupted is not None:
+                result = dataclasses.replace(result, stdout=corrupted)
         return RemoteOutcome(result=result, elapsed=latency + result.cpu_seconds)

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from repro.config import ExperimentConfig, paper_config
 from repro.ddc.coordinator import DdcCoordinator
+from repro.faults.plan import FaultPlan
 from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
 from repro.ddc.postcollect import SamplePostCollector
 from repro.ddc.w32probe import W32Probe
@@ -52,12 +53,15 @@ class MonitoringResult:
         The DDC coordinator (attempt/timeout accounting).
     store:
         The collected trace.
+    faults:
+        The fault plan the run used (``None`` for a fault-free run).
     """
 
     config: ExperimentConfig
     fleet: FleetSimulator
     coordinator: DdcCoordinator
     store: TraceStore
+    faults: Optional[FaultPlan] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
@@ -78,6 +82,7 @@ def run_experiment(
     collect_nbench: bool = True,
     strict_postcollect: bool = True,
     fleet_factory=None,
+    faults: Optional[FaultPlan] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -95,6 +100,12 @@ def run_experiment(
     fleet_factory:
         ``callable(config, labs) -> FleetSimulator`` override; the
         baseline fleets (corporate, servers, Unix lab) plug in here.
+    faults:
+        Fault-injection plan wired through the coordinator and executor
+        (see :mod:`repro.faults`).  Pair non-trivial plans containing
+        :class:`~repro.faults.scenarios.StdoutCorruption` with
+        ``strict_postcollect=False`` so garbled reports are dropped, not
+        raised.
     """
     cfg = config or paper_config()
     if fleet_factory is None:
@@ -116,6 +127,7 @@ def run_experiment(
         post,
         fleet.streams.stream("ddc"),
         horizon=cfg.horizon,
+        faults=faults,
     )
     fleet.start()
     coordinator.start()
@@ -123,7 +135,8 @@ def run_experiment(
     coordinator.finalize_meta(meta)
     if collect_nbench:
         _attach_nbench_indexes(fleet, meta)
-    return MonitoringResult(config=cfg, fleet=fleet, coordinator=coordinator, store=store)
+    return MonitoringResult(config=cfg, fleet=fleet, coordinator=coordinator,
+                            store=store, faults=faults)
 
 
 def _attach_nbench_indexes(fleet: FleetSimulator, meta: TraceMeta) -> None:

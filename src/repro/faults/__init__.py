@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the DDC collection pipeline.
+
+- :mod:`repro.faults.plan` -- the :class:`FaultPlan` hook interface and
+  the :class:`FaultScenario` base class,
+- :mod:`repro.faults.scenarios` -- the scenario catalog (outages,
+  partitions, flapping, latency inflation, corruption, auth storms).
+
+See ``docs/fault_injection.md`` for the guide.
+"""
+
+from repro.faults.plan import FAULT_CATEGORIES, FaultPlan, FaultScenario
+from repro.faults.scenarios import (
+    AccessDeniedStorm,
+    CoordinatorOutage,
+    FlappingHost,
+    NetworkPartition,
+    SlowMachines,
+    StdoutCorruption,
+    paper_like_plan,
+)
+
+__all__ = [
+    "FAULT_CATEGORIES",
+    "FaultPlan",
+    "FaultScenario",
+    "CoordinatorOutage",
+    "NetworkPartition",
+    "FlappingHost",
+    "SlowMachines",
+    "StdoutCorruption",
+    "AccessDeniedStorm",
+    "paper_like_plan",
+]

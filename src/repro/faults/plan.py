@@ -1,0 +1,180 @@
+"""Deterministic fault-injection plans.
+
+The paper's collector was itself lossy -- 509 of 7,392 iterations never
+ran, only 50.2% of probe attempts returned a sample -- and the analyses
+survive that loss.  :class:`FaultPlan` lets an experiment *manufacture*
+such loss deliberately: it composes :class:`FaultScenario` objects
+(coordinator outages, lab partitions, flapping hosts, latency inflation,
+telemetry corruption, access-denied storms) and exposes a small hook
+interface the DDC layers consult at well-defined points:
+
+- :class:`~repro.ddc.coordinator.DdcCoordinator` asks
+  :meth:`FaultPlan.coordinator_down` before each iteration,
+- :class:`~repro.ddc.remote.RemoteExecutor` asks
+  :meth:`FaultPlan.unreachable`, :meth:`FaultPlan.latency_factor`,
+  :meth:`FaultPlan.denies_access` and :meth:`FaultPlan.corrupt_stdout`
+  around each remote execution; corrupted stdout then flows into the
+  post-collecting code exactly like any other probe output.
+
+Determinism guarantees
+----------------------
+- The plan owns a private :class:`numpy.random.Generator` seeded from
+  ``seed``; it never touches the experiment's streams.  Hook calls occur
+  in the (deterministic) order the simulation makes them, so the same
+  ``(experiment seed, plan seed, scenarios)`` triple always produces a
+  bitwise-identical trace.
+- An **empty** plan is inert by construction: the consuming layers drop
+  the reference at construction time (``faults=None`` internally), so no
+  hook runs and no random draw happens -- output is bitwise-identical to
+  a run without any fault plumbing.  ``tests/faults/test_determinism.py``
+  enforces both properties.
+
+Every injection is tallied in :attr:`FaultPlan.injected` by category so
+reports can compare injected against observed failure rates
+(:func:`repro.report.faults.render_fault_report`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.machines.machine import SimMachine
+
+__all__ = ["FaultScenario", "FaultPlan", "FAULT_CATEGORIES"]
+
+#: Injection-accounting categories, in reporting order.
+FAULT_CATEGORIES = (
+    "coordinator_outage",
+    "unreachable",
+    "slow_latency",
+    "access_denied",
+    "corruption",
+)
+
+
+class FaultScenario:
+    """Base class of one composable failure mode.
+
+    Every hook is a no-op here; scenarios override the hooks they care
+    about.  Hooks receive the plan's private ``rng`` so stochastic
+    scenarios stay reproducible without touching experiment streams.
+    """
+
+    def coordinator_down(
+        self, t: float, iteration: int, rng: np.random.Generator
+    ) -> bool:
+        """Whether the coordinator is down for the iteration at ``t``."""
+        return False
+
+    def unreachable(
+        self, t: float, machine: "SimMachine", rng: np.random.Generator
+    ) -> bool:
+        """Whether ``machine`` is cut off the network at ``t``."""
+        return False
+
+    def latency_factor(
+        self, t: float, machine: "SimMachine", rng: np.random.Generator
+    ) -> float:
+        """Multiplier applied to the remote-execution latency (1 = none)."""
+        return 1.0
+
+    def denies_access(
+        self, t: float, machine: "SimMachine", rng: np.random.Generator
+    ) -> bool:
+        """Whether the attempt fails with a transient logon error."""
+        return False
+
+    def corrupt_stdout(
+        self,
+        t: float,
+        machine: "SimMachine",
+        stdout: str,
+        rng: np.random.Generator,
+    ) -> Optional[str]:
+        """Corrupted replacement for ``stdout``, or ``None`` to pass through."""
+        return None
+
+
+class FaultPlan:
+    """An ordered composition of fault scenarios with its own RNG.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario objects, consulted in order.  Boolean hooks short-circuit
+        on the first scenario that triggers; latency factors multiply.
+    seed:
+        Seed of the plan's private random stream.  Two plans built with
+        the same scenarios and seed inject identically.
+    """
+
+    def __init__(self, scenarios: Sequence[FaultScenario] = (), seed: int = 0):
+        self.scenarios: Tuple[FaultScenario, ...] = tuple(scenarios)
+        for s in self.scenarios:
+            if not isinstance(s, FaultScenario):
+                raise TypeError(f"not a FaultScenario: {s!r}")
+        self.seed = int(seed)
+        self.rng = np.random.Generator(np.random.PCG64(self.seed))
+        #: Injection tally by category (see :data:`FAULT_CATEGORIES`).
+        self.injected: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """Whether the plan injects nothing (consumers then bypass it)."""
+        return not self.scenarios
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(type(s).__name__ for s in self.scenarios)
+        return f"FaultPlan([{names}], seed={self.seed})"
+
+    # ------------------------------------------------------------------
+    # hooks (consulted by the DDC layers)
+    # ------------------------------------------------------------------
+    def coordinator_down(self, t: float, iteration: int) -> bool:
+        """Whether any scenario takes the coordinator down at ``t``."""
+        for s in self.scenarios:
+            if s.coordinator_down(t, iteration, self.rng):
+                self.injected["coordinator_outage"] += 1
+                return True
+        return False
+
+    def unreachable(self, t: float, machine: "SimMachine") -> bool:
+        """Whether any scenario severs ``machine`` from the network."""
+        for s in self.scenarios:
+            if s.unreachable(t, machine, self.rng):
+                self.injected["unreachable"] += 1
+                return True
+        return False
+
+    def latency_factor(self, t: float, machine: "SimMachine") -> float:
+        """Combined latency multiplier across scenarios (>= 0)."""
+        factor = 1.0
+        for s in self.scenarios:
+            factor *= s.latency_factor(t, machine, self.rng)
+        if factor != 1.0:
+            self.injected["slow_latency"] += 1
+        return factor
+
+    def denies_access(self, t: float, machine: "SimMachine") -> bool:
+        """Whether any scenario injects a transient logon failure."""
+        for s in self.scenarios:
+            if s.denies_access(t, machine, self.rng):
+                self.injected["access_denied"] += 1
+                return True
+        return False
+
+    def corrupt_stdout(
+        self, t: float, machine: "SimMachine", stdout: str
+    ) -> Optional[str]:
+        """First scenario-corrupted stdout, or ``None`` when untouched."""
+        for s in self.scenarios:
+            corrupted = s.corrupt_stdout(t, machine, stdout, self.rng)
+            if corrupted is not None:
+                self.injected["corruption"] += 1
+                return corrupted
+        return None

@@ -6,13 +6,16 @@
 - :mod:`repro.report.series` -- text sparklines / CSV export of figure
   series,
 - :mod:`repro.report.experiments` -- the run-everything harness that
-  regenerates all tables and figures from one trace.
+  regenerates all tables and figures from one trace,
+- :mod:`repro.report.faults` -- injected-vs-observed failure ledgers for
+  fault-injected runs.
 """
 
 from repro.report.paperdata import PAPER
 from repro.report.tables import Table, render_comparison
 from repro.report.series import render_sparkline, series_to_csv
 from repro.report.experiments import ExperimentReport, generate_report
+from repro.report.faults import fault_rows, render_fault_report
 
 __all__ = [
     "PAPER",
@@ -22,4 +25,6 @@ __all__ = [
     "series_to_csv",
     "ExperimentReport",
     "generate_report",
+    "fault_rows",
+    "render_fault_report",
 ]

@@ -108,6 +108,13 @@ class TraceMeta:
         Iteration accounting; the paper ran 6,883 of 7,392 possible.
     attempts / timeouts:
         Per-experiment probe attempt accounting (off machines time out).
+    access_denied / samples_collected / parse_failures:
+        Per-category outcome accounting: credential rejections, attempts
+        that yielded a stored sample, and reports the post-collecting
+        code dropped as unparseable.
+    retries / retries_recovered:
+        Transient-failure retry accounting (0 unless the retry layer is
+        enabled via ``DdcParams.retry_limit``).
     statics:
         Per-machine static info keyed by ``machine_id``.
     """
@@ -119,6 +126,11 @@ class TraceMeta:
     iterations_run: int = 0
     attempts: int = 0
     timeouts: int = 0
+    access_denied: int = 0
+    samples_collected: int = 0
+    parse_failures: int = 0
+    retries: int = 0
+    retries_recovered: int = 0
     statics: Dict[int, StaticInfo] = field(default_factory=dict)
 
     @property
@@ -127,6 +139,18 @@ class TraceMeta:
         if self.attempts == 0:
             return float("nan")
         return 1.0 - self.timeouts / self.attempts
+
+    @property
+    def sample_rate(self) -> float:
+        """Fraction of attempts that yielded a *stored* sample.
+
+        Equal to :attr:`response_rate` in a fault-free run; lower when
+        access-denied storms or telemetry corruption eat attempts that
+        were not timeouts.
+        """
+        if self.attempts == 0:
+            return float("nan")
+        return self.samples_collected / self.attempts
 
     def machine_ids(self) -> List[int]:
         """Sorted machine identifiers present in :attr:`statics`."""

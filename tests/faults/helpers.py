@@ -1,0 +1,114 @@
+"""Shared helpers for the fault-injection suite.
+
+Two kinds of rigs are used here:
+
+- **mini rigs** -- a standalone :class:`Simulator` plus a hand-built
+  roster of always-on machines, so scenario effects are not confounded
+  by organic power behaviour (an always-on fleet answers ~100% of
+  attempts absent faults);
+- **full runs** -- ``run_experiment`` with a plan, for differential and
+  golden tests.
+
+``fingerprint`` reduces a trace (and its accounting) to a digest whose
+equality *is* bitwise-identity: float fields go through ``repr``, which
+round-trips doubles exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DdcParams
+from repro.ddc.coordinator import DdcCoordinator
+from repro.ddc.postcollect import SamplePostCollector
+from repro.ddc.w32probe import W32Probe
+from repro.faults import FaultPlan
+from repro.machines.hardware import build_fleet
+from repro.machines.machine import SimMachine
+from repro.machines.smart import SmartDisk
+from repro.sim.engine import Simulator
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+
+HOUR = 3600.0
+
+#: TraceMeta accounting fields a faithful finalize_meta must fill.
+META_COUNTERS = (
+    "iterations_scheduled",
+    "iterations_run",
+    "attempts",
+    "timeouts",
+    "access_denied",
+    "samples_collected",
+    "parse_failures",
+    "retries",
+    "retries_recovered",
+)
+
+
+def always_on_fleet(
+    n: Optional[int] = None, labs: Optional[Sequence[str]] = None
+) -> list:
+    """A fresh roster of booted machines (never powered off again)."""
+    specs = build_fleet()
+    if labs is not None:
+        specs = [s for s in specs if s.lab in set(labs)]
+    if n is not None:
+        specs = specs[:n]
+    machines = []
+    for spec in specs:
+        m = SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes),
+                       base_disk_used_bytes=int(10e9))
+        m.boot(0.0)
+        machines.append(m)
+    return machines
+
+
+def run_mini(
+    machines: Sequence[SimMachine],
+    hours: float,
+    plan: Optional[FaultPlan] = None,
+    *,
+    availability: float = 1.0,
+    strict: bool = True,
+    retry_limit: int = 0,
+    retry_backoff: float = 5.0,
+    retry_unreachable: bool = False,
+    seed: int = 0,
+) -> Tuple[DdcCoordinator, TraceStore]:
+    """Drive one coordinator over ``machines`` for ``hours`` and finalize."""
+    horizon = hours * HOUR
+    params = DdcParams(
+        coordinator_availability=availability,
+        retry_limit=retry_limit,
+        retry_backoff=retry_backoff,
+        retry_unreachable=retry_unreachable,
+    )
+    meta = TraceMeta(n_machines=len(machines),
+                     sample_period=params.sample_period, horizon=horizon)
+    store = TraceStore(meta)
+    post = SamplePostCollector(store, strict=strict)
+    sim = Simulator()
+    coord = DdcCoordinator(
+        machines, sim, params, W32Probe(), post,
+        np.random.Generator(np.random.PCG64(seed)),
+        horizon=horizon, faults=plan,
+    )
+    coord.start()
+    sim.run_until(horizon)
+    coord.finalize_meta(meta)
+    return coord, store
+
+
+def fingerprint(store: TraceStore, with_meta: bool = True) -> str:
+    """SHA-256 over exact sample reprs (and meta counters)."""
+    h = hashlib.sha256()
+    for sample in store.samples():
+        h.update(repr(sample).encode())
+    if with_meta and store.meta is not None:
+        for name in META_COUNTERS:
+            h.update(f"{name}={getattr(store.meta, name)}".encode())
+    return h.hexdigest()

@@ -1,0 +1,119 @@
+"""Chaos regime regression: the documented paper-like scenario + retries.
+
+``paper_like_plan`` (see ``docs/fault_injection.md``) is the catalog's
+showcase composition: applied to an always-on fleet whose baseline
+response rate is ~100%, injected failure structure alone must drag the
+response rate into the paper's ~50% band -- and the bounded retry layer
+must claw back most of what the transient storm eats.
+"""
+
+import pytest
+
+from repro.faults import (
+    AccessDeniedStorm,
+    FaultPlan,
+    NetworkPartition,
+    paper_like_plan,
+)
+from repro.report.faults import fault_rows, render_fault_report
+
+from tests.faults.helpers import HOUR, always_on_fleet, run_mini
+
+
+def _chaos_run(hours=12.0, seed=0, **kwargs):
+    machines = always_on_fleet(labs=("L01", "L02"))
+    plan = paper_like_plan(hours * HOUR, labs=("L01",), seed=seed)
+    coord, store = run_mini(machines, hours, plan, strict=False, **kwargs)
+    return coord, store, plan
+
+
+class TestPaperLikeRegime:
+    def test_response_rate_lands_in_paper_band(self):
+        coord, _, _ = _chaos_run()
+        # acceptance: a paper-like regime, 45-55% of attempts answered
+        assert 0.45 <= coord.response_rate <= 0.55
+
+    def test_regime_is_made_of_structured_failures(self):
+        coord, _, plan = _chaos_run()
+        assert plan.injected["access_denied"] == coord.access_denied > 0
+        assert plan.injected["unreachable"] == coord.timeouts > 0
+        assert plan.injected["corruption"] == coord.parse_failures > 0
+        assert plan.injected["coordinator_outage"] > 0
+        lost = coord.iterations_scheduled - coord.iterations_run
+        assert lost == plan.injected["coordinator_outage"]
+
+    def test_regime_is_seed_stable(self):
+        a, _, _ = _chaos_run(seed=0)
+        b, _, _ = _chaos_run(seed=0)
+        assert a.response_rate == b.response_rate
+        assert a.access_denied == b.access_denied
+
+
+class TestRetryRecovery:
+    def test_retries_recover_transient_denials(self):
+        storm = lambda: FaultPlan([AccessDeniedStorm(0.5)], seed=6)
+        fleet = lambda: always_on_fleet(labs=("L01",))
+        plain, _ = run_mini(fleet(), 8.0, storm())
+        retried, _ = run_mini(fleet(), 8.0, storm(), retry_limit=3)
+        # p_fail drops from 0.5 to ~0.5^4; the delta must be large
+        assert plain.response_rate == pytest.approx(0.5, abs=0.06)
+        assert retried.response_rate > plain.response_rate + 0.2
+        assert retried.response_rate > 0.85
+        assert retried.retries_recovered > 0
+        assert retried.retries >= retried.retries_recovered
+
+    def test_retry_budget_is_bounded(self):
+        plan = FaultPlan([AccessDeniedStorm(1.0)], seed=1)
+        coord, _ = run_mini(always_on_fleet(n=4), 2.0, plan, retry_limit=2)
+        # every attempt fails, every attempt burns exactly the full budget
+        assert coord.retries == coord.attempts * 2
+        assert coord.retries_recovered == 0
+        assert coord.samples_collected == 0
+
+    def test_backoff_costs_show_in_iteration_durations(self):
+        storm = lambda: FaultPlan([AccessDeniedStorm(1.0)], seed=1)
+        plain, _ = run_mini(always_on_fleet(n=4), 1.0, storm())
+        retried, _ = run_mini(always_on_fleet(n=4), 1.0, storm(),
+                              retry_limit=2, retry_backoff=5.0)
+        # 2 retries/machine at 5 s + 10 s backoff = +60 s per iteration
+        delta = retried.iteration_durations[0] - plain.iteration_durations[0]
+        assert delta > 4 * 15.0
+
+    def test_unreachable_not_retried_by_default(self):
+        plan = FaultPlan([NetworkPartition(("L01",))])
+        coord, _ = run_mini(always_on_fleet(labs=("L01",)), 1.0, plan,
+                            retry_limit=3)
+        assert coord.timeouts == coord.attempts > 0
+        assert coord.retries == 0
+
+    def test_unreachable_retry_opt_in(self):
+        plan = FaultPlan([AccessDeniedStorm(1.0, end=1.0)])  # inert storm
+        machines = always_on_fleet(n=2)
+        for m in machines:
+            m.shutdown(0.0)
+        coord, _ = run_mini(machines, 1.0, plan, retry_limit=1,
+                            retry_unreachable=True)
+        assert coord.retries == coord.attempts
+        assert coord.timeouts == coord.attempts
+
+
+class TestFaultReport:
+    def test_rows_line_up_injected_and_observed(self):
+        coord, _, plan = _chaos_run(hours=4.0)
+        rows = {name: (inj, obs) for name, inj, obs in fault_rows(coord, plan)}
+        assert rows["access denied"] == (coord.access_denied, coord.access_denied)
+        assert rows["unreachable (timeouts)"][1] == coord.timeouts
+        assert rows["corrupted telemetry (parse failures)"][1] == coord.parse_failures
+
+    def test_render_contains_every_category_and_totals(self):
+        coord, _, plan = _chaos_run(hours=4.0)
+        text = render_fault_report(coord, plan)
+        for needle in ("coordinator outage", "unreachable", "slow latency",
+                       "access denied", "corrupted telemetry",
+                       "retries recovered", "response rate %"):
+            assert needle in text
+
+    def test_render_without_plan_shows_organic_failures(self):
+        coord, _ = run_mini(always_on_fleet(n=3), 1.0)
+        text = render_fault_report(coord, None)
+        assert "injected" in text and "observed" in text

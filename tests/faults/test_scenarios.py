@@ -1,0 +1,188 @@
+"""Per-scenario behaviour of the fault catalog, on always-on mini rigs.
+
+An always-on roster answers every attempt absent faults, so each
+scenario's effect is exactly the delta it injects.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ProbeError
+from repro.faults import (
+    AccessDeniedStorm,
+    CoordinatorOutage,
+    FaultPlan,
+    FaultScenario,
+    FlappingHost,
+    NetworkPartition,
+    SlowMachines,
+    StdoutCorruption,
+)
+
+from tests.faults.helpers import HOUR, always_on_fleet, run_mini
+
+
+class TestCoordinatorOutage:
+    def test_window_iterations_are_lost(self):
+        # 4 hours = 16 iterations; outage over hour [1, 2) kills 4
+        plan = FaultPlan([CoordinatorOutage(start=1 * HOUR, end=2 * HOUR)])
+        coord, _ = run_mini(always_on_fleet(n=3), 4.0, plan)
+        assert coord.iterations_scheduled == 16
+        assert coord.iterations_run == 12
+        assert plan.injected["coordinator_outage"] == 4
+
+    def test_outage_composes_with_availability_coin(self):
+        plan = FaultPlan([CoordinatorOutage(start=0.0, end=2 * HOUR)])
+        coord, _ = run_mini(always_on_fleet(n=3), 4.0, plan, availability=0.9)
+        # the first 8 iterations are lost to the outage regardless of coin
+        assert coord.iterations_run <= 8
+
+
+class TestNetworkPartition:
+    def test_partitioned_lab_times_out(self):
+        machines = always_on_fleet(labs=("L01",))
+        plan = FaultPlan([NetworkPartition(("L01",), start=0.0, end=1 * HOUR)])
+        coord, store = run_mini(machines, 2.0, plan)
+        # first 4 iterations all time out, last 4 all answer
+        assert coord.timeouts == 4 * len(machines)
+        assert coord.samples_collected == 4 * len(machines)
+        assert plan.injected["unreachable"] == coord.timeouts
+
+    def test_other_labs_unaffected(self):
+        machines = always_on_fleet(labs=("L01", "L02"))
+        n_l2 = sum(1 for m in machines if m.spec.lab == "L02")
+        plan = FaultPlan([NetworkPartition(("L01",))])
+        coord, _ = run_mini(machines, 1.0, plan)
+        assert coord.samples_collected == 4 * n_l2
+
+    def test_needs_a_lab(self):
+        with pytest.raises(ValueError):
+            NetworkPartition(())
+
+
+class TestFlappingHost:
+    def test_flapped_host_loses_roughly_duty_fraction(self):
+        machines = always_on_fleet(n=4)
+        victim = machines[0].spec.machine_id
+        plan = FaultPlan([FlappingHost([victim], period=30 * 60,
+                                       down_fraction=0.5)])
+        coord, _ = run_mini(machines, 8.0, plan)  # 32 iterations
+        assert 8 <= coord.timeouts <= 24  # ~half of the victim's 32
+        assert coord.samples_collected == 32 * 4 - coord.timeouts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlappingHost([1], period=0.0)
+        with pytest.raises(ValueError):
+            FlappingHost([1], down_fraction=1.5)
+
+
+class TestSlowMachines:
+    def test_latency_inflation_shows_in_iteration_durations(self):
+        base, _ = run_mini(always_on_fleet(n=10), 2.0)
+        slow_plan = FaultPlan([SlowMachines(fraction=1.0, factor=20.0)])
+        slow, _ = run_mini(always_on_fleet(n=10), 2.0, slow_plan)
+        assert min(slow.iteration_durations) > 5 * max(base.iteration_durations)
+        assert slow_plan.injected["slow_latency"] == slow.attempts
+        # inflation does not lose samples
+        assert slow.samples_collected == base.samples_collected
+
+    def test_subset_is_stable_across_runs(self):
+        s = SlowMachines(fraction=0.4, factor=3.0)
+        picks = [s.affects(mid) for mid in range(200)]
+        assert picks == [s.affects(mid) for mid in range(200)]
+        assert 0 < sum(picks) < 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowMachines(fraction=0.0, factor=2.0)
+        with pytest.raises(ValueError):
+            SlowMachines(fraction=0.5, factor=1.0)
+
+
+class TestStdoutCorruption:
+    def test_truncated_reports_are_dropped_not_stored(self):
+        plan = FaultPlan([StdoutCorruption(probability=1.0, mode="truncate")],
+                         seed=2)
+        coord, store = run_mini(always_on_fleet(n=5), 1.0, plan, strict=False)
+        assert coord.parse_failures == coord.attempts == 20
+        assert coord.samples_collected == 0
+        assert len(store) == 0
+        assert plan.injected["corruption"] == coord.parse_failures
+
+    def test_strict_collector_raises_on_corruption(self):
+        plan = FaultPlan([StdoutCorruption(probability=1.0, mode="truncate")])
+        with pytest.raises(ProbeError):
+            run_mini(always_on_fleet(n=2), 1.0, plan, strict=True)
+
+    def test_partial_corruption_drops_a_fraction(self):
+        plan = FaultPlan([StdoutCorruption(probability=0.25, mode="truncate")],
+                         seed=7)
+        coord, _ = run_mini(always_on_fleet(n=10), 6.0, plan, strict=False)
+        frac = coord.parse_failures / coord.attempts
+        assert 0.1 < frac < 0.45
+        assert coord.samples_collected + coord.parse_failures == coord.attempts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StdoutCorruption(probability=0.0)
+        with pytest.raises(ValueError):
+            StdoutCorruption(probability=0.5, mode="scramble")
+
+
+class TestAccessDeniedStorm:
+    def test_total_storm_denies_everything(self):
+        plan = FaultPlan([AccessDeniedStorm(probability=1.0)])
+        coord, _ = run_mini(always_on_fleet(n=5), 1.0, plan)
+        assert coord.access_denied == coord.attempts == 20
+        assert coord.samples_collected == 0
+
+    def test_windowed_storm_only_hits_its_window(self):
+        plan = FaultPlan([AccessDeniedStorm(1.0, start=0.0, end=1 * HOUR)])
+        coord, _ = run_mini(always_on_fleet(n=5), 2.0, plan)
+        assert coord.access_denied == 4 * 5
+        assert coord.samples_collected == 4 * 5
+
+
+class TestPlanComposition:
+    def test_scenarios_type_checked(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["not a scenario"])
+
+    def test_base_scenario_is_inert(self):
+        plan = FaultPlan([FaultScenario()])
+        assert not plan.empty  # present but injects nothing
+        coord, _ = run_mini(always_on_fleet(n=3), 1.0, plan)
+        assert coord.samples_collected == coord.attempts
+        assert not plan.injected
+
+    def test_boolean_hooks_short_circuit_in_order(self):
+        # both scenarios would fire; only the first is credited
+        plan = FaultPlan([AccessDeniedStorm(1.0), AccessDeniedStorm(1.0)])
+        coord, _ = run_mini(always_on_fleet(n=2), 1.0, plan)
+        assert plan.injected["access_denied"] == coord.access_denied == 8
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CoordinatorOutage(start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            CoordinatorOutage(start=math.nan, end=10.0)
+
+
+class TestFinalizeMeta:
+    def test_all_failure_categories_reach_trace_meta(self):
+        plan = FaultPlan(
+            [AccessDeniedStorm(0.3), StdoutCorruption(0.2, mode="truncate")],
+            seed=4,
+        )
+        coord, store = run_mini(always_on_fleet(n=8), 4.0, plan,
+                                strict=False, retry_limit=2)
+        meta = store.meta
+        assert meta.access_denied == coord.access_denied > 0
+        assert meta.samples_collected == coord.samples_collected > 0
+        assert meta.parse_failures == coord.parse_failures > 0
+        assert meta.retries == coord.retries > 0
+        assert meta.retries_recovered == coord.retries_recovered
+        assert meta.sample_rate == pytest.approx(
+            coord.samples_collected / coord.attempts)

@@ -6,6 +6,7 @@ import pytest
 from repro.config import DdcParams, ExperimentConfig
 from repro.ddc.coordinator import DdcCoordinator
 from repro.ddc.postcollect import SamplePostCollector
+from repro.ddc.remote import Credentials
 from repro.ddc.w32probe import W32Probe
 from repro.machines.hardware import TABLE1_LABS, build_fleet
 from repro.machines.machine import SimMachine
@@ -111,6 +112,34 @@ class TestIterations:
         assert meta.attempts == coord.attempts
         assert meta.iterations_run == coord.iterations_run
         assert meta.timeouts == coord.timeouts
+        assert meta.access_denied == coord.access_denied
+        assert meta.samples_collected == coord.samples_collected
+        assert meta.parse_failures == coord.parse_failures
+        assert meta.retries == coord.retries
+        assert meta.retries_recovered == coord.retries_recovered
+
+    def test_finalize_meta_copies_nonzero_denials_and_samples(self):
+        # half the fleet on and answering, plus rejected credentials on
+        # a second coordinator sharing the roster: both counters must
+        # survive into the trace metadata (they used to be dropped).
+        sim = Simulator()
+        machines = _mini_fleet()
+        for m in machines[:3]:
+            m.boot(0.0)
+        coord, store = _coordinator(machines, sim, horizon=3600.0)
+        coord.credentials = Credentials.create("DDC\\collector", "wrong")
+        coord.start()
+        sim.run_until(3600.0)
+        meta = coord.finalize_meta(store.meta)
+        assert meta.access_denied == coord.access_denied == 4 * 3
+        assert meta.samples_collected == coord.samples_collected == 0
+        coord2, store2 = _coordinator(machines, Simulator(), horizon=3600.0)
+        sim2 = coord2.sim
+        coord2.start()
+        sim2.run_until(3600.0)
+        meta2 = coord2.finalize_meta(store2.meta)
+        assert meta2.samples_collected == coord2.samples_collected == 4 * 3
+        assert meta2.sample_rate == pytest.approx(3 / 5)
 
     def test_start_is_idempotent(self):
         sim = Simulator()

@@ -1,0 +1,176 @@
+"""Property-based invariants of the discrete-event engine.
+
+Three contracts keep whole-experiment runs bitwise-deterministic (and
+the fault-injection differential tests honest):
+
+- events at equal timestamps fire in scheduling order (FIFO),
+- a cancelled handle is tombstoned -- it never fires, cancellation is
+  idempotent, and live events are unaffected,
+- the clock never moves backwards, whatever the schedule shape.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# FIFO at equal timestamps
+# ----------------------------------------------------------------------
+@given(
+    groups=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4),
+            st.integers(min_value=1, max_value=6),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_timestamps_fire_in_scheduling_order(groups):
+    """Within each timestamp, callbacks fire exactly in schedule order."""
+    sim = Simulator()
+    fired = []
+    expected = {}
+    for g, (t, count) in enumerate(groups):
+        expected.setdefault(t, [])
+        for k in range(count):
+            tag = (g, k)
+            sim.schedule(t, fired.append, tag)
+            expected[t].append(tag)
+    sim.run()
+    # regroup what fired by timestamp, in firing order
+    regrouped = {}
+    order = sorted(expected)
+    i = 0
+    for t in order:
+        n = len(expected[t])
+        regrouped[t] = fired[i:i + n]
+        i += n
+    assert regrouped == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_fifo_survives_reentrant_scheduling(seed):
+    """Callbacks that schedule more work at *the same instant* still FIFO."""
+    sim = Simulator()
+    fired = []
+
+    def chained(tag, remaining):
+        fired.append(tag)
+        if remaining:
+            sim.schedule(sim.now, chained, tag + 1000, remaining - 1)
+
+    depth = (seed % 4) + 1
+    sim.schedule(5.0, chained, 0, depth)
+    sim.schedule(5.0, chained, 1, 0)
+    sim.run()
+    # the re-entrant chain lands *after* the already-queued same-time event
+    assert fired[:2] == [0, 1]
+    assert len(fired) == 2 + depth
+
+
+# ----------------------------------------------------------------------
+# cancelled-handle tombstoning
+# ----------------------------------------------------------------------
+@given(
+    entries=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1e4), st.booleans()),
+        min_size=1,
+        max_size=30,
+    ),
+    double_cancel=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_cancelled_handles_are_tombstoned_not_removed(entries, double_cancel):
+    sim = Simulator()
+    fired = []
+    handles = [(sim.schedule(t, fired.append, k), cancel)
+               for k, (t, cancel) in enumerate(entries)]
+    # tombstoning: the heap keeps the entry, the handle reports cancelled
+    assert len(sim) == len(entries)
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+            if double_cancel:
+                handle.cancel()  # idempotent
+            assert handle.cancelled
+        else:
+            assert not handle.cancelled
+    assert len(sim) == len(entries)  # lazy: nothing physically removed
+    sim.run()
+    live = {k for k, (_, cancel) in enumerate(entries) if not cancel}
+    assert set(fired) == live
+    assert sim.events_fired == len(live)
+
+
+def test_cancel_during_own_callback_is_harmless():
+    sim = Simulator()
+    fired = []
+    box = {}
+
+    def cb():
+        box["h"].cancel()  # re-entrant cancel of the firing event
+        fired.append("ran")
+
+    box["h"] = sim.schedule(1.0, cb)
+    sim.run()
+    assert fired == ["ran"]
+
+
+def test_peek_skips_tombstones():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek() == 2.0
+
+
+# ----------------------------------------------------------------------
+# clock monotonicity under randomized schedules
+# ----------------------------------------------------------------------
+@given(
+    seed_times=st.lists(
+        st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=15
+    ),
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=5
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_clock_is_monotonic_under_reentrant_schedules(seed_times, delays):
+    sim = Simulator()
+    observed = []
+
+    def cb(depth):
+        observed.append(sim.now)
+        if depth < len(delays):
+            sim.schedule_after(delays[depth], cb, depth + 1)
+
+    for t in seed_times:
+        sim.schedule(t, cb, 0)
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == pytest.approx(max(observed))
+    # run_until never rewinds either
+    with pytest.raises(ScheduleError):
+        sim.run_until(sim.now - 1.0)
+
+
+@given(start=st.floats(min_value=-1e6, max_value=1e6))
+@settings(max_examples=30, deadline=None)
+def test_past_scheduling_rejected_from_any_start(start):
+    sim = Simulator(start=start)
+    with pytest.raises(ScheduleError):
+        sim.schedule(start - 1e-3, lambda: None)
+    with pytest.raises(ScheduleError):
+        sim.schedule(math.nan, lambda: None)
+    with pytest.raises(ScheduleError):
+        sim.schedule_after(-1.0, lambda: None)

@@ -81,6 +81,73 @@ class TestExecution:
         assert uptime == pytest.approx(100.5, abs=1e-3)
 
 
+class TestAccountingEdges:
+    """Coordinator-level accounting around executor failure modes."""
+
+    def _coordinator(self, machines, horizon=3600.0):
+        from repro.config import DdcParams
+        from repro.ddc.coordinator import DdcCoordinator
+        from repro.ddc.postcollect import SamplePostCollector
+        from repro.sim.engine import Simulator
+        from repro.traces.records import TraceMeta
+        from repro.traces.store import TraceStore
+
+        params = DdcParams()
+        store = TraceStore(TraceMeta(n_machines=len(machines),
+                                     sample_period=params.sample_period,
+                                     horizon=horizon))
+        sim = Simulator()
+        coord = DdcCoordinator(
+            machines, sim, params, W32Probe(),
+            SamplePostCollector(store),
+            np.random.Generator(np.random.PCG64(0)), horizon=horizon,
+        )
+        return coord, sim, store
+
+    def _machines(self, n):
+        machines = []
+        for spec in build_fleet()[:n]:
+            machines.append(
+                SimMachine(spec, SmartDisk(spec.disk_serial, spec.disk_bytes),
+                           base_disk_used_bytes=int(10e9)))
+        return machines
+
+    def test_response_rate_nan_before_any_attempt(self):
+        import math
+        coord, _, store = self._coordinator(self._machines(3))
+        assert math.isnan(coord.response_rate)  # never started
+        meta = coord.finalize_meta(store.meta)
+        assert math.isnan(meta.response_rate)
+        assert math.isnan(meta.sample_rate)
+
+    def test_wrong_credentials_accounted_not_raised(self):
+        machines = self._machines(3)
+        for m in machines:
+            m.boot(0.0)
+        coord, sim, store = self._coordinator(machines)
+        coord.credentials = Credentials.create("DDC\\collector", "oops")
+        coord.start()
+        sim.run_until(3600.0)
+        # every attempt is denied, none aborts the iteration
+        assert coord.access_denied == coord.attempts == 4 * 3
+        assert coord.timeouts == 0 and coord.samples_collected == 0
+        assert len(store) == 0
+        assert coord.finalize_meta(store.meta).access_denied == 12
+
+    def test_off_machine_timeouts_dominate_iteration_duration(self):
+        # 9 of 10 machines off: the 1.5 s off_timeout each dwarfs the
+        # live machine's sub-second latency (the paper's key cost model)
+        machines = self._machines(10)
+        machines[0].boot(0.0)
+        coord, sim, _ = self._coordinator(machines)
+        coord.start()
+        sim.run_until(3600.0)
+        for duration in coord.iteration_durations:
+            timeout_cost = 9 * 1.5
+            assert timeout_cost / duration > 0.8
+            assert duration < timeout_cost + 2.0
+
+
 class TestValidation:
     def test_bad_latency_range(self, admin, rng):
         with pytest.raises(ValueError):
