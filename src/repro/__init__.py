@@ -36,6 +36,7 @@ from repro.config import (
 )
 from repro.experiment import MonitoringResult, run_experiment, run_paper_experiment
 from repro.faults import FaultPlan, FaultScenario
+from repro.obs import NullObserver, Observer, ObsSnapshot
 
 __version__ = "1.0.0"
 
@@ -53,4 +54,7 @@ __all__ = [
     "MonitoringResult",
     "FaultPlan",
     "FaultScenario",
+    "Observer",
+    "NullObserver",
+    "ObsSnapshot",
 ]

@@ -15,6 +15,10 @@ Commands
     Emit one W32Probe-format report for this (Linux) host.
 ``compare``
     Run the related-work environment comparison.
+``obs``
+    Summarise an exported observability snapshot (``run --obs-out``):
+    per-lab pass-duration histograms, retry/timeout counters, phase
+    timings and the injected-vs-observed fault reconciliation.
 
 Every command accepts ``--days`` and ``--seed``; defaults reproduce the
 paper (77 days, seed 2005) where that makes sense and use short runs
@@ -52,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_run, 77)
     p_run.add_argument("--out", default="trace.csv",
                        help="output path (.csv or .jsonl)")
+    p_run.add_argument("--obs-out", default=None, metavar="SNAPSHOT",
+                       help="instrument the run and export the "
+                       "observability snapshot to this JSONL path")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -72,13 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="baseline environment comparison")
     add_common(p_cmp, 7)
 
+    p_obs = sub.add_parser("obs", help="summarise an observability snapshot")
+    p_obs.add_argument("snapshot", help="snapshot JSONL written by "
+                       "'repro run --obs-out'")
+    p_obs.add_argument("--json", action="store_true",
+                       help="emit a JSON digest instead of tables")
+    p_obs.add_argument("--markdown", action="store_true",
+                       help="emit Markdown instead of fixed-width text")
+
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiment import run_experiment
 
-    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed))
+    observer = None
+    if args.obs_out:
+        from repro.obs import Observer
+
+        observer = Observer()
+    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed),
+                            observer=observer)
     out = pathlib.Path(args.out)
     if out.suffix == ".jsonl":
         result.store.write_jsonl(out)
@@ -90,6 +111,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     print(f"{len(result.store)} samples -> {out} "
           f"(response rate {100 * result.coordinator.response_rate:.1f}%)")
+    if observer is not None:
+        observer.snapshot().write_jsonl(args.obs_out)
+        print(f"observability snapshot -> {args.obs_out}")
     return 0
 
 
@@ -159,6 +183,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotFormatError
+    from repro.obs import ObsSnapshot
+    from repro.report.obs import obs_to_json, render_obs_report
+
+    try:
+        snapshot = ObsSnapshot.read_jsonl(args.snapshot)
+    except FileNotFoundError:
+        print(f"error: no such snapshot {args.snapshot!r}", file=sys.stderr)
+        return 2
+    except SnapshotFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(obs_to_json(snapshot))
+    else:
+        print(render_obs_report(snapshot, markdown=args.markdown))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -166,6 +210,7 @@ _COMMANDS = {
     "bench-host": _cmd_bench_host,
     "probe-local": _cmd_probe_local,
     "compare": _cmd_compare,
+    "obs": _cmd_obs,
 }
 
 

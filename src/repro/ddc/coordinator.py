@@ -27,7 +27,7 @@ Fidelity notes
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,31 @@ from repro.machines.machine import SimMachine
 from repro.sim.engine import Simulator
 from repro.traces.records import TraceMeta
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
+
 __all__ = ["DdcCoordinator"]
+
+
+class _LabInstruments:
+    """Per-lab instruments, bound once so the probing loop stays cheap."""
+
+    __slots__ = ("timeouts", "access_denied", "samples", "parse_failures",
+                 "retries", "retries_recovered", "pass_seconds")
+
+    def __init__(self, observer: "Observer", lab: str):
+        from repro.obs.metrics import DURATION_BUCKETS
+
+        m = observer.metrics
+        self.timeouts = m.counter("ddc.timeouts", lab=lab)
+        self.access_denied = m.counter("ddc.access_denied", lab=lab)
+        self.samples = m.counter("ddc.samples", lab=lab)
+        self.parse_failures = m.counter("ddc.parse_failures", lab=lab)
+        self.retries = m.counter("ddc.retries", lab=lab)
+        self.retries_recovered = m.counter("ddc.retries_recovered", lab=lab)
+        self.pass_seconds = m.histogram(
+            "ddc.lab_pass_seconds", edges=DURATION_BUCKETS, lab=lab
+        )
 
 
 class DdcCoordinator:
@@ -70,6 +94,15 @@ class DdcCoordinator:
         Optional :class:`~repro.faults.plan.FaultPlan`.  An empty plan is
         dropped here, keeping the hot path hook-free and the output
         bitwise-identical to a plan-less run.
+    observer:
+        Optional :class:`repro.obs.Observer`.  When attached, every
+        iteration opens a ``ddc.iteration`` span (with its simulated
+        extent stamped via :meth:`~repro.obs.Span.set_end`, since a whole
+        pass runs inside one engine event), iteration and per-lab pass
+        durations land in histograms, and the failure counters
+        (timeouts, access-denied, retries, parse failures) are tallied
+        per lab.  Dropped at construction when absent or disabled, the
+        same differential guarantee as ``faults``.
     """
 
     def __init__(
@@ -83,6 +116,7 @@ class DdcCoordinator:
         horizon: float,
         credentials: Optional[Credentials] = None,
         faults: Optional[FaultPlan] = None,
+        observer: Optional["Observer"] = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -94,6 +128,17 @@ class DdcCoordinator:
         self.rng = rng
         self.horizon = float(horizon)
         self.faults = faults if faults is not None and not faults.empty else None
+        self._obs = observer if observer is not None and observer.enabled else None
+        self._lab_instruments: Dict[str, _LabInstruments] = {}
+        if self._obs is not None:
+            from repro.obs.metrics import DURATION_BUCKETS
+
+            m = self._obs.metrics
+            self._c_iter_run = m.counter("ddc.iterations_run")
+            self._c_iter_lost = m.counter("ddc.iterations_lost")
+            self._h_iteration = m.histogram(
+                "ddc.iteration_seconds", edges=DURATION_BUCKETS
+            )
         admin = credentials or Credentials.create("DDC\\collector", "probe!2005")
         self.credentials = admin
         self.executor = RemoteExecutor(
@@ -102,6 +147,7 @@ class DdcCoordinator:
             off_timeout=params.off_timeout,
             rng=rng,
             faults=self.faults,
+            observer=observer,
         )
         # accounting
         self.iterations_scheduled = 0
@@ -126,16 +172,36 @@ class DdcCoordinator:
 
     def _iteration(self, k: int) -> None:
         start = self.sim.now
+        obs = self._obs
         self.iterations_scheduled += 1
         if self.faults is not None and self.faults.coordinator_down(start, k):
-            pass  # injected outage: the iteration is lost entirely
+            # injected outage: the iteration is lost entirely
+            if obs is not None:
+                self._c_iter_lost.inc()
         elif self.rng.random() < self.params.coordinator_availability:
             self.iterations_run += 1
-            elapsed = self._run_pass(k, start)
+            if obs is not None:
+                with obs.span("ddc.iteration", iteration=k) as span:
+                    elapsed = self._run_pass(k, start)
+                    span.set_end(start + elapsed)
+                self._c_iter_run.inc()
+                self._h_iteration.observe(elapsed)
+            else:
+                elapsed = self._run_pass(k, start)
             self.iteration_durations.append(elapsed)
+        elif obs is not None:
+            self._c_iter_lost.inc()
         nxt = (k + 1) * self.params.sample_period
         if nxt < self.horizon:
             self.sim.schedule(nxt, self._iteration, k + 1, name="ddc_iter")
+
+    def _lab(self, lab: str) -> _LabInstruments:
+        """Per-lab instruments, created on first encounter."""
+        li = self._lab_instruments.get(lab)
+        if li is None:
+            li = _LabInstruments(self._obs, lab)
+            self._lab_instruments[lab] = li
+        return li
 
     def _retryable(self, error: Optional[Exception]) -> bool:
         """Whether a failed outcome is worth a bounded retry."""
@@ -156,10 +222,13 @@ class DdcCoordinator:
         if outcome.ok or self.params.retry_limit == 0:
             return outcome, elapsed
         backoff = self.params.retry_backoff
+        li = self._lab(machine.spec.lab) if self._obs is not None else None
         for _ in range(self.params.retry_limit):
             if not self._retryable(outcome.error):
                 break
             self.retries += 1
+            if li is not None:
+                li.retries.inc()
             elapsed += backoff
             outcome = self.executor.execute(
                 machine, self.probe, start + elapsed, self.credentials
@@ -168,13 +237,27 @@ class DdcCoordinator:
             backoff *= 2.0
             if outcome.ok:
                 self.retries_recovered += 1
+                if li is not None:
+                    li.retries_recovered.inc()
                 break
         return outcome, elapsed
 
     def _run_pass(self, k: int, start: float) -> float:
         """One sequential pass over the roster; returns its duration."""
+        observing = self._obs is not None
         cursor = start
+        lab_start = start
+        current_lab: Optional[str] = None
+        li: Optional[_LabInstruments] = None
         for machine in self.machines:
+            if observing and machine.spec.lab != current_lab:
+                # The roster is lab-ordered, so each lab is one contiguous
+                # segment of the pass; close the previous lab's timing.
+                if li is not None:
+                    li.pass_seconds.observe(cursor - lab_start)
+                current_lab = machine.spec.lab
+                li = self._lab(current_lab)
+                lab_start = cursor
             outcome, elapsed = self._execute_with_retry(machine, cursor)
             self.attempts += 1
             cursor += elapsed
@@ -191,14 +274,24 @@ class DdcCoordinator:
                 if self.post_collect(outcome.result.stdout,
                                      outcome.result.stderr, ctx) is not None:
                     self.samples_collected += 1
+                    if li is not None:
+                        li.samples.inc()
                 else:
                     # Non-strict post-collecting code dropped the report
                     # (garbled telemetry); strict mode raises instead.
                     self.parse_failures += 1
+                    if li is not None:
+                        li.parse_failures.inc()
             elif isinstance(outcome.error, MachineUnreachable):
                 self.timeouts += 1
+                if li is not None:
+                    li.timeouts.inc()
             elif isinstance(outcome.error, AccessDenied):
                 self.access_denied += 1
+                if li is not None:
+                    li.access_denied.inc()
+        if li is not None:
+            li.pass_seconds.observe(cursor - lab_start)
         return cursor - start
 
     # ------------------------------------------------------------------

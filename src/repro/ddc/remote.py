@@ -34,6 +34,8 @@ from repro.machines.winapi import Win32Api
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.obs.metrics import Histogram
+    from repro.obs.observer import Observer
 
 __all__ = ["Credentials", "RemoteOutcome", "RemoteExecutor"]
 
@@ -113,6 +115,11 @@ class RemoteExecutor:
         Optional :class:`~repro.faults.plan.FaultPlan` consulted around
         each execution.  An empty (or absent) plan costs nothing: the
         reference is dropped at construction and no hook ever runs.
+    observer:
+        Optional :class:`repro.obs.Observer`; when attached, each live
+        execution's latency (post fault inflation) is recorded into the
+        per-lab ``ddc.exec_latency_seconds`` histogram.  ``None`` or a
+        disabled observer is dropped here, like an empty fault plan.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class RemoteExecutor:
         off_timeout: float,
         rng: np.random.Generator,
         faults: Optional["FaultPlan"] = None,
+        observer: Optional["Observer"] = None,
     ):
         lo, hi = latency_range
         if not 0 < lo <= hi:
@@ -133,6 +141,20 @@ class RemoteExecutor:
         self._off_timeout = float(off_timeout)
         self._rng = rng
         self._faults = faults if faults is not None and not faults.empty else None
+        self._obs = observer if observer is not None and observer.enabled else None
+        self._lat_hists: dict = {}
+
+    def _latency_hist(self, lab: str) -> "Histogram":
+        """Bound per-lab latency histogram (resolved once per lab)."""
+        hist = self._lat_hists.get(lab)
+        if hist is None:
+            from repro.obs.metrics import LATENCY_BUCKETS
+
+            hist = self._obs.metrics.histogram(
+                "ddc.exec_latency_seconds", edges=LATENCY_BUCKETS, lab=lab
+            )
+            self._lat_hists[lab] = hist
+        return hist
 
     def execute(
         self,
@@ -164,6 +186,8 @@ class RemoteExecutor:
         latency = float(self._rng.uniform(*self._latency))
         if faults is not None:
             latency *= faults.latency_factor(now, machine)
+        if self._obs is not None:
+            self._latency_hist(machine.spec.lab).observe(latency)
         if not credentials.matches(self._admin):
             return RemoteOutcome(
                 result=None,

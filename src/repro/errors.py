@@ -23,6 +23,10 @@ __all__ = [
     "AnalysisError",
     "CalibrationError",
     "HarvestError",
+    "ObservabilityError",
+    "MetricError",
+    "SpanError",
+    "SnapshotFormatError",
 ]
 
 
@@ -89,3 +93,23 @@ class CalibrationError(ReproError):
 
 class HarvestError(ReproError):
     """The idle-cycle harvesting simulator hit an invalid state."""
+
+
+class ObservabilityError(ReproError):
+    """Base class for errors raised by the :mod:`repro.obs` layer."""
+
+
+class MetricError(ObservabilityError):
+    """A metric was registered or used inconsistently.
+
+    Examples: re-registering ``(name, labels)`` as a different metric
+    type, or two histograms sharing a name with different buckets.
+    """
+
+
+class SpanError(ObservabilityError):
+    """Span nesting was violated (exited out of order or never entered)."""
+
+
+class SnapshotFormatError(ObservabilityError):
+    """A serialized observability snapshot does not conform to the schema."""

@@ -25,7 +25,8 @@ from typing import Optional, Sequence
 
 from repro.config import ExperimentConfig, paper_config
 from repro.ddc.coordinator import DdcCoordinator
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FAULT_CATEGORIES, FaultPlan
+from repro.obs.observer import Observer, maybe_phase
 from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
 from repro.ddc.postcollect import SamplePostCollector
 from repro.ddc.w32probe import W32Probe
@@ -55,6 +56,9 @@ class MonitoringResult:
         The collected trace.
     faults:
         The fault plan the run used (``None`` for a fault-free run).
+    observer:
+        The observer the run was instrumented with (``None`` when
+        uninstrumented); export it with ``observer.snapshot()``.
     """
 
     config: ExperimentConfig
@@ -62,11 +66,13 @@ class MonitoringResult:
     coordinator: DdcCoordinator
     store: TraceStore
     faults: Optional[FaultPlan] = None
+    observer: Optional[Observer] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
         """Columnar view of the trace (built lazily, cached)."""
-        return ColumnarTrace(self.store)
+        with maybe_phase(self.observer, "columnarise"):
+            return ColumnarTrace(self.store)
 
     @property
     def meta(self) -> TraceMeta:
@@ -83,6 +89,7 @@ def run_experiment(
     strict_postcollect: bool = True,
     fleet_factory=None,
     faults: Optional[FaultPlan] = None,
+    observer: Optional[Observer] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -106,37 +113,59 @@ def run_experiment(
         :class:`~repro.faults.scenarios.StdoutCorruption` with
         ``strict_postcollect=False`` so garbled reports are dropped, not
         raised.
+    observer:
+        :class:`repro.obs.Observer` threaded into every layer (engine,
+        coordinator, executor, agents).  Wall-clock phase timings land in
+        ``experiment.phase_seconds`` gauges; with a fault plan attached,
+        the plan's injection ledger is copied into ``faults.injected``
+        counters so an exported snapshot is self-contained.  ``None`` or
+        a :class:`~repro.obs.NullObserver` reproduces pre-observability
+        output byte for byte.
     """
     cfg = config or paper_config()
-    if fleet_factory is None:
-        fleet = FleetSimulator(cfg, labs=labs)
-    else:
-        fleet = fleet_factory(cfg, labs)
-    meta = TraceMeta(
-        n_machines=len(fleet.machines),
-        sample_period=cfg.ddc.sample_period,
-        horizon=cfg.horizon,
-    )
-    store = TraceStore(meta)
-    post = SamplePostCollector(store, strict=strict_postcollect)
-    coordinator = DdcCoordinator(
-        fleet.machines,
-        fleet.sim,
-        cfg.ddc,
-        W32Probe(),
-        post,
-        fleet.streams.stream("ddc"),
-        horizon=cfg.horizon,
-        faults=faults,
-    )
-    fleet.start()
-    coordinator.start()
-    fleet.sim.run_until(cfg.horizon)
+    obs = observer if observer is not None and observer.enabled else None
+    with maybe_phase(obs, "build"):
+        if fleet_factory is None:
+            fleet = FleetSimulator(cfg, labs=labs, observer=observer)
+        else:
+            fleet = fleet_factory(cfg, labs)
+            if obs is not None:
+                # Custom fleets don't instrument their engine, but spans
+                # (and the coordinator) still run on its clock.
+                obs.bind_clock(fleet.sim)
+        meta = TraceMeta(
+            n_machines=len(fleet.machines),
+            sample_period=cfg.ddc.sample_period,
+            horizon=cfg.horizon,
+        )
+        store = TraceStore(meta)
+        post = SamplePostCollector(store, strict=strict_postcollect)
+        coordinator = DdcCoordinator(
+            fleet.machines,
+            fleet.sim,
+            cfg.ddc,
+            W32Probe(),
+            post,
+            fleet.streams.stream("ddc"),
+            horizon=cfg.horizon,
+            faults=faults,
+            observer=observer,
+        )
+    with maybe_phase(obs, "simulate"):
+        fleet.start()
+        coordinator.start()
+        fleet.sim.run_until(cfg.horizon)
     coordinator.finalize_meta(meta)
     if collect_nbench:
-        _attach_nbench_indexes(fleet, meta)
+        with maybe_phase(obs, "collect"):
+            _attach_nbench_indexes(fleet, meta)
+    if obs is not None and faults is not None and not faults.empty:
+        for category in FAULT_CATEGORIES:
+            obs.metrics.counter("faults.injected", category=category).inc(
+                faults.injected.get(category, 0)
+            )
     return MonitoringResult(config=cfg, fleet=fleet, coordinator=coordinator,
-                            store=store, faults=faults)
+                            store=store, faults=faults, observer=observer)
 
 
 def _attach_nbench_indexes(fleet: FleetSimulator, meta: TraceMeta) -> None:

@@ -1,0 +1,52 @@
+"""repro.obs -- tracing, metrics and profiling for the reproduction.
+
+The paper's conclusions rest on operational telemetry about the
+collection infrastructure itself (6,883 of 7,392 attempted iterations,
+45-55% per-iteration response rates); this package gives the
+reproduction the same kind of first-class self-observation:
+
+- :class:`MetricsRegistry` -- counters, gauges and fixed-bucket
+  histograms keyed by ``(name, labels)``;
+- simulation-time spans with a bounded buffer, plus sampling of the
+  engine's fired :class:`~repro.sim.engine.Event` records;
+- :class:`Observer` / :class:`NullObserver` -- the facade threaded
+  through ``run_experiment`` into every instrumented layer;
+- :class:`ObsSnapshot` -- the frozen, JSONL-round-trippable artefact
+  consumed by ``repro obs`` and :mod:`repro.report.obs`.
+
+Differential guarantee: with no observer (or a :class:`NullObserver`)
+the instrumented layers drop the reference at construction, run
+hook-free, and produce bitwise-identical traces to pre-observability
+builds.  See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DURATION_BUCKETS,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    geometric_buckets,
+)
+from repro.obs.observer import NullObserver, Observer, maybe_phase
+from repro.obs.snapshot import SNAPSHOT_FORMAT_VERSION, ObsSnapshot
+from repro.obs.spans import Span, SpanRecord, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "geometric_buckets",
+    "DURATION_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Observer",
+    "NullObserver",
+    "maybe_phase",
+    "ObsSnapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Span",
+    "SpanRecord",
+    "SpanRecorder",
+]

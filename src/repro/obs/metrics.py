@@ -1,0 +1,226 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat map from ``(name, labels)`` to one
+metric instrument.  The design follows the operational-telemetry model
+that made the Grid'5000 / Jefferson-Lab style cluster reports tractable:
+
+- **counters** are monotone event tallies (``ddc.timeouts``),
+- **gauges** hold a last-written value (``sim.heap_depth_max``),
+- **histograms** bucket observations against a *fixed* edge vector so
+  two runs (or two labs) are always comparable bucket-for-bucket.
+
+Hot-path contract
+-----------------
+Instrumented layers resolve their instruments **once** (at construction
+or lazily per label set) and then call ``inc`` / ``observe`` on the
+bound object; the registry dictionary is never consulted per event.
+That keeps fully-instrumented overhead within the <=10% budget measured
+by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import MetricError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "geometric_buckets",
+    "LATENCY_BUCKETS",
+    "DURATION_BUCKETS",
+]
+
+#: ``(name, ((label, value), ...))`` -- the registry key of one instrument.
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, object]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def geometric_buckets(lo: float, hi: float, n: int) -> Tuple[float, ...]:
+    """``n`` geometrically spaced upper edges from ``lo`` to ``hi``.
+
+    The returned edges are finite; every histogram implicitly carries a
+    final ``+inf`` overflow bucket on top of them.
+    """
+    if not (0 < lo < hi) or n < 2:
+        raise MetricError(f"bad geometric bucket spec ({lo}, {hi}, {n})")
+    ratio = (hi / lo) ** (1.0 / (n - 1))
+    return tuple(lo * ratio**i for i in range(n))
+
+
+#: Edges for sub-second remote-execution latencies (seconds).
+LATENCY_BUCKETS = geometric_buckets(0.05, 12.8, 9)
+#: Edges for iteration / lab-pass durations (seconds).
+DURATION_BUCKETS = geometric_buckets(0.5, 512.0, 11)
+
+
+class Counter:
+    """A monotone tally.  ``inc`` is the only mutation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the tally."""
+        if n < 0:
+            raise MetricError(f"counters only go up, got inc({n})")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins value (e.g. a high-water mark or phase timing)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum of observed values."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``<= edge`` (inclusive) semantics.
+
+    ``edges`` are strictly increasing finite upper bounds; observations
+    land in the first bucket whose edge is ``>= value``, values above
+    the last edge land in the implicit ``+inf`` overflow bucket, so
+    ``counts`` has ``len(edges) + 1`` cells.  Min/max/sum are tracked
+    exactly alongside the bucketed counts.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, edges: Iterable[float]):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise MetricError("histogram needs at least one bucket edge")
+        if any(not math.isfinite(e) for e in edges):
+            raise MetricError(f"histogram edges must be finite: {edges}")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise MetricError(f"histogram edges must strictly increase: {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by ``(name, labels)``.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("ddc.timeouts", lab="L01").inc()
+    >>> reg.counter("ddc.timeouts", lab="L01").value
+    1
+    >>> h = reg.histogram("ddc.iteration_seconds", edges=(1.0, 10.0))
+    >>> h.observe(3.2); h.counts
+    [0, 1, 0]
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[LabelKey, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, key: LabelKey, cls, factory):
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise MetricError(
+                f"{key[0]!r} with labels {dict(key[1])} is already registered "
+                f"as {type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``(name, labels)``, creating it on first use."""
+        return self._get_or_create(_label_key(name, labels), Counter, Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``(name, labels)``, creating it on first use."""
+        return self._get_or_create(_label_key(name, labels), Gauge, Gauge)
+
+    def histogram(
+        self, name: str, edges: Iterable[float] = DURATION_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, creating it on first use.
+
+        A second caller must pass the same ``edges`` (or rely on the
+        default); mismatched edges for one name are a :class:`MetricError`
+        because their buckets could not be compared or merged.
+        """
+        key = _label_key(name, labels)
+        hist = self._get_or_create(key, Histogram, lambda: Histogram(edges))
+        if hist.edges != tuple(float(e) for e in edges):
+            raise MetricError(
+                f"histogram {name!r} already registered with edges "
+                f"{hist.edges}, conflicting with {tuple(edges)}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def rows(self) -> "List[dict]":
+        """All instruments as plain dicts (deterministic order)."""
+        out = []
+        for (name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: kv[0]
+        ):
+            row: dict = {"name": name, "labels": dict(labels)}
+            if isinstance(metric, Counter):
+                row.update(kind="counter", value=metric.value)
+            elif isinstance(metric, Gauge):
+                row.update(kind="gauge", value=metric.value)
+            else:
+                assert isinstance(metric, Histogram)
+                row.update(
+                    kind="histogram",
+                    edges=list(metric.edges),
+                    counts=list(metric.counts),
+                    count=metric.count,
+                    total=metric.total,
+                    min=None if metric.count == 0 else metric.vmin,
+                    max=None if metric.count == 0 else metric.vmax,
+                )
+            out.append(row)
+        return out

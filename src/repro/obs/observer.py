@@ -1,0 +1,190 @@
+"""The observer facade the instrumented layers talk to.
+
+One :class:`Observer` travels through ``run_experiment`` into every
+layer (engine, DDC, fleet); each layer resolves the instruments it needs
+from :attr:`Observer.metrics` and opens spans via :meth:`Observer.span`.
+The default is :data:`NULL_OBSERVER` semantics: consumers apply the same
+drop-at-construction pattern the fault plan uses ::
+
+    self._obs = observer if observer is not None and observer.enabled else None
+
+so an uninstrumented run carries **no** hook in the hot path and stays
+bitwise-identical to pre-observability behaviour (the differential test
+in ``tests/obs`` enforces this, mirroring the fault layer's guarantee).
+The observer never consumes experiment RNG streams, so even a fully
+instrumented run leaves the trace bytes untouched.
+
+Clocks: spans run on the **simulation** clock (bind it with
+:meth:`bind_clock` once the :class:`~repro.sim.engine.Simulator`
+exists); :meth:`phase` timings are **wall-clock** because they measure
+the reproduction pipeline itself (simulate / collect / columnarise /
+analyse), not simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshot import ObsSnapshot
+from repro.obs.spans import Span, SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Event, Simulator
+
+__all__ = ["Observer", "NullObserver", "maybe_phase"]
+
+
+class Observer:
+    """Live metrics registry + span recorder for one run.
+
+    Parameters
+    ----------
+    max_spans / max_events / event_sample_every:
+        Buffer bounds forwarded to :class:`~repro.obs.spans.SpanRecorder`.
+    clock:
+        Span clock override; defaults to ``0.0`` until :meth:`bind_clock`
+        attaches a simulator.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        max_spans: int = 100_000,
+        max_events: int = 4096,
+        event_sample_every: int = 64,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.metrics = MetricsRegistry()
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.spans = SpanRecorder(
+            self.now,
+            max_spans=max_spans,
+            max_events=max_events,
+            event_sample_every=event_sample_every,
+        )
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current span-clock reading (simulation seconds once bound)."""
+        return self._clock()
+
+    def bind_clock(self, sim: "Simulator") -> None:
+        """Drive spans off ``sim``'s clock from now on."""
+        self._clock = lambda: sim.now
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **labels: object) -> Span:
+        """A new simulation-time span (use as a context manager)."""
+        return self.spans.span(name, **labels)
+
+    def record_event(self, event: "Event") -> None:
+        """Offer one fired engine event to the sampler."""
+        self.spans.record_event(event)
+
+    def phase(self, name: str):
+        """Context manager timing one pipeline phase in wall-clock seconds.
+
+        The duration lands in the ``experiment.phase_seconds{phase=name}``
+        gauge (last write wins if a phase runs twice).
+        """
+        gauge = self.metrics.gauge("experiment.phase_seconds", phase=name)
+
+        @contextmanager
+        def _timer() -> Iterator[None]:
+            t0 = time.perf_counter()
+            try:
+                yield
+            finally:
+                gauge.set(time.perf_counter() - t0)
+
+        return _timer()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ObsSnapshot:
+        """Freeze the current state into an :class:`ObsSnapshot`."""
+        rec = self.spans
+        return ObsSnapshot(
+            metrics=self.metrics.rows(),
+            spans=[
+                {
+                    "name": s.name,
+                    "start": s.start,
+                    "end": s.end,
+                    "depth": s.depth,
+                    "seq": s.seq,
+                    "labels": {k: v for k, v in s.labels.items()},
+                }
+                for s in rec.records
+            ],
+            events=[
+                {"time": e.time, "seq": e.seq, "name": e.name}
+                for e in rec.events
+            ],
+            spans_dropped=rec.spans_dropped,
+            events_dropped=rec.events_dropped,
+            events_seen=rec.events_seen,
+            event_sample_every=rec.event_sample_every,
+        )
+
+
+class _NullSpan:
+    """Inert span stand-in returned by :class:`NullObserver`."""
+
+    __slots__ = ()
+
+    def set_end(self, end: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObserver(Observer):
+    """The do-nothing observer: every hook is an inert no-op.
+
+    Layers drop a ``NullObserver`` at construction (``enabled`` is
+    ``False``), so it normally costs nothing at all; the overridden
+    methods below only matter for user code that calls the facade
+    directly on whatever observer it was handed.
+    """
+
+    enabled = False
+
+    def bind_clock(self, sim: "Simulator") -> None:
+        pass
+
+    def span(self, name: str, **labels: object) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def record_event(self, event: "Event") -> None:
+        pass
+
+    def phase(self, name: str):
+        return nullcontext()
+
+    def snapshot(self) -> ObsSnapshot:
+        return ObsSnapshot()
+
+
+def maybe_phase(observer: Optional[Observer], name: str):
+    """``observer.phase(name)`` when observing, else a null context."""
+    if observer is None or not observer.enabled:
+        return nullcontext()
+    return observer.phase(name)

@@ -1,0 +1,195 @@
+"""Simulation-time spans and the sampled event buffer.
+
+A **span** is a named, labelled interval on the :class:`Simulator
+<repro.sim.engine.Simulator>` clock: ``with recorder.span("ddc.iteration",
+iteration=3): ...`` records start, end, nesting depth and labels into a
+bounded in-memory buffer.  Because a whole DDC iteration executes inside
+one simulation event (the clock does not advance), producers that model
+elapsed simulated time themselves can override the recorded end with
+:meth:`Span.set_end`.
+
+The recorder also owns the **event buffer** the engine's
+:class:`~repro.sim.engine.Event` records feed: every ``event_sample_every``-th
+fired event is kept (time, seq, name), giving a cheap structural sample
+of the run's event stream without holding ~10^6 records.
+
+Both buffers are bounded; overflow is *counted*, never silently grown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.errors import SpanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Event
+
+__all__ = ["SpanRecord", "Span", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Span name (dotted, e.g. ``ddc.iteration``).
+    start, end:
+        Interval endpoints on the recorder's clock (simulation seconds),
+        unless the producer overrode ``end`` via :meth:`Span.set_end`.
+    depth:
+        Nesting depth at entry (0 = top level).
+    seq:
+        Monotone completion sequence number (order spans *closed*).
+    labels:
+        Small string/number labels (lab, iteration index, ...).
+    """
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    seq: int
+    labels: Dict[str, object]
+
+    @property
+    def duration(self) -> float:
+        """Span extent in (simulated) seconds."""
+        return self.end - self.start
+
+
+class Span:
+    """Context manager for one in-flight span.
+
+    Exits must mirror entries exactly: leaving a span that is not the
+    innermost open one (or was never entered) raises :class:`SpanError`.
+    """
+
+    __slots__ = ("_recorder", "name", "labels", "start", "_depth", "_end")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 labels: Dict[str, object]):
+        self._recorder = recorder
+        self.name = name
+        self.labels = labels
+        self.start = 0.0
+        self._depth = 0
+        self._end: Optional[float] = None
+
+    def set_end(self, end: float) -> None:
+        """Override the recorded end time (for single-event producers).
+
+        The DDC coordinator runs a whole iteration at one simulation
+        instant; it computes the iteration's simulated extent itself and
+        stamps it here so the span still has a meaningful duration.
+        """
+        if end < self.start:
+            raise SpanError(
+                f"span {self.name!r}: end {end} precedes start {self.start}"
+            )
+        self._end = float(end)
+
+    def __enter__(self) -> "Span":
+        self._recorder._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._exit(self)
+
+
+class SpanRecorder:
+    """Bounded buffer of finished spans plus the sampled event stream.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulation) time.
+    max_spans:
+        Buffer capacity; further spans are dropped and counted in
+        :attr:`spans_dropped`.
+    max_events:
+        Event-buffer capacity (overflow counted in :attr:`events_dropped`).
+    event_sample_every:
+        Keep every N-th fired event (1 = keep all).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        max_spans: int = 100_000,
+        max_events: int = 4096,
+        event_sample_every: int = 64,
+    ):
+        if max_spans < 1 or max_events < 1 or event_sample_every < 1:
+            raise SpanError("span/event buffer sizes must be positive")
+        self._clock = clock
+        self.max_spans = int(max_spans)
+        self.max_events = int(max_events)
+        self.event_sample_every = int(event_sample_every)
+        self.records: List[SpanRecord] = []
+        self.events: List["Event"] = []
+        self.spans_dropped = 0
+        self.events_dropped = 0
+        self.events_seen = 0
+        self._stack: List[Span] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **labels: object) -> Span:
+        """A new (not yet entered) span context manager."""
+        return Span(self, name, labels)
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open (entered, not exited) spans."""
+        return len(self._stack)
+
+    def _enter(self, span: Span) -> None:
+        if span in self._stack:
+            raise SpanError(f"span {span.name!r} entered twice")
+        span.start = self._clock()
+        span._depth = len(self._stack)
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            open_name = self._stack[-1].name if self._stack else None
+            raise SpanError(
+                f"unbalanced span exit: closing {span.name!r} while the "
+                f"innermost open span is {open_name!r}"
+            )
+        self._stack.pop()
+        end = span._end if span._end is not None else self._clock()
+        if len(self.records) >= self.max_spans:
+            self.spans_dropped += 1
+            return
+        self.records.append(
+            SpanRecord(
+                name=span.name,
+                start=span.start,
+                end=end,
+                depth=span._depth,
+                seq=self._seq,
+                labels=span.labels,
+            )
+        )
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # events (fed by Simulator.step)
+    # ------------------------------------------------------------------
+    def record_event(self, event: "Event") -> None:
+        """Sample one fired engine event into the bounded buffer."""
+        self.events_seen += 1
+        if (self.events_seen - 1) % self.event_sample_every:
+            return
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append(event)

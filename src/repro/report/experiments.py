@@ -38,6 +38,7 @@ from repro.analysis.stability import (
 )
 from repro.analysis.weekly import WeeklyProfiles, weekly_profiles
 from repro.experiment import MonitoringResult
+from repro.obs.observer import maybe_phase
 from repro.report.paperdata import PAPER
 from repro.report.tables import render_comparison
 from repro.traces.columnar import ColumnarTrace
@@ -193,8 +194,18 @@ class ExperimentReport:
 
 
 def generate_report(result: MonitoringResult) -> ExperimentReport:
-    """Compute every analysis of a finished run, sharing intermediates."""
+    """Compute every analysis of a finished run, sharing intermediates.
+
+    On an instrumented run the whole computation is timed into the
+    ``experiment.phase_seconds{phase=analyse}`` gauge (the columnarise
+    phase is accounted separately by ``result.trace``).
+    """
     trace = result.trace
+    with maybe_phase(result.observer, "analyse"):
+        return _generate(result, trace)
+
+
+def _generate(result: MonitoringResult, trace: ColumnarTrace) -> ExperimentReport:
     pairs = pairwise_cpu(trace)
     return ExperimentReport(
         result=result,

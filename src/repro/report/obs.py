@@ -1,0 +1,224 @@
+"""Rendering of observability snapshots, with fault cross-referencing.
+
+:func:`render_obs_report` turns an :class:`~repro.obs.ObsSnapshot` into
+the same fixed-width (or Markdown) tables the paper comparisons use:
+
+- a run summary (engine, fleet and collector totals),
+- pipeline phase timings,
+- per-lab collector counters (samples, timeouts, retries, ...),
+- per-lab pass-duration histograms with ASCII bars,
+- and -- when the snapshot carries a ``faults.injected`` ledger -- the
+  injected-vs-observed reconciliation, category for category the same
+  ledger :func:`repro.report.faults.fault_rows` builds from a live
+  coordinator, but recovered entirely from the exported snapshot.
+
+:func:`obs_to_json` is the machine-readable variant (``repro obs
+--json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FAULT_CATEGORIES
+from repro.obs.snapshot import ObsSnapshot
+from repro.report.tables import Table
+
+__all__ = [
+    "render_obs_report",
+    "render_histogram",
+    "obs_to_json",
+    "obs_fault_rows",
+]
+
+#: Fault category -> (report label, observed obs-counter name).  Mirrors
+#: :func:`repro.report.faults.fault_rows`; ``None`` means the category
+#: has no direct observed counter (latency inflation shows up in the
+#: duration histograms instead).
+_CATEGORY_OBSERVED = {
+    "coordinator_outage": ("coordinator outage (iterations lost)",
+                           "ddc.iterations_lost"),
+    "unreachable": ("unreachable (timeouts)", "ddc.timeouts"),
+    "slow_latency": ("slow latency (inflated executions)", None),
+    "access_denied": ("access denied", "ddc.access_denied"),
+    "corruption": ("corrupted telemetry (parse failures)",
+                   "ddc.parse_failures"),
+}
+
+
+def obs_fault_rows(
+    snapshot: ObsSnapshot,
+) -> List[Tuple[str, int, Optional[int]]]:
+    """``(category, injected, observed)`` rows from a snapshot alone.
+
+    ``observed`` sums the collector's per-lab counters, so it includes
+    organic failures (a powered-off machine times out with or without a
+    partition) -- the same semantics as the live
+    :func:`repro.report.faults.fault_rows` ledger.
+    """
+    rows = []
+    for category in FAULT_CATEGORIES:
+        label, observed_name = _CATEGORY_OBSERVED[category]
+        injected = snapshot.counter_by_label(
+            "faults.injected", "category").get(category, 0)
+        observed = (snapshot.counter_total(observed_name)
+                    if observed_name is not None else None)
+        rows.append((label, injected, observed))
+    return rows
+
+
+def render_histogram(row: dict, width: int = 36) -> str:
+    """ASCII rendering of one histogram metric row.
+
+    Zero-count buckets are elided; each kept bucket shows its inclusive
+    upper edge, count and a bar scaled to the fullest bucket.
+    """
+    edges = list(row["edges"]) + [float("inf")]
+    counts = row["counts"]
+    total = row["count"]
+    if total == 0:
+        return "(no observations)"
+    peak = max(counts)
+    lines = []
+    for edge, count in zip(edges, counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, round(width * count / peak))
+        label = "   +inf" if edge == float("inf") else f"{edge:7.2f}"
+        lines.append(f"  <= {label} s  {count:7d}  {bar}")
+    lines.append(
+        f"  n={total}  mean={row['total'] / total:.2f}s"
+        f"  min={row['min']:.2f}s  max={row['max']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def _section(title: str, body: str, markdown: bool) -> str:
+    if markdown:
+        return f"## {title}\n\n```\n{body}\n```"
+    return f"{title}\n{'-' * len(title)}\n{body}"
+
+
+def _summary_table(snapshot: ObsSnapshot) -> Table:
+    table = Table(["counter", "value"])
+    rows = [
+        ("engine events fired", snapshot.counter_total("sim.events_fired")),
+        ("tombstones discarded",
+         snapshot.counter_total("sim.tombstones_discarded")),
+        ("heap depth (max)", snapshot.gauge_value("sim.heap_depth_max")),
+        ("sessions started", snapshot.counter_total("fleet.session_starts")),
+        ("machine boots", snapshot.counter_total("fleet.boots")),
+        ("machine shutdowns", snapshot.counter_total("fleet.shutdowns")),
+        ("DDC iterations run", snapshot.counter_total("ddc.iterations_run")),
+        ("DDC iterations lost", snapshot.counter_total("ddc.iterations_lost")),
+        ("samples collected", snapshot.counter_total("ddc.samples")),
+        ("spans recorded", len(snapshot.spans)),
+        ("spans dropped", snapshot.spans_dropped),
+        ("events sampled",
+         f"{len(snapshot.events)} of {snapshot.events_seen} "
+         f"(stride {snapshot.event_sample_every})"),
+    ]
+    for name, value in rows:
+        table.add_row([name, value])
+    return table
+
+
+def _phase_table(snapshot: ObsSnapshot) -> Optional[Table]:
+    phases = {
+        r["labels"].get("phase", ""): r["value"]
+        for r in snapshot.metrics
+        if r["kind"] == "gauge" and r["name"] == "experiment.phase_seconds"
+    }
+    if not phases:
+        return None
+    table = Table(["phase", "wall seconds"], ndigits=3)
+    for phase in ("build", "simulate", "collect", "columnarise", "analyse"):
+        if phase in phases:
+            table.add_row([phase, phases.pop(phase)])
+    for phase, seconds in sorted(phases.items()):  # any non-standard phases
+        table.add_row([phase, seconds])
+    return table
+
+
+def _lab_counter_table(snapshot: ObsSnapshot) -> Optional[Table]:
+    columns = (
+        ("samples", "ddc.samples"),
+        ("timeouts", "ddc.timeouts"),
+        ("denied", "ddc.access_denied"),
+        ("retries", "ddc.retries"),
+        ("recovered", "ddc.retries_recovered"),
+        ("parse failures", "ddc.parse_failures"),
+    )
+    per_lab = {label: snapshot.counter_by_label(name, "lab")
+               for label, name in columns}
+    labs = sorted(set().union(*per_lab.values()))
+    if not labs:
+        return None
+    table = Table(["lab", *(label for label, _ in columns)])
+    for lab in labs:
+        table.add_row([lab, *(per_lab[label].get(lab, 0)
+                              for label, _ in columns)])
+    return table
+
+
+def render_obs_report(snapshot: ObsSnapshot, *, markdown: bool = False) -> str:
+    """Render the full observability report for one snapshot."""
+    title = "Observability report"
+    parts = [f"# {title}" if markdown else f"{title}\n{'=' * len(title)}"]
+    parts.append(_section("Run summary", _summary_table(snapshot).render(),
+                          markdown))
+    phase_table = _phase_table(snapshot)
+    if phase_table is not None:
+        parts.append(_section("Pipeline phases", phase_table.render(),
+                              markdown))
+    lab_table = _lab_counter_table(snapshot)
+    if lab_table is not None:
+        parts.append(_section("Collector counters per lab",
+                              lab_table.render(), markdown))
+    hists = snapshot.histograms("ddc.lab_pass_seconds")
+    if hists:
+        blocks = []
+        for row in sorted(hists, key=lambda r: r["labels"].get("lab", "")):
+            blocks.append(f"{row['labels'].get('lab', '?')}:\n"
+                          f"{render_histogram(row)}")
+        parts.append(_section(
+            "Per-lab iteration pass durations (simulated seconds)",
+            "\n".join(blocks), markdown))
+    iteration = snapshot.histograms("ddc.iteration_seconds")
+    if iteration and iteration[0]["count"]:
+        parts.append(_section("Full-iteration durations (simulated seconds)",
+                              render_histogram(iteration[0]), markdown))
+    if snapshot.counter_total("faults.injected") or any(
+        r["name"] == "faults.injected" for r in snapshot.metrics
+    ):
+        table = Table(["fault category", "injected", "observed"])
+        for row in obs_fault_rows(snapshot):
+            table.add_row(row)
+        parts.append(_section("Fault injection: injected vs observed",
+                              table.render(), markdown))
+    return "\n\n".join(parts)
+
+
+def obs_to_json(snapshot: ObsSnapshot, *, indent: int = 2) -> str:
+    """Machine-readable digest of a snapshot (counters summed per name,
+    histograms and phases in full, fault reconciliation included)."""
+    counters = {}
+    for row in snapshot.metrics:
+        if row["kind"] == "counter":
+            counters.setdefault(row["name"], 0)
+            counters[row["name"]] += row["value"]
+    doc = {
+        "counters": counters,
+        "gauges": [r for r in snapshot.metrics if r["kind"] == "gauge"],
+        "histograms": [r for r in snapshot.metrics if r["kind"] == "histogram"],
+        "spans": len(snapshot.spans),
+        "spans_dropped": snapshot.spans_dropped,
+        "events_sampled": len(snapshot.events),
+        "events_seen": snapshot.events_seen,
+        "faults": [
+            {"category": c, "injected": inj, "observed": obs}
+            for c, inj, obs in obs_fault_rows(snapshot)
+        ],
+    }
+    return json.dumps(doc, indent=indent)

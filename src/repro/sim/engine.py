@@ -25,9 +25,12 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ScheduleError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 __all__ = ["Event", "EventHandle", "Simulator"]
 
@@ -91,6 +94,12 @@ class Simulator:
         Initial simulation time in seconds.  The convention throughout
         :mod:`repro` is that ``t = 0`` is 00:00 on the first (Monday) day of
         the monitoring experiment.
+    observer:
+        Optional :class:`repro.obs.Observer`.  When attached, the engine
+        counts fired events and discarded tombstones, tracks the heap's
+        high-water mark, and feeds each fired :class:`Event` record to
+        the observer's sampler.  A ``None`` or disabled observer is
+        dropped here, keeping the step loop hook-free.
 
     Examples
     --------
@@ -105,7 +114,8 @@ class Simulator:
     20.0
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0,
+                 observer: Optional["Observer"] = None):
         if not math.isfinite(start):
             raise ScheduleError(f"start time must be finite, got {start!r}")
         self._now = float(start)
@@ -113,6 +123,12 @@ class Simulator:
         self._seq = itertools.count()
         self._events_fired = 0
         self._running = False
+        self._obs = observer if observer is not None and observer.enabled else None
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_fired = metrics.counter("sim.events_fired")
+            self._c_tombstones = metrics.counter("sim.tombstones_discarded")
+            self._g_heap = metrics.gauge("sim.heap_depth_max")
 
     # ------------------------------------------------------------------
     # clock
@@ -156,6 +172,8 @@ class Simulator:
             )
         entry = _HeapEntry(float(time), next(self._seq), callback, args, name)
         heapq.heappush(self._heap, entry)
+        if self._obs is not None:
+            self._g_heap.max(len(self._heap))
         return EventHandle(entry)
 
     def schedule_after(
@@ -180,9 +198,12 @@ class Simulator:
         (the clock does not move in that case).  Cancelled entries are
         silently discarded.
         """
+        obs = self._obs
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                if obs is not None:
+                    self._c_tombstones.inc()
                 continue
             if entry.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("heap yielded an event from the past")
@@ -194,13 +215,19 @@ class Simulator:
             assert callback is not None
             callback(*args)
             self._events_fired += 1
-            return Event(entry.time, entry.seq, entry.name)
+            event = Event(entry.time, entry.seq, entry.name)
+            if obs is not None:
+                self._c_fired.inc()
+                obs.record_event(event)
+            return event
         return None
 
     def peek(self) -> Optional[float]:
         """Time of the next pending live event, or ``None`` if none remain."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._obs is not None:
+                self._c_tombstones.inc()
         return self._heap[0].time if self._heap else None
 
     def run_until(self, end: float) -> int:

@@ -21,9 +21,12 @@ completes in seconds (see DESIGN.md section 6).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
 
 from repro.config import ExperimentConfig
 from repro.machines.hardware import TABLE1_LABS, LabSpec, MachineSpec, build_fleet
@@ -60,6 +63,7 @@ class MachineAgent:
         rng: np.random.Generator,
         horizon_days: int,
         lab_demand: float = 1.0,
+        observer: Optional["Observer"] = None,
     ):
         self.machine = machine
         self.sim = sim
@@ -78,6 +82,13 @@ class MachineAgent:
         self._activity_gen = 0   # invalidates pending activity re-draws
         self._power_gen = 0      # invalidates pending short-cycle shutdowns
         self._user_seq = 0
+        obs = observer if observer is not None and observer.enabled else None
+        self._obs = obs
+        if obs is not None:
+            lab = machine.spec.lab
+            self._c_sessions = obs.metrics.counter("fleet.session_starts", lab=lab)
+            self._c_boots = obs.metrics.counter("fleet.boots", lab=lab)
+            self._c_shutdowns = obs.metrics.counter("fleet.shutdowns", lab=lab)
 
     # ------------------------------------------------------------------
     # scheduling entry points
@@ -141,6 +152,8 @@ class MachineAgent:
         self._user_seq += 1
         username = f"al{self.machine.spec.machine_id:03d}{self._user_seq:04d}"
         m.login(now, username)
+        if self._obs is not None:
+            self._c_sessions.inc()
         wl = self.workload.session_workload(m.spec, self.rng, heavy=use.heavy)
         self._session_wl = wl
         m.set_temp_disk_used(min(wl.temp_disk_bytes, self.workload.temp_quota(m.spec)))
@@ -210,6 +223,8 @@ class MachineAgent:
         m = self.machine
         m.boot(now)
         self._power_gen += 1
+        if self._obs is not None:
+            self._c_boots.inc()
         mem, swap = self.workload.memory_loads(m.spec, self.personality, None)
         m.set_memory_load(now, mem, swap)
         m.set_cpu_busy(now, self.personality.background_busy)
@@ -220,6 +235,8 @@ class MachineAgent:
             self._end_session_state(now)  # closing a forgotten session
         self.machine.shutdown(now)
         self._power_gen += 1
+        if self._obs is not None:
+            self._c_shutdowns.inc()
 
     def _short_cycle(self, uptime: float) -> None:
         """A short power cycle: boot, sit a few minutes, power off."""
@@ -258,6 +275,12 @@ class FleetSimulator:
         The experiment configuration (see :func:`repro.config.paper_config`).
     labs:
         Lab catalog; defaults to the paper's Table 1.
+    observer:
+        Optional :class:`repro.obs.Observer`.  It is handed to the
+        engine (event/heap accounting), bound to the simulation clock
+        for spans, and given to every agent (per-lab session-start and
+        power-transition counters).  Absent or disabled observers cost
+        nothing.
 
     Examples
     --------
@@ -276,10 +299,13 @@ class FleetSimulator:
         behavior_factory: Optional[Callable[["FleetSimulator"], BehaviorModel]] = None,
         power_factory: Optional[Callable[["FleetSimulator"], PowerPolicy]] = None,
         workload_factory: Optional[Callable[["FleetSimulator"], WorkloadModel]] = None,
+        observer: Optional["Observer"] = None,
     ):
         self.config = config
         self.streams = RandomStreams(config.seed)
-        self.sim = Simulator()
+        self.sim = Simulator(observer=observer)
+        if observer is not None and observer.enabled:
+            observer.bind_clock(self.sim)
         self.calendar = AcademicCalendar(
             [lab.name for lab in labs],
             self.streams.stream("calendar"),
@@ -344,6 +370,7 @@ class FleetSimulator:
                 self.streams.stream(f"agent/{spec.hostname}"),
                 config.days,
                 lab_demand=self.lab_demand[spec.lab],
+                observer=observer,
             )
             self.machines.append(machine)
             self.agents.append(agent)

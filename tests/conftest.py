@@ -15,12 +15,21 @@ import pytest
 from repro.analysis.cpu import pairwise_cpu
 from repro.config import ExperimentConfig
 from repro.experiment import run_experiment
+from repro.obs import Observer
 
 
 @pytest.fixture(scope="session")
 def small_result():
-    """A 3-day monitored run of the full fleet (session-scoped)."""
-    return run_experiment(ExperimentConfig(days=3, seed=11))
+    """A 3-day monitored run of the full fleet (session-scoped).
+
+    The run is fully instrumented; the differential guarantee
+    (``tests/obs``) makes the trace byte-identical to an unobserved run,
+    and the golden-reproduction suite thereby exercises the paper
+    numbers *with* observability attached.  Its snapshot is exported as
+    a CI artifact (see ``tests/obs/test_observer.py``).
+    """
+    return run_experiment(ExperimentConfig(days=3, seed=11),
+                          observer=Observer())
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,163 @@
+"""Metric primitives: registry keying, counter/gauge semantics and the
+histogram bucket edge cases the ISSUE calls out."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricError
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    geometric_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_max_keeps_high_water_mark(self):
+        g = Gauge()
+        for v in (3, 10, 7):
+            g.max(v)
+        assert g.value == 10.0
+
+
+class TestHistogramEdgeCases:
+    def test_value_equal_to_edge_lands_in_that_bucket(self):
+        # inclusive (<=) upper-edge semantics
+        h = Histogram((1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_value_just_above_edge_lands_in_next_bucket(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        h.observe(math.nextafter(2.0, math.inf))
+        assert h.counts == [0, 0, 1, 0]
+
+    def test_value_above_last_edge_overflows(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(1e9)
+        assert h.counts == [0, 0, 1]
+
+    def test_value_below_first_edge_in_first_bucket(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(-5.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_single_edge_histogram(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        h.observe(1.5)
+        assert h.counts == [1, 1]
+
+    def test_stats_track_exactly(self):
+        h = Histogram((10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert (h.vmin, h.vmax) == (1.0, 3.0)
+        assert h.mean == 2.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram((1.0,)).mean)
+
+    @pytest.mark.parametrize("edges", [(), (1.0, 1.0), (2.0, 1.0),
+                                       (float("inf"),), (float("nan"), 1.0)])
+    def test_bad_edges_rejected(self, edges):
+        with pytest.raises(MetricError):
+            Histogram(edges)
+
+    def test_counts_has_one_overflow_cell(self):
+        assert len(Histogram((1.0, 2.0, 3.0)).counts) == 4
+
+
+class TestGeometricBuckets:
+    def test_endpoints_and_monotonicity(self):
+        edges = geometric_buckets(0.1, 100.0, 7)
+        assert edges[0] == pytest.approx(0.1)
+        assert edges[-1] == pytest.approx(100.0)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_default_edge_vectors_are_valid(self):
+        Histogram(LATENCY_BUCKETS)
+        Histogram(DURATION_BUCKETS)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(MetricError):
+            geometric_buckets(1.0, 0.5, 4)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", lab="L01") is reg.counter("x", lab="L01")
+        assert len(reg) == 1
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", lab="L01", kind="a")
+        b = reg.counter("x", kind="a", lab="L01")
+        assert a is b
+
+    def test_different_labels_are_different_instruments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", lab="L01") is not reg.counter("x", lab="L02")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+        with pytest.raises(MetricError):
+            reg.histogram("x")
+
+    def test_histogram_edge_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_rows_are_deterministic_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count", lab="L02").inc(2)
+        reg.counter("b.count", lab="L01").inc(1)
+        reg.gauge("a.gauge").set(7.0)
+        reg.histogram("c.hist", edges=(1.0,)).observe(0.3)
+        rows = reg.rows()
+        assert [r["name"] for r in rows] == ["a.gauge", "b.count", "b.count",
+                                             "c.hist"]
+        assert rows[1]["labels"] == {"lab": "L01"}
+        assert rows[1]["value"] == 1
+        hist = rows[3]
+        assert hist["kind"] == "histogram"
+        assert hist["counts"] == [1, 0]
+        assert hist["min"] == 0.3
+
+    def test_empty_histogram_row_has_null_extrema(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0,))
+        row = reg.rows()[0]
+        assert row["min"] is None and row["max"] is None

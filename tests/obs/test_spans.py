@@ -1,0 +1,124 @@
+"""Span nesting, unbalanced-exit errors, bounded buffers and the
+engine-event sampler."""
+
+import pytest
+
+from repro.errors import SpanError
+from repro.obs.spans import SpanRecorder
+from repro.sim.engine import Event
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def rec(clock):
+    return SpanRecorder(clock, max_spans=8, max_events=4, event_sample_every=2)
+
+
+class TestSpans:
+    def test_records_start_end_and_labels(self, rec, clock):
+        with rec.span("iteration", lab="L01"):
+            clock.t = 5.0
+        (r,) = rec.records
+        assert (r.name, r.start, r.end, r.depth) == ("iteration", 0.0, 5.0, 0)
+        assert r.labels == {"lab": "L01"}
+        assert r.duration == 5.0
+
+    def test_nesting_depth_and_completion_order(self, rec, clock):
+        with rec.span("outer"):
+            clock.t = 1.0
+            with rec.span("inner"):
+                clock.t = 2.0
+        inner, outer = rec.records
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert inner.seq < outer.seq  # spans are recorded as they close
+
+    def test_open_depth_tracks_stack(self, rec):
+        assert rec.open_depth == 0
+        with rec.span("a"):
+            assert rec.open_depth == 1
+        assert rec.open_depth == 0
+
+    def test_set_end_overrides_clock(self, rec, clock):
+        # single-event producers (the DDC pass) stamp their own extent
+        with rec.span("iteration") as span:
+            span.set_end(42.0)
+        assert rec.records[0].end == 42.0
+
+    def test_set_end_before_start_rejected(self, rec, clock):
+        clock.t = 10.0
+        with pytest.raises(SpanError):
+            with rec.span("x") as span:
+                span.set_end(5.0)
+
+    def test_unbalanced_exit_raises(self, rec):
+        outer = rec.span("outer")
+        inner = rec.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(SpanError, match="unbalanced"):
+            outer.__exit__(None, None, None)
+
+    def test_exit_without_enter_raises(self, rec):
+        with pytest.raises(SpanError):
+            rec.span("ghost").__exit__(None, None, None)
+
+    def test_double_enter_raises(self, rec):
+        span = rec.span("x")
+        span.__enter__()
+        with pytest.raises(SpanError, match="twice"):
+            span.__enter__()
+
+    def test_recorded_even_when_body_raises(self, rec, clock):
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                clock.t = 3.0
+                raise RuntimeError("body failed")
+        assert rec.records[0].end == 3.0
+        assert rec.open_depth == 0
+
+    def test_buffer_bound_counts_drops(self, rec):
+        for _ in range(10):
+            with rec.span("s"):
+                pass
+        assert len(rec.records) == 8
+        assert rec.spans_dropped == 2
+
+
+class TestEventSampler:
+    def test_stride_keeps_every_nth(self, rec):
+        for i in range(6):
+            rec.record_event(Event(float(i), i, "e"))
+        # stride 2: events 0, 2, 4 kept
+        assert [e.seq for e in rec.events] == [0, 2, 4]
+        assert rec.events_seen == 6
+
+    def test_event_buffer_bound(self, rec):
+        for i in range(20):
+            rec.record_event(Event(float(i), i, "e"))
+        assert len(rec.events) == 4
+        assert rec.events_dropped == 6  # 10 sampled, 4 kept
+
+    def test_stride_one_keeps_all(self, clock):
+        rec = SpanRecorder(clock, event_sample_every=1, max_events=100)
+        for i in range(5):
+            rec.record_event(Event(float(i), i, "e"))
+        assert len(rec.events) == 5
+
+    def test_bad_bounds_rejected(self, clock):
+        with pytest.raises(SpanError):
+            SpanRecorder(clock, max_spans=0)
+        with pytest.raises(SpanError):
+            SpanRecorder(clock, event_sample_every=0)
