@@ -37,6 +37,7 @@ from repro.config import (
 from repro.experiment import MonitoringResult, run_experiment, run_paper_experiment
 from repro.faults import FaultPlan, FaultScenario
 from repro.obs import NullObserver, Observer, ObsSnapshot
+from repro.recovery import RecoveryConfig, RecoveryInfo
 
 __version__ = "1.0.0"
 
@@ -57,4 +58,6 @@ __all__ = [
     "Observer",
     "NullObserver",
     "ObsSnapshot",
+    "RecoveryConfig",
+    "RecoveryInfo",
 ]

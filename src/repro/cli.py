@@ -19,6 +19,10 @@ Commands
     Summarise an exported observability snapshot (``run --obs-out``):
     per-lab pass-duration histograms, retry/timeout counters, phase
     timings and the injected-vs-observed fault reconciliation.
+``recovery``
+    Inspect a crash-safe run directory (``run --recover-dir``):
+    checkpoint ladder, journal segment chain, quarantine ledger and
+    whether (and from where) the run is resumable.
 
 Every command accepts ``--days`` and ``--seed``; defaults reproduce the
 paper (77 days, seed 2005) where that makes sense and use short runs
@@ -59,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--obs-out", default=None, metavar="SNAPSHOT",
                        help="instrument the run and export the "
                        "observability snapshot to this JSONL path")
+    p_run.add_argument("--recover-dir", default=None, metavar="DIR",
+                       help="enable crash-safe persistence: journal every "
+                       "sample and checkpoint the run state into DIR")
+    p_run.add_argument("--checkpoint-every", type=int, default=8,
+                       metavar="N", help="checkpoint every N iterations "
+                       "(default 8; needs --recover-dir)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume the crashed run in --recover-dir from "
+                       "its latest valid checkpoint")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -87,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--markdown", action="store_true",
                        help="emit Markdown instead of fixed-width text")
 
+    p_rec = sub.add_parser("recovery",
+                           help="inspect a crash-safe run directory")
+    p_rec.add_argument("run_dir", help="directory given to 'repro run "
+                       "--recover-dir'")
+    p_rec.add_argument("--json", action="store_true",
+                       help="emit a JSON digest instead of tables")
+
     return parser
 
 
@@ -98,8 +118,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import Observer
 
         observer = Observer()
-    result = run_experiment(ExperimentConfig(days=args.days, seed=args.seed),
-                            observer=observer)
+    if args.resume and not args.recover_dir:
+        print("error: --resume needs --recover-dir", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(days=args.days, seed=args.seed)
+    if args.resume:
+        from repro.errors import RecoveryError
+        from repro.recovery import RecoveryConfig
+
+        rcfg = RecoveryConfig(run_dir=args.recover_dir,
+                              checkpoint_every=args.checkpoint_every)
+        try:
+            result = run_experiment(config, resume_from=rcfg)
+        except RecoveryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.recover_dir:
+        from repro.recovery import RecoveryConfig
+
+        rcfg = RecoveryConfig(run_dir=args.recover_dir,
+                              checkpoint_every=args.checkpoint_every)
+        result = run_experiment(config, observer=observer, recovery=rcfg)
+    else:
+        result = run_experiment(config, observer=observer)
     out = pathlib.Path(args.out)
     if out.suffix == ".jsonl":
         result.store.write_jsonl(out)
@@ -111,9 +152,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     print(f"{len(result.store)} samples -> {out} "
           f"(response rate {100 * result.coordinator.response_rate:.1f}%)")
-    if observer is not None:
-        observer.snapshot().write_jsonl(args.obs_out)
+    if args.obs_out and result.observer is not None:
+        # On resume the instrumented observer is the checkpointed one.
+        result.observer.snapshot().write_jsonl(args.obs_out)
         print(f"observability snapshot -> {args.obs_out}")
+    info = result.recovery
+    if info is not None:
+        line = (f"recovery: {info.checkpoints_written} checkpoints, "
+                f"{info.segments_sealed} segments sealed, "
+                f"{info.samples_journaled} samples journaled")
+        if info.resumed_from_iteration is not None:
+            line += (f" (resumed from iteration "
+                     f"{info.resumed_from_iteration}, "
+                     f"{info.replay_verified} iterations re-verified)")
+        elif info.cold_restart:
+            line += (f" (cold restart, {info.replay_verified} iterations "
+                     "re-verified)")
+        print(line)
+        if info.quarantine_entries:
+            print(f"quarantined {len(info.quarantine_entries)} damaged "
+                  f"artefacts (see {info.run_dir / 'quarantine'})")
     return 0
 
 
@@ -203,6 +261,22 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.report.recovery import recovery_status, render_recovery_report
+
+    if not pathlib.Path(args.run_dir).is_dir():
+        print(f"error: no such run directory {args.run_dir!r}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(recovery_status(args.run_dir), indent=2))
+    else:
+        print(render_recovery_report(args.run_dir))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -211,6 +285,7 @@ _COMMANDS = {
     "probe-local": _cmd_probe_local,
     "compare": _cmd_compare,
     "obs": _cmd_obs,
+    "recovery": _cmd_recovery,
 }
 
 

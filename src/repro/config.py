@@ -14,6 +14,7 @@ reads it once at construction time.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
@@ -218,14 +219,24 @@ class DdcParams:
     retry_unreachable: bool = False
 
     def __post_init__(self) -> None:
-        if self.sample_period <= 0:
-            raise ValueError("sample_period must be positive")
+        # NaN slips through plain comparisons (nan <= 0 is False), so
+        # every bound is checked for finiteness first.
+        if not math.isfinite(self.sample_period) or self.sample_period <= 0:
+            raise ValueError("sample_period must be positive and finite")
         if not 0.0 < self.coordinator_availability <= 1.0:
             raise ValueError("coordinator_availability must be in (0, 1]")
+        lo, hi = self.exec_latency
+        if not (math.isfinite(lo) and math.isfinite(hi)) or lo < 0 or hi < lo:
+            raise ValueError(
+                f"exec_latency bounds must be finite, non-negative and "
+                f"ordered, got {self.exec_latency!r}"
+            )
+        if not math.isfinite(self.off_timeout) or self.off_timeout <= 0:
+            raise ValueError("off_timeout must be positive and finite")
         if self.retry_limit < 0:
             raise ValueError("retry_limit must be non-negative")
-        if self.retry_backoff <= 0:
-            raise ValueError("retry_backoff must be positive")
+        if not math.isfinite(self.retry_backoff) or self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive and finite")
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,7 @@ from repro.traces.records import TraceMeta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
+    from repro.recovery.runtime import RecoveryRuntime
 
 __all__ = ["DdcCoordinator"]
 
@@ -161,6 +162,16 @@ class DdcCoordinator:
         self.retries_recovered = 0
         self.iteration_durations: List[float] = []
         self._started = False
+        #: Recovery hook installed by :class:`repro.recovery.runtime
+        #: .RecoveryRuntime` (journal cadence, checkpoints, crash points).
+        self.recovery: Optional["RecoveryRuntime"] = None
+
+    def __getstate__(self) -> dict:
+        # The recovery runtime owns open journal handles and is rebuilt
+        # from scratch by the resume path; checkpoints exclude it.
+        state = self.__dict__.copy()
+        state["recovery"] = None
+        return state
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -194,6 +205,10 @@ class DdcCoordinator:
         nxt = (k + 1) * self.params.sample_period
         if nxt < self.horizon:
             self.sim.schedule(nxt, self._iteration, k + 1, name="ddc_iter")
+        if self.recovery is not None:
+            # After the next iteration is on the heap, so a checkpoint
+            # taken here revives into a run that keeps iterating.
+            self.recovery.on_iteration_end(k, start)
 
     def _lab(self, lab: str) -> _LabInstruments:
         """Per-lab instruments, created on first encounter."""

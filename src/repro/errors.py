@@ -20,6 +20,7 @@ __all__ = [
     "MachineUnreachable",
     "TraceError",
     "TraceFormatError",
+    "TraceCorruptionError",
     "AnalysisError",
     "CalibrationError",
     "HarvestError",
@@ -27,6 +28,11 @@ __all__ = [
     "MetricError",
     "SpanError",
     "SnapshotFormatError",
+    "RecoveryError",
+    "JournalError",
+    "CheckpointError",
+    "ResumeDivergence",
+    "InjectedCrash",
 ]
 
 
@@ -83,6 +89,15 @@ class TraceFormatError(TraceError):
     """A serialized trace record does not conform to the schema."""
 
 
+class TraceCorruptionError(TraceFormatError):
+    """A trace record is structurally readable but its *content* is bad.
+
+    Distinguishes damaged data (torn writes, bit rot, truncated rows)
+    from schema mismatches so the recovery layer can quarantine corrupt
+    input instead of treating it as a programming error.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis was run on data that cannot support it."""
 
@@ -113,3 +128,43 @@ class SpanError(ObservabilityError):
 
 class SnapshotFormatError(ObservabilityError):
     """A serialized observability snapshot does not conform to the schema."""
+
+
+class RecoveryError(ReproError):
+    """Base class for errors raised by the :mod:`repro.recovery` layer."""
+
+
+class JournalError(RecoveryError):
+    """The trace journal could not be written or is inconsistent.
+
+    Unrecoverable *read*-side damage is not raised as this: corrupt or
+    torn segments are quarantined and reported, never fatal.
+    """
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint could not be written, or resume preconditions failed.
+
+    Examples: resuming with a configuration whose digest differs from
+    the checkpointed run's, or a run directory that already belongs to
+    another experiment.
+    """
+
+
+class ResumeDivergence(RecoveryError):
+    """A resumed run regenerated samples that differ from the journal.
+
+    The simulation is deterministic, so this only happens when the code
+    or configuration changed between the crash and the resume -- exactly
+    the situation where silently mixing the two traces would poison the
+    analysis.
+    """
+
+
+class InjectedCrash(ReproError):
+    """A deliberate, test-injected process crash (see ``repro.recovery``).
+
+    Raised by the crash-injection harness at a configured kill point to
+    emulate the coordinator process dying; never raised in production
+    runs.
+    """

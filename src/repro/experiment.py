@@ -21,10 +21,12 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.config import ExperimentConfig, paper_config
 from repro.ddc.coordinator import DdcCoordinator
+from repro.errors import CheckpointError
 from repro.faults.plan import FAULT_CATEGORIES, FaultPlan
 from repro.obs.observer import Observer, maybe_phase
 from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
@@ -32,6 +34,7 @@ from repro.ddc.postcollect import SamplePostCollector
 from repro.ddc.w32probe import W32Probe
 from repro.machines.hardware import TABLE1_LABS, LabSpec
 from repro.machines.winapi import Win32Api
+from repro.recovery.runtime import RecoveryConfig, RecoveryInfo, RecoveryRuntime
 from repro.sim.fleet import FleetSimulator
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.records import StaticInfo, TraceMeta
@@ -59,6 +62,11 @@ class MonitoringResult:
     observer:
         The observer the run was instrumented with (``None`` when
         uninstrumented); export it with ``observer.snapshot()``.
+    recovery:
+        Summary of what the crash-safe persistence layer did (``None``
+        for a run without recovery plumbing): checkpoints written,
+        journal segments sealed, replay verification counts and any
+        quarantine ledger entries.
     """
 
     config: ExperimentConfig
@@ -67,6 +75,7 @@ class MonitoringResult:
     store: TraceStore
     faults: Optional[FaultPlan] = None
     observer: Optional[Observer] = None
+    recovery: Optional[RecoveryInfo] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
@@ -90,6 +99,8 @@ def run_experiment(
     fleet_factory=None,
     faults: Optional[FaultPlan] = None,
     observer: Optional[Observer] = None,
+    recovery: Optional[RecoveryConfig] = None,
+    resume_from: Optional[Union[str, Path, RecoveryConfig]] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -121,7 +132,39 @@ def run_experiment(
         counters so an exported snapshot is self-contained.  ``None`` or
         a :class:`~repro.obs.NullObserver` reproduces pre-observability
         output byte for byte.
+    recovery:
+        :class:`repro.recovery.RecoveryConfig` enabling the crash-safe
+        persistence layer: every sample is write-ahead journaled and the
+        full simulation state checkpointed every N iterations into
+        ``recovery.run_dir``.  Like ``faults`` and ``observer``, ``None``
+        leaves the hot path hook-free and the output bitwise-identical.
+    resume_from:
+        Run directory (or :class:`~repro.recovery.RecoveryConfig`) of a
+        crashed recovery-enabled run.  The latest valid checkpoint is
+        loaded, the journal tail is CRC-verified (corrupt or torn
+        segments are quarantined, not crashed on) and the simulation
+        continues to the horizon; the regenerated iterations are checked
+        against the journaled digests.  Mutually exclusive with
+        ``recovery``; per-run arguments (``labs``, ``faults``,
+        ``fleet_factory``, ``observer``) come from the checkpoint, and a
+        ``config`` passed here must digest-match the checkpointed one.
     """
+    if resume_from is not None:
+        if recovery is not None:
+            raise CheckpointError(
+                "pass either recovery= (fresh run) or resume_from= "
+                "(continue a crashed run), not both"
+            )
+        return _resume_experiment(
+            resume_from,
+            config,
+            labs=labs,
+            collect_nbench=collect_nbench,
+            strict_postcollect=strict_postcollect,
+            fleet_factory=fleet_factory,
+            faults=faults,
+            observer=observer,
+        )
     cfg = config or paper_config()
     obs = observer if observer is not None and observer.enabled else None
     with maybe_phase(obs, "build"):
@@ -151,10 +194,52 @@ def run_experiment(
             faults=faults,
             observer=observer,
         )
+        runtime = None
+        if recovery is not None:
+            runtime = _fresh_runtime(recovery)
+            runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
+                         config=cfg, faults=faults, observer=observer)
     with maybe_phase(obs, "simulate"):
         fleet.start()
         coordinator.start()
-        fleet.sim.run_until(cfg.horizon)
+        try:
+            fleet.sim.run_until(cfg.horizon)
+        except BaseException:
+            if runtime is not None:
+                # Emulates the process dying: handles drop, no seal.
+                runtime.hard_stop()
+            raise
+    return _finish_experiment(cfg, fleet, coordinator, store, meta,
+                              faults=faults, observer=observer, obs=obs,
+                              collect_nbench=collect_nbench, runtime=runtime)
+
+
+def _fresh_runtime(recovery: RecoveryConfig) -> RecoveryRuntime:
+    """Recovery runtime for a brand-new run; refuses a used run dir."""
+    if (any(recovery.journal_dir.glob("segment-*.jsonl"))
+            or any(recovery.checkpoint_dir.glob("ckpt-*.ckpt"))):
+        raise CheckpointError(
+            f"{recovery.run_dir} already holds a run's journal or "
+            "checkpoints; pass resume_from= to continue it, or choose a "
+            "fresh directory"
+        )
+    return RecoveryRuntime(recovery)
+
+
+def _finish_experiment(
+    cfg: ExperimentConfig,
+    fleet: FleetSimulator,
+    coordinator: DdcCoordinator,
+    store: TraceStore,
+    meta: TraceMeta,
+    *,
+    faults: Optional[FaultPlan],
+    observer: Optional[Observer],
+    obs: Optional[Observer],
+    collect_nbench: bool,
+    runtime: Optional[RecoveryRuntime],
+) -> MonitoringResult:
+    """Post-simulation stages shared by fresh and resumed runs."""
     coordinator.finalize_meta(meta)
     if collect_nbench:
         with maybe_phase(obs, "collect"):
@@ -164,8 +249,140 @@ def run_experiment(
             obs.metrics.counter("faults.injected", category=category).inc(
                 faults.injected.get(category, 0)
             )
+    info = runtime.finish() if runtime is not None else None
     return MonitoringResult(config=cfg, fleet=fleet, coordinator=coordinator,
-                            store=store, faults=faults, observer=observer)
+                            store=store, faults=faults, observer=observer,
+                            recovery=info)
+
+
+def _resume_experiment(
+    resume_from: Union[str, Path, RecoveryConfig],
+    config: Optional[ExperimentConfig],
+    *,
+    labs: Sequence[LabSpec],
+    collect_nbench: bool,
+    strict_postcollect: bool,
+    fleet_factory,
+    faults: Optional[FaultPlan],
+    observer: Optional[Observer],
+) -> MonitoringResult:
+    """Continue a crashed recovery-enabled run from its run directory."""
+    from repro.recovery.checkpoint import config_digest, load_latest_checkpoint
+    from repro.recovery.journal import Quarantine, retro_seal, scan_journal
+
+    rcfg = (resume_from if isinstance(resume_from, RecoveryConfig)
+            else RecoveryConfig(run_dir=resume_from))
+    quarantine = Quarantine(rcfg.run_dir)
+    ckpt = load_latest_checkpoint(rcfg.checkpoint_dir, quarantine)
+    scan = scan_journal(rcfg.journal_dir, quarantine)
+    retro_seal(scan)
+    if ckpt is None:
+        # Crash before the first checkpoint survived: cold-restart from
+        # iteration 0.  The journal tail then covers the whole crashed
+        # generation, so every regenerated iteration is still verified.
+        runtime = RecoveryRuntime(
+            rcfg,
+            quarantine=quarantine,
+            expected_digests=scan.iteration_digests,
+            cold_restart=True,
+            start_segment=scan.next_segment,
+        )
+        cfg = config or paper_config()
+        return _run_fresh_graph(
+            cfg, labs=labs, collect_nbench=collect_nbench,
+            strict_postcollect=strict_postcollect,
+            fleet_factory=fleet_factory, faults=faults,
+            observer=observer, runtime=runtime,
+        )
+    if config is not None and config_digest(config) != ckpt.config:
+        raise CheckpointError(
+            f"configuration mismatch: resume was given a config whose "
+            f"digest {config_digest(config)[:12]}... differs from the "
+            f"checkpointed run's {ckpt.config[:12]}...; resuming it would "
+            "silently diverge"
+        )
+    state = ckpt.state
+    cfg: ExperimentConfig = state["config"]
+    fleet: FleetSimulator = state["fleet"]
+    coordinator: DdcCoordinator = state["coordinator"]
+    store: TraceStore = state["store"]
+    ckpt_faults: Optional[FaultPlan] = state["faults"]
+    ckpt_observer: Optional[Observer] = state["observer"]
+    obs = (ckpt_observer if ckpt_observer is not None
+           and ckpt_observer.enabled else None)
+    expected = {k: v for k, v in scan.iteration_digests.items()
+                if k > ckpt.iteration}
+    runtime = RecoveryRuntime(
+        rcfg,
+        quarantine=quarantine,
+        expected_digests=expected,
+        resumed_from=ckpt.iteration,
+        start_segment=scan.next_segment,
+    )
+    runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
+                 config=cfg, faults=ckpt_faults, observer=ckpt_observer)
+    with maybe_phase(obs, "simulate"):
+        try:
+            fleet.sim.run_until(cfg.horizon)
+        except BaseException:
+            runtime.hard_stop()
+            raise
+    assert store.meta is not None
+    return _finish_experiment(cfg, fleet, coordinator, store, store.meta,
+                              faults=ckpt_faults, observer=ckpt_observer,
+                              obs=obs, collect_nbench=collect_nbench,
+                              runtime=runtime)
+
+
+def _run_fresh_graph(
+    cfg: ExperimentConfig,
+    *,
+    labs: Sequence[LabSpec],
+    collect_nbench: bool,
+    strict_postcollect: bool,
+    fleet_factory,
+    faults: Optional[FaultPlan],
+    observer: Optional[Observer],
+    runtime: RecoveryRuntime,
+) -> MonitoringResult:
+    """Build and run a fresh graph under an existing recovery runtime.
+
+    Used by the cold-restart resume path, where the runtime carries the
+    crashed generation's iteration digests for replay verification.
+    """
+    obs = observer if observer is not None and observer.enabled else None
+    with maybe_phase(obs, "build"):
+        if fleet_factory is None:
+            fleet = FleetSimulator(cfg, labs=labs, observer=observer)
+        else:
+            fleet = fleet_factory(cfg, labs)
+            if obs is not None:
+                obs.bind_clock(fleet.sim)
+        meta = TraceMeta(
+            n_machines=len(fleet.machines),
+            sample_period=cfg.ddc.sample_period,
+            horizon=cfg.horizon,
+        )
+        store = TraceStore(meta)
+        post = SamplePostCollector(store, strict=strict_postcollect)
+        coordinator = DdcCoordinator(
+            fleet.machines, fleet.sim, cfg.ddc, W32Probe(), post,
+            fleet.streams.stream("ddc"), horizon=cfg.horizon,
+            faults=faults, observer=observer,
+        )
+        runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
+                     config=cfg, faults=faults, observer=observer)
+    with maybe_phase(obs, "simulate"):
+        fleet.start()
+        coordinator.start()
+        try:
+            fleet.sim.run_until(cfg.horizon)
+        except BaseException:
+            runtime.hard_stop()
+            raise
+    return _finish_experiment(cfg, fleet, coordinator, store, meta,
+                              faults=faults, observer=observer, obs=obs,
+                              collect_nbench=collect_nbench, runtime=runtime)
 
 
 def _attach_nbench_indexes(fleet: FleetSimulator, meta: TraceMeta) -> None:

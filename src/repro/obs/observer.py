@@ -37,6 +37,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Observer", "NullObserver", "maybe_phase"]
 
 
+def _unbound_clock() -> float:
+    """Span clock before a simulator is bound (module-level: picklable)."""
+    return 0.0
+
+
+class _SimClock:
+    """Picklable callable reading a simulator's clock.
+
+    A plain ``lambda: sim.now`` would work but cannot be pickled, and
+    observers ride inside experiment checkpoints (:mod:`repro.recovery`).
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now
+
+
 class Observer:
     """Live metrics registry + span recorder for one run.
 
@@ -60,7 +81,7 @@ class Observer:
         clock: Optional[Callable[[], float]] = None,
     ):
         self.metrics = MetricsRegistry()
-        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._clock: Callable[[], float] = clock or _unbound_clock
         self.spans = SpanRecorder(
             self.now,
             max_spans=max_spans,
@@ -77,7 +98,7 @@ class Observer:
 
     def bind_clock(self, sim: "Simulator") -> None:
         """Drive spans off ``sim``'s clock from now on."""
-        self._clock = lambda: sim.now
+        self._clock = _SimClock(sim)
 
     # ------------------------------------------------------------------
     # recording

@@ -1,0 +1,484 @@
+"""Write-ahead trace journal: append-only, CRC-guarded, segment-rotated.
+
+The journal is the durability half of :mod:`repro.recovery`.  Every
+sample the coordinator collects is appended here *before* it is admitted
+into the in-memory :class:`~repro.traces.store.TraceStore`, and every
+iteration closes with a marker carrying a digest of the iteration's
+samples.  A crashed run therefore leaves a byte-exact, checkable record
+of everything it had collected.
+
+Format
+------
+One JSONL file per **segment** (``segment-000001.jsonl`` ...).  Each line
+is ``{"crc": "xxxxxxxx", "body": {...}}`` where ``crc`` is the CRC32 (hex)
+of the compact, key-sorted JSON encoding of ``body``.  Body kinds:
+
+``head``
+    First record of a segment: schema version and segment index.
+``sample``
+    One collected sample (iteration index + the full field dict).
+``iter``
+    End-of-iteration marker: iteration index, simulation time, number of
+    samples this iteration and the CRC32 digest chained over their record
+    CRCs (``digest = crc32(crc_1 || crc_2 || ...)``).
+``seal``
+    Segment footer: record count and a whole-segment digest.  A sealed
+    segment is immutable; only the newest segment may lack a seal.
+
+Read-side policy (crash tolerance)
+----------------------------------
+Reading never raises on damaged data.  A torn trailing line (the
+signature of a crash mid-``write``) is dropped and logged; a segment with
+interior CRC damage or a bad seal is moved wholesale into the run's
+``quarantine/`` directory and recorded in ``quarantine/ledger.jsonl``
+with a machine-readable reason.  Because the simulation re-generates
+samples deterministically from the last checkpoint, journal damage costs
+verification coverage, never result correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import JournalError
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalWriter",
+    "JournalRecord",
+    "Quarantine",
+    "SegmentScan",
+    "JournalScan",
+    "encode_record",
+    "decode_line",
+    "scan_journal",
+]
+
+#: Journal schema version (bumped on incompatible format changes).
+JOURNAL_VERSION = 1
+
+_SEGMENT_FMT = "segment-{:06d}.jsonl"
+
+
+def _crc_hex(data: bytes) -> str:
+    return format(zlib.crc32(data) & 0xFFFFFFFF, "08x")
+
+
+def encode_record(body: dict) -> str:
+    """Encode one journal line (compact JSON + CRC32 envelope)."""
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {"crc": _crc_hex(payload.encode("utf-8")), "body": body},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_line(line: str) -> dict:
+    """Decode and CRC-verify one journal line; returns the body.
+
+    Raises
+    ------
+    JournalError
+        On malformed JSON, a missing envelope field, or a CRC mismatch.
+    """
+    try:
+        envelope = json.loads(line)
+        crc, body = envelope["crc"], envelope["body"]
+    except (json.JSONDecodeError, TypeError, KeyError) as exc:
+        raise JournalError(f"unparseable journal line: {exc}") from exc
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    actual = _crc_hex(payload.encode("utf-8"))
+    if actual != crc:
+        raise JournalError(f"CRC mismatch: recorded {crc}, actual {actual}")
+    return body
+
+
+class Quarantine:
+    """The run's corruption sink: a directory plus a reason ledger.
+
+    Damaged artefacts (journal segments, checkpoints, stale temp files)
+    are *moved* here -- never deleted, so post-mortems keep the evidence
+    -- and each move appends one JSON line to ``ledger.jsonl``.
+    """
+
+    LEDGER = "ledger.jsonl"
+
+    def __init__(self, run_dir: Union[str, Path]):
+        self.dir = Path(run_dir) / "quarantine"
+        #: Ledger entries appended during this process's lifetime.
+        self.entries: List[dict] = []
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.dir / self.LEDGER
+
+    def report(self, reason: str, *, file: Optional[Path] = None,
+               **detail: object) -> dict:
+        """Record one corruption event; move ``file`` here if given."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        entry: Dict[str, object] = {"reason": reason, **detail}
+        if file is not None:
+            target = self.dir / file.name
+            n = 1
+            while target.exists():
+                target = self.dir / f"{file.name}.{n}"
+                n += 1
+            os.replace(file, target)
+            entry["file"] = file.name
+            entry["quarantined_as"] = target.name
+        with open(self.ledger_path, "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.entries.append(entry)
+        return entry
+
+    def read_ledger(self) -> List[dict]:
+        """All ledger entries ever written for this run."""
+        if not self.ledger_path.exists():
+            return []
+        out = []
+        for line in self.ledger_path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+        return out
+
+
+class JournalWriter:
+    """Appends CRC-guarded records, rotating and sealing segments.
+
+    Parameters
+    ----------
+    journal_dir:
+        Directory holding the segment files (created if missing).
+    segment_records:
+        Soft rotation threshold: a segment is sealed at the first
+        iteration boundary at or past this many records, keeping
+        segments aligned with whole iterations.
+    start_segment:
+        Index of the first segment this writer creates; a resumed run
+        continues numbering after the crashed generation's segments.
+    fsync:
+        Whether seals and closes fsync to disk.  Individual records are
+        always flushed to the OS (that *is* the write-ahead guarantee);
+        fsync additionally survives power loss, at a syscall cost.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Union[str, Path],
+        *,
+        segment_records: int = 4096,
+        start_segment: int = 1,
+        fsync: bool = True,
+    ):
+        if segment_records <= 0:
+            raise JournalError("segment_records must be positive")
+        self.dir = Path(journal_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.segment_records = int(segment_records)
+        self.fsync = bool(fsync)
+        self.segment = int(start_segment) - 1
+        self.records_in_segment = 0
+        self.records_total = 0
+        self.segments_sealed = 0
+        self._fh = None
+        self._segment_crcs: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def segment_path(self) -> Optional[Path]:
+        """Path of the open segment, or ``None`` before the first write."""
+        if self._fh is None:
+            return None
+        return self.dir / _SEGMENT_FMT.format(self.segment)
+
+    def _open_next(self) -> None:
+        self.segment += 1
+        path = self.dir / _SEGMENT_FMT.format(self.segment)
+        if path.exists():
+            raise JournalError(f"segment already exists: {path}")
+        self._fh = open(path, "w")
+        self.records_in_segment = 0
+        self._segment_crcs = []
+        self._write({"kind": "head", "version": JOURNAL_VERSION,
+                     "segment": self.segment})
+
+    def _write(self, body: dict) -> str:
+        if self._fh is None:
+            self._open_next()
+        line = encode_record(body)
+        self._fh.write(line + "\n")
+        # Flush every record: a sample must reach the OS before it is
+        # admitted into the in-memory store (write-ahead discipline).
+        self._fh.flush()
+        self.records_in_segment += 1
+        self.records_total += 1
+        crc = json.loads(line)["crc"]
+        self._segment_crcs.append(crc)
+        return crc
+
+    # ------------------------------------------------------------------
+    # record kinds
+    # ------------------------------------------------------------------
+    def sample(self, iteration: int, data: dict) -> str:
+        """Journal one collected sample; returns its record CRC."""
+        return self._write({"kind": "sample", "k": iteration, "data": data})
+
+    def iteration_end(self, iteration: int, t: float, n_samples: int,
+                      digest: str) -> None:
+        """Close iteration ``iteration``; rotate the segment if due."""
+        self._write({"kind": "iter", "k": iteration, "t": t,
+                     "n": n_samples, "digest": digest})
+        if self.records_in_segment >= self.segment_records:
+            self.seal()
+
+    def seal(self) -> None:
+        """Append the segment footer, fsync and close the segment."""
+        if self._fh is None:
+            return
+        digest = _crc_hex("".join(self._segment_crcs).encode("ascii"))
+        # The seal covers every record before it, itself excluded.
+        self._write({"kind": "seal", "segment": self.segment,
+                     "records": self.records_in_segment - 1,
+                     "digest": digest})
+        self._close(sync=self.fsync)
+        self.segments_sealed += 1
+
+    def _close(self, *, sync: bool) -> None:
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+        fh.close()
+        if sync:
+            _fsync_dir(self.dir)
+
+    def abort(self) -> None:
+        """Close the raw handle without sealing (crash emulation path)."""
+        self._close(sync=False)
+
+    def close(self) -> None:
+        """Seal the open segment and stop writing."""
+        self.seal()
+
+    # Torn-write emulation used by the crash-injection harness: a real
+    # crash can leave a half-written line at the tail of the newest
+    # segment; this writes one deliberately.
+    def tear(self, fragment: str = '{"crc":"dead') -> None:
+        if self._fh is None:
+            self._open_next()
+        self._fh.write(fragment)
+        self._fh.flush()
+        self._close(sync=False)
+
+
+# ----------------------------------------------------------------------
+# read side
+# ----------------------------------------------------------------------
+@dataclass
+class JournalRecord:
+    """One decoded journal record plus its provenance."""
+
+    segment: int
+    line_no: int
+    body: dict
+
+
+@dataclass
+class SegmentScan:
+    """Read-side summary of one segment file."""
+
+    index: int
+    path: Path
+    records: List[JournalRecord] = field(default_factory=list)
+    sealed: bool = False
+    torn_tail: bool = False
+    quarantined: bool = False
+    reason: Optional[str] = None
+
+
+@dataclass
+class JournalScan:
+    """Result of :func:`scan_journal` over a whole journal directory."""
+
+    segments: List[SegmentScan] = field(default_factory=list)
+    #: Per-iteration ``(digest, n_samples)`` from surviving ``iter`` records.
+    iteration_digests: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    #: Highest segment index seen on disk (0 when the journal is empty).
+    last_segment: int = 0
+    #: Segments moved to quarantine during this scan.
+    quarantined: int = 0
+    torn_tails: int = 0
+
+    def records(self) -> Iterator[JournalRecord]:
+        """All surviving records, in segment then line order."""
+        for seg in self.segments:
+            if not seg.quarantined:
+                yield from seg.records
+
+    @property
+    def next_segment(self) -> int:
+        """Index a new writer generation should start at."""
+        return self.last_segment + 1
+
+
+def _segment_files(journal_dir: Path) -> List[Tuple[int, Path]]:
+    out = []
+    if not journal_dir.is_dir():
+        return out
+    for path in sorted(journal_dir.glob("segment-*.jsonl")):
+        try:
+            index = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        out.append((index, path))
+    out.sort()
+    return out
+
+
+def _scan_segment(index: int, path: Path, is_last: bool,
+                  quarantine: Quarantine) -> SegmentScan:
+    scan = SegmentScan(index=index, path=path)
+    raw = path.read_bytes().decode("utf-8", errors="replace")
+    lines = raw.split("\n")
+    # A file ending in "\n" splits into [.., ""]; anything non-empty after
+    # the final newline is a torn trailing write.
+    trailing = lines[-1]
+    lines = lines[:-1]
+    crcs: List[str] = []
+    for line_no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            body = decode_line(line)
+        except JournalError as exc:
+            if is_last and line_no == len(lines) and not trailing:
+                # Damage limited to the final complete-looking line of
+                # the newest segment: treat as a torn tail, keep prefix.
+                scan.torn_tail = True
+                quarantine.report(
+                    "torn_tail", segment=index, line=line_no,
+                    detail=str(exc), action="dropped",
+                )
+                break
+            scan.quarantined = True
+            scan.reason = f"crc_mismatch at line {line_no}: {exc}"
+            quarantine.report(
+                "crc_mismatch", file=path, segment=index, line=line_no,
+                detail=str(exc),
+            )
+            return scan
+        if body.get("kind") == "seal":
+            expected = _crc_hex("".join(crcs).encode("ascii"))
+            if (body.get("records") != len(crcs) - 1
+                    or body.get("digest") != expected):
+                scan.quarantined = True
+                scan.reason = "bad_seal"
+                quarantine.report(
+                    "bad_seal", file=path, segment=index, line=line_no,
+                    recorded=body.get("digest"), actual=expected,
+                )
+                return scan
+            scan.sealed = True
+        else:
+            scan.records.append(JournalRecord(index, line_no, body))
+        crcs.append(json.loads(line)["crc"])
+    if trailing.strip():
+        scan.torn_tail = True
+        quarantine.report(
+            "torn_tail", segment=index, line=len(lines) + 1,
+            detail=f"{len(trailing)} bytes without newline", action="dropped",
+        )
+    if scan.torn_tail and not is_last:
+        # Torn writes can only happen at the journal's true tail; a torn
+        # interior segment means out-of-order damage.
+        scan.quarantined = True
+        scan.reason = "torn_interior_segment"
+        quarantine.report("torn_interior_segment", file=path, segment=index)
+    elif not scan.sealed and not is_last:
+        scan.quarantined = True
+        scan.reason = "unsealed_interior_segment"
+        quarantine.report("unsealed_interior_segment", file=path,
+                          segment=index)
+    return scan
+
+
+def scan_journal(journal_dir: Union[str, Path],
+                 quarantine: Quarantine) -> JournalScan:
+    """Read and verify every segment, quarantining damaged ones.
+
+    The newest segment is allowed to be unsealed and to carry a torn
+    trailing line (both are the expected residue of a crash); damage
+    anywhere else quarantines the whole segment file.
+    """
+    journal_dir = Path(journal_dir)
+    result = JournalScan()
+    files = _segment_files(journal_dir)
+    for pos, (index, path) in enumerate(files):
+        is_last = pos == len(files) - 1
+        seg = _scan_segment(index, path, is_last, quarantine)
+        result.segments.append(seg)
+        result.last_segment = max(result.last_segment, index)
+        if seg.quarantined:
+            result.quarantined += 1
+            continue
+        if seg.torn_tail:
+            result.torn_tails += 1
+        for rec in seg.records:
+            if rec.body.get("kind") == "iter":
+                b = rec.body
+                result.iteration_digests[int(b["k"])] = (
+                    str(b["digest"]), int(b["n"])
+                )
+    return result
+
+
+def retro_seal(scan: JournalScan) -> None:
+    """Seal the newest segment of a crashed generation in place.
+
+    The surviving (CRC-verified) records are rewritten atomically with a
+    proper footer, restoring the "only the newest segment is unsealed"
+    invariant before a resumed run opens its own segments.
+    """
+    if not scan.segments:
+        return
+    seg = scan.segments[-1]
+    if seg.quarantined or seg.sealed:
+        return
+    lines = []
+    crcs = []
+    for rec in seg.records:
+        line = encode_record(rec.body)
+        lines.append(line)
+        crcs.append(json.loads(line)["crc"])
+    digest = _crc_hex("".join(crcs).encode("ascii"))
+    lines.append(encode_record({"kind": "seal", "segment": seg.index,
+                                "records": len(crcs) - 1, "digest": digest}))
+    tmp = seg.path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, seg.path)
+    _fsync_dir(seg.path.parent)
+    seg.sealed = True
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so renames/creates inside it are durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

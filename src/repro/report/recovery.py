@@ -1,0 +1,164 @@
+"""Recovery run-directory status reporting.
+
+Renders what the crash-safe persistence layer left behind in a run
+directory: the checkpoint ladder, the journal segment chain and the
+quarantine ledger.  Everything here is **read-only** -- unlike the
+resume path (:func:`repro.recovery.journal.scan_journal`), a status
+report never moves damaged artefacts into quarantine; it only describes
+them, so inspecting a crashed run does not alter the evidence the
+resume will act on.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import JournalError
+from repro.recovery.journal import Quarantine, decode_line
+from repro.recovery.runtime import RecoveryConfig
+from repro.report.tables import Table
+
+__all__ = ["recovery_status", "render_recovery_report"]
+
+
+def _checkpoint_rows(ckpt_dir: Path) -> List[dict]:
+    rows = []
+    if not ckpt_dir.is_dir():
+        return rows
+    for path in sorted(ckpt_dir.glob("ckpt-*.ckpt")):
+        row: Dict[str, object] = {"file": path.name,
+                                  "bytes": path.stat().st_size}
+        try:
+            with open(path, "rb") as fh:
+                header = json.loads(fh.readline())
+                payload = fh.read()
+            row.update(iteration=header.get("iteration"),
+                       sim_now=header.get("sim_now"),
+                       version=header.get("v"))
+            crc = format(zlib.crc32(payload) & 0xFFFFFFFF, "08x")
+            ok = (len(payload) == header.get("payload_len")
+                  and crc == header.get("payload_crc"))
+            row["status"] = "ok" if ok else "corrupt"
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            row["status"] = "corrupt"
+        rows.append(row)
+    for tmp in sorted(ckpt_dir.glob("*.tmp")):
+        rows.append({"file": tmp.name, "bytes": tmp.stat().st_size,
+                     "status": "stale_tmp"})
+    return rows
+
+
+def _segment_rows(journal_dir: Path) -> List[dict]:
+    rows = []
+    if not journal_dir.is_dir():
+        return rows
+    for path in sorted(journal_dir.glob("segment-*.jsonl")):
+        row: Dict[str, object] = {"file": path.name,
+                                  "bytes": path.stat().st_size}
+        raw = path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        torn = bool(lines[-1].strip())  # bytes after the final newline
+        lines = [ln for ln in lines[:-1] if ln.strip()]
+        records = samples = iters = 0
+        sealed = False
+        damaged = 0
+        for line in lines:
+            try:
+                body = decode_line(line)
+            except JournalError:
+                damaged += 1
+                continue
+            records += 1
+            kind = body.get("kind")
+            if kind == "sample":
+                samples += 1
+            elif kind == "iter":
+                iters += 1
+            elif kind == "seal":
+                sealed = True
+        row.update(records=records, samples=samples, iterations=iters,
+                   sealed=sealed, torn_tail=torn, damaged_lines=damaged)
+        if damaged:
+            row["status"] = "corrupt"
+        elif torn:
+            row["status"] = "torn"
+        elif sealed:
+            row["status"] = "sealed"
+        else:
+            row["status"] = "open"
+        rows.append(row)
+    return rows
+
+
+def recovery_status(run_dir: Union[str, Path]) -> dict:
+    """Machine-readable status of a recovery run directory."""
+    rcfg = RecoveryConfig(run_dir=run_dir)
+    checkpoints = _checkpoint_rows(rcfg.checkpoint_dir)
+    segments = _segment_rows(rcfg.journal_dir)
+    ledger = Quarantine(run_dir).read_ledger()
+    latest: Optional[dict] = None
+    for row in checkpoints:
+        if row.get("status") == "ok":
+            latest = row
+    return {
+        "run_dir": str(run_dir),
+        "checkpoints": checkpoints,
+        "latest_checkpoint": latest,
+        "segments": segments,
+        "samples_journaled": sum(s["samples"] for s in segments),
+        "quarantine": ledger,
+        "resumable": latest is not None or bool(segments),
+    }
+
+
+def render_recovery_report(run_dir: Union[str, Path]) -> str:
+    """Fixed-width status report of a recovery run directory."""
+    status = recovery_status(run_dir)
+    parts = [f"recovery status: {status['run_dir']}"]
+    parts.append("=" * len(parts[0]))
+
+    ckpts = Table(["checkpoint", "iteration", "sim time (s)", "size (B)",
+                   "status"])
+    for row in status["checkpoints"]:
+        ckpts.add_row([row["file"], row.get("iteration"),
+                       row.get("sim_now"), row["bytes"], row["status"]])
+    parts += ["", "checkpoints", "-----------",
+              ckpts.render() if status["checkpoints"] else "(none)"]
+
+    segs = Table(["segment", "records", "samples", "iterations", "status"])
+    for row in status["segments"]:
+        segs.add_row([row["file"], row["records"], row["samples"],
+                      row["iterations"], row["status"]])
+    parts += ["", "journal", "-------",
+              segs.render() if status["segments"] else "(none)"]
+
+    parts += ["", "quarantine", "----------"]
+    if status["quarantine"]:
+        q = Table(["reason", "file", "detail"])
+        for entry in status["quarantine"]:
+            detail = entry.get("detail") or ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.items())
+                if k not in ("reason", "file", "detail", "quarantined_as")
+            )
+            q.add_row([entry.get("reason"), entry.get("file", "-"),
+                       detail or "-"])
+        parts.append(q.render())
+    else:
+        parts.append("(empty)")
+
+    latest = status["latest_checkpoint"]
+    parts.append("")
+    if latest is not None:
+        parts.append(
+            f"resumable from iteration {latest['iteration']} "
+            f"({status['samples_journaled']} samples journaled)"
+        )
+    elif status["resumable"]:
+        parts.append("no valid checkpoint; resume would cold-restart "
+                     "and re-verify against the journal")
+    else:
+        parts.append("nothing to resume")
+    return "\n".join(parts)

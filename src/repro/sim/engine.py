@@ -130,6 +130,14 @@ class Simulator:
             self._c_tombstones = metrics.counter("sim.tombstones_discarded")
             self._g_heap = metrics.gauge("sim.heap_depth_max")
 
+    def __getstate__(self) -> dict:
+        # Checkpoints are taken from inside a firing event, i.e. while
+        # run_until holds the re-entrancy latch; a restored simulator
+        # must accept a fresh run_until call.
+        state = self.__dict__.copy()
+        state["_running"] = False
+        return state
+
     # ------------------------------------------------------------------
     # clock
     # ------------------------------------------------------------------

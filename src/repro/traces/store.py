@@ -22,7 +22,7 @@ import math
 from pathlib import Path
 from typing import Iterable, Iterator, List, Union
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceCorruptionError, TraceFormatError
 from repro.traces.records import Sample, TraceMeta
 
 __all__ = ["TraceStore", "CSV_FIELDS"]
@@ -221,7 +221,9 @@ class TraceStore:
                 raise TraceFormatError(f"bad CSV header in {path}")
             for row in r:
                 if len(row) != len(CSV_FIELDS):
-                    raise TraceFormatError(f"bad CSV row width in {path}: {row!r}")
+                    raise TraceCorruptionError(
+                        f"bad CSV row width in {path}: {row!r}"
+                    )
                 store.add(_sample_from_strings(row))
         return store
 
@@ -249,13 +251,17 @@ class TraceStore:
                 try:
                     d = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise TraceFormatError(f"{path}:{line_no}: bad JSON") from exc
+                    raise TraceCorruptionError(
+                        f"{path}:{line_no}: bad JSON"
+                    ) from exc
                 if d.get("session_start") is None:
                     d["session_start"] = float("nan")
                 try:
                     store.add(Sample(**d))
                 except (TypeError, ValueError) as exc:
-                    raise TraceFormatError(f"{path}:{line_no}: {exc}") from exc
+                    raise TraceCorruptionError(
+                        f"{path}:{line_no}: {exc}"
+                    ) from exc
         return store
 
 
@@ -284,4 +290,4 @@ def _sample_from_strings(row: List[str]) -> Sample:
             session_start=float(row[18]) if row[18] else float("nan"),
         )
     except (ValueError, IndexError) as exc:
-        raise TraceFormatError(f"bad CSV row: {row!r}") from exc
+        raise TraceCorruptionError(f"bad CSV row: {row!r}") from exc

@@ -1,0 +1,118 @@
+"""Unit tests for versioned, atomic experiment checkpoints."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import CheckpointError
+from repro.recovery.checkpoint import (
+    CHECKPOINT_VERSION,
+    config_digest,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.recovery.journal import Quarantine
+
+
+CFG = ExperimentConfig(days=1, seed=9)
+
+
+def write(ckpt_dir, iteration, payload=None, **kwargs):
+    return write_checkpoint(
+        ckpt_dir, iteration=iteration, sim_now=900.0 * iteration,
+        config=CFG, state=payload or {"iteration": iteration},
+        fsync=False, **kwargs,
+    )
+
+
+class TestConfigDigest:
+    def test_stable(self):
+        assert config_digest(CFG) == config_digest(ExperimentConfig(days=1, seed=9))
+
+    def test_sensitive(self):
+        assert config_digest(CFG) != config_digest(ExperimentConfig(days=1, seed=10))
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        path = write(tmp_path / "ckpt", 12, {"a": [1, 2], "b": float("inf")})
+        assert path.name == "ckpt-00000012.ckpt"
+        ckpt = load_latest_checkpoint(tmp_path / "ckpt", Quarantine(tmp_path))
+        assert ckpt.iteration == 12
+        assert ckpt.version == CHECKPOINT_VERSION
+        assert ckpt.sim_now == 900.0 * 12
+        assert ckpt.config == config_digest(CFG)
+        assert ckpt.state == {"a": [1, 2], "b": float("inf")}
+
+    def test_latest_wins(self, tmp_path):
+        for k in (7, 15, 23):
+            write(tmp_path / "ckpt", k)
+        ckpt = load_latest_checkpoint(tmp_path / "ckpt", Quarantine(tmp_path))
+        assert ckpt.iteration == 23
+
+    def test_empty_dir_is_none(self, tmp_path):
+        assert load_latest_checkpoint(tmp_path / "none", Quarantine(tmp_path)) is None
+
+
+class TestCorruptionHandling:
+    def test_truncated_payload_falls_back(self, tmp_path):
+        write(tmp_path / "ckpt", 7)
+        newest = write(tmp_path / "ckpt", 15)
+        raw = newest.read_bytes()
+        newest.write_bytes(raw[:-10])
+        q = Quarantine(tmp_path)
+        ckpt = load_latest_checkpoint(tmp_path / "ckpt", q)
+        assert ckpt.iteration == 7  # older one still loads
+        entry = q.read_ledger()[0]
+        assert entry["reason"] == "bad_checkpoint"
+        assert "truncated" in entry["detail"]
+        assert (q.dir / "ckpt-00000015.ckpt").exists()
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        newest = write(tmp_path / "ckpt", 5)
+        raw = bytearray(newest.read_bytes())
+        raw[-3] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        q = Quarantine(tmp_path)
+        assert load_latest_checkpoint(tmp_path / "ckpt", q) is None
+        assert "CRC mismatch" in q.read_ledger()[0]["detail"]
+
+    def test_unsupported_version_quarantined(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        header = {"v": 99, "iteration": 1, "sim_now": 0.0, "config": "x",
+                  "payload_len": 0, "payload_crc": "00000000"}
+        (ckpt_dir / "ckpt-00000001.ckpt").write_bytes(
+            json.dumps(header).encode() + b"\n"
+        )
+        q = Quarantine(tmp_path)
+        assert load_latest_checkpoint(ckpt_dir, q) is None
+        assert "version" in q.read_ledger()[0]["detail"]
+
+    def test_stale_tmp_swept(self, tmp_path):
+        # _tear_after emulates dying mid-checkpoint: staged tmp, no rename
+        tmp = write(tmp_path / "ckpt", 3, _tear_after=16)
+        assert tmp.suffix == ".tmp"
+        write(tmp_path / "ckpt", 2)
+        q = Quarantine(tmp_path)
+        ckpt = load_latest_checkpoint(tmp_path / "ckpt", q)
+        assert ckpt.iteration == 2
+        assert not tmp.exists()
+        assert q.read_ledger()[0]["reason"] == "stale_checkpoint_tmp"
+
+
+class TestReadErrors:
+    def test_bad_header_is_checkpoint_error(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        (ckpt_dir / "ckpt-00000001.ckpt").write_bytes(b"not json\n")
+        q = Quarantine(tmp_path)
+        assert load_latest_checkpoint(ckpt_dir, q) is None
+        assert q.read_ledger()[0]["reason"] == "bad_checkpoint"
+
+    def test_checkpoint_error_is_typed(self):
+        from repro.errors import RecoveryError, ReproError
+
+        assert issubclass(CheckpointError, RecoveryError)
+        assert issubclass(CheckpointError, ReproError)

@@ -1,0 +1,106 @@
+"""Corruption tolerance: resume quarantines damage, never crashes on it.
+
+The simulation regenerates samples deterministically from the last
+checkpoint, so journal damage costs verification coverage, never result
+correctness -- these tests corrupt a crashed run's artefacts on disk and
+assert the resumed run still completes bit-identically, with the damage
+moved to ``quarantine/`` and explained in the ledger.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import InjectedCrash, ResumeDivergence
+from repro.experiment import run_experiment
+from repro.recovery import RecoveryConfig
+from repro.recovery.crashtest import result_fingerprint
+from repro.recovery.journal import decode_line, encode_record
+from repro.recovery.runtime import CrashSpec
+
+CFG = ExperimentConfig(days=1, seed=13)
+
+
+def crash_run(run_dir, kill_iteration=60, checkpoint_every=8):
+    """Run until an injected crash, leaving journal + checkpoints behind."""
+    rcfg = RecoveryConfig(
+        run_dir=run_dir, checkpoint_every=checkpoint_every, fsync=False,
+        crash_at=CrashSpec(iteration=kill_iteration, point="mid_iteration"),
+    )
+    with pytest.raises(InjectedCrash):
+        run_experiment(CFG, recovery=rcfg)
+    return rcfg
+
+
+@pytest.fixture(scope="module")
+def baseline_fp():
+    return result_fingerprint(run_experiment(CFG))
+
+
+def test_corrupt_sealed_segment_is_quarantined_not_fatal(tmp_path,
+                                                         baseline_fp):
+    crash_run(tmp_path / "run")
+    victim = sorted((tmp_path / "run" / "journal").glob("segment-*.jsonl"))[0]
+    raw = bytearray(victim.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    victim.write_bytes(bytes(raw))
+
+    result = run_experiment(CFG, resume_from=tmp_path / "run")
+    assert result_fingerprint(result) == baseline_fp
+    info = result.recovery
+    reasons = [e["reason"] for e in info.quarantine_entries]
+    assert "crc_mismatch" in reasons
+    assert (tmp_path / "run" / "quarantine" / victim.name).exists()
+    # the ledger is machine-readable JSONL with the damage located
+    ledger = tmp_path / "run" / "quarantine" / "ledger.jsonl"
+    entries = [json.loads(ln) for ln in ledger.read_text().splitlines()]
+    hit = next(e for e in entries if e["reason"] == "crc_mismatch")
+    assert hit["file"] == victim.name and "line" in hit
+
+
+def test_vanished_journal_still_resumes(tmp_path, baseline_fp):
+    """Losing the whole journal only loses verification coverage."""
+    import shutil
+
+    crash_run(tmp_path / "run")
+    shutil.rmtree(tmp_path / "run" / "journal")
+    result = run_experiment(CFG, resume_from=tmp_path / "run")
+    assert result_fingerprint(result) == baseline_fp
+    assert result.recovery.replay_verified == 0
+
+
+def tamper_tail_digest(run_dir):
+    """Rewrite one post-checkpoint iter record with a lying digest."""
+    segments = sorted((run_dir / "journal").glob("segment-*.jsonl"))
+    for path in reversed(segments):
+        lines = path.read_text().splitlines()
+        for i in range(len(lines) - 1, -1, -1):
+            try:
+                body = decode_line(lines[i])
+            except Exception:
+                continue
+            if body.get("kind") == "iter":
+                body["digest"] = "00000000"
+                lines[i] = encode_record(body)  # valid CRC, wrong digest
+                path.write_text("\n".join(lines) + "\n")
+                return body["k"]
+    raise AssertionError("no iter record found to tamper")
+
+
+def test_strict_replay_raises_on_divergence(tmp_path):
+    crash_run(tmp_path / "run")
+    tamper_tail_digest(tmp_path / "run")
+    with pytest.raises(ResumeDivergence, match="digest"):
+        run_experiment(CFG, resume_from=tmp_path / "run")
+
+
+def test_lenient_replay_counts_divergence(tmp_path, baseline_fp):
+    crash_run(tmp_path / "run")
+    tamper_tail_digest(tmp_path / "run")
+    rcfg = RecoveryConfig(run_dir=tmp_path / "run", fsync=False,
+                          strict_replay=False)
+    result = run_experiment(CFG, resume_from=rcfg)
+    assert result.recovery.replay_divergences == 1
+    # the regenerated trace is still the correct one
+    assert result_fingerprint(result) == baseline_fp

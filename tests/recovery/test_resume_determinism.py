@@ -1,0 +1,128 @@
+"""The tentpole property: resume(crash(run)) == run, bit for bit.
+
+Every kill point is exercised against the golden 3-day fixture
+(``small_result``, the session-scoped run the analysis and golden-number
+suites consume): the crashed-and-resumed run must produce a
+:class:`MonitoringResult` whose fingerprint -- every sample, every
+accounting counter, every static record including NBench indexes --
+equals the fixture's exactly.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import CheckpointError, InjectedCrash, RecoveryError
+from repro.experiment import run_experiment
+from repro.recovery import RecoveryConfig
+from repro.recovery.crashtest import (
+    ALL_KILL_POINTS,
+    KillAtIteration,
+    crash_and_resume,
+    result_fingerprint,
+)
+from repro.recovery.smoke import derive_kill_iteration
+
+#: The golden fixture's configuration (tests/conftest.py).
+GOLDEN_CONFIG = ExperimentConfig(days=3, seed=11)
+
+
+@pytest.mark.parametrize("kill_point", ALL_KILL_POINTS)
+def test_resume_equals_uninterrupted_run(kill_point, small_result, tmp_path):
+    kill_iteration = derive_kill_iteration(GOLDEN_CONFIG)
+    resumed = crash_and_resume(
+        GOLDEN_CONFIG, kill_point, kill_iteration, tmp_path / "run",
+    )
+    assert result_fingerprint(resumed) == result_fingerprint(small_result)
+    info = resumed.recovery
+    assert info is not None
+    if kill_point == "mid_iteration":
+        # the torn write is the crash's signature; it must be ledgered
+        assert any(e["reason"] == "torn_tail"
+                   for e in info.quarantine_entries)
+    if info.resumed_from_iteration is not None:
+        assert info.replay_verified > 0
+        assert info.replay_divergences == 0
+
+
+def test_recovery_layer_is_differentially_inert(small_result, tmp_path):
+    """A journaled+checkpointed run leaves the trace bitwise untouched."""
+    result = run_experiment(
+        GOLDEN_CONFIG,
+        recovery=RecoveryConfig(run_dir=tmp_path / "run", fsync=False),
+    )
+    assert result_fingerprint(result) == result_fingerprint(small_result)
+    assert result.recovery.checkpoints_written > 0
+    assert result.recovery.samples_journaled == len(result.store)
+
+
+def test_resume_of_completed_run(tmp_path):
+    cfg = ExperimentConfig(days=1, seed=5)
+    # 10 does not divide the 96 iterations, so the last checkpoint (k=89)
+    # leaves a journaled tail for the resume to re-verify.
+    first = run_experiment(
+        cfg, recovery=RecoveryConfig(run_dir=tmp_path / "run",
+                                     checkpoint_every=10, fsync=False),
+    )
+    again = run_experiment(cfg, resume_from=tmp_path / "run")
+    assert result_fingerprint(again) == result_fingerprint(first)
+    assert again.recovery.replay_verified > 0
+
+
+def test_fresh_run_refuses_used_run_dir(tmp_path):
+    cfg = ExperimentConfig(days=1, seed=5)
+    rcfg = RecoveryConfig(run_dir=tmp_path / "run", fsync=False)
+    run_experiment(cfg, recovery=rcfg)
+    with pytest.raises(CheckpointError, match="resume_from"):
+        run_experiment(cfg, recovery=rcfg)
+
+
+def test_resume_rejects_config_mismatch(tmp_path):
+    cfg = ExperimentConfig(days=1, seed=5)
+    rcfg = RecoveryConfig(run_dir=tmp_path / "run",
+                          crash_at=None, fsync=False)
+    from repro.faults.plan import FaultPlan
+
+    crashed = FaultPlan([KillAtIteration(40)])
+    with pytest.raises(InjectedCrash):
+        run_experiment(cfg, faults=crashed, recovery=rcfg)
+    with pytest.raises(CheckpointError, match="digest"):
+        run_experiment(ExperimentConfig(days=1, seed=6),
+                       resume_from=tmp_path / "run")
+
+
+def test_recovery_and_resume_are_mutually_exclusive(tmp_path):
+    with pytest.raises(CheckpointError, match="not both"):
+        run_experiment(
+            ExperimentConfig(days=1, seed=5),
+            recovery=RecoveryConfig(run_dir=tmp_path / "a"),
+            resume_from=tmp_path / "b",
+        )
+
+
+def test_unreachable_kill_point_raises(tmp_path):
+    with pytest.raises(RecoveryError, match="never fired"):
+        crash_and_resume(ExperimentConfig(days=1, seed=5),
+                         "iteration_start", 10_000, tmp_path / "run")
+
+
+def test_cold_restart_without_checkpoint(tmp_path):
+    """A crash before the first checkpoint resumes from iteration 0."""
+    cfg = ExperimentConfig(days=1, seed=5)
+    resumed = crash_and_resume(
+        cfg, "iteration_start", 4, tmp_path / "run", checkpoint_every=50,
+    )
+    baseline = run_experiment(cfg)
+    assert result_fingerprint(resumed) == result_fingerprint(baseline)
+    assert resumed.recovery.cold_restart
+    assert resumed.recovery.replay_verified > 0
+
+
+def test_killed_scenario_disarms_on_pickle():
+    import pickle
+
+    k = KillAtIteration(7)
+    assert k.armed
+    revived = pickle.loads(pickle.dumps(k))
+    assert not revived.armed
+    # a disarmed scenario never fires
+    assert revived.coordinator_down(0.0, 7, None) is False

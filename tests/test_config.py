@@ -61,6 +61,35 @@ def test_ddc_validation():
         DdcParams(coordinator_availability=0.0)
 
 
+def test_ddc_backoff_validation():
+    nan, inf = float("nan"), float("inf")
+    with pytest.raises(ValueError):
+        DdcParams(retry_backoff=-1.0)
+    with pytest.raises(ValueError):
+        DdcParams(retry_backoff=0.0)
+    # NaN slips through plain <= comparisons; isfinite must catch it
+    with pytest.raises(ValueError):
+        DdcParams(retry_backoff=nan)
+    with pytest.raises(ValueError):
+        DdcParams(retry_backoff=inf)
+
+
+def test_ddc_non_finite_rejected_everywhere():
+    nan = float("nan")
+    with pytest.raises(ValueError):
+        DdcParams(sample_period=nan)
+    with pytest.raises(ValueError):
+        DdcParams(off_timeout=nan)
+    with pytest.raises(ValueError):
+        DdcParams(exec_latency=(nan, 1.0))
+    with pytest.raises(ValueError):
+        DdcParams(exec_latency=(0.5, nan))
+    with pytest.raises(ValueError):
+        DdcParams(exec_latency=(-0.1, 1.0))
+    with pytest.raises(ValueError):
+        DdcParams(exec_latency=(2.0, 1.0))
+
+
 def test_workload_os_mem_map_covers_table1_sizes():
     w = WorkloadParams()
     assert set(w.os_mem_frac) == {512, 256, 128}

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceCorruptionError, TraceError, TraceFormatError
 from repro.traces.records import Sample, StaticInfo, TraceMeta
 from repro.traces.store import TraceStore
 
@@ -124,8 +124,25 @@ class TestCsvRoundtrip:
         store.write_csv(path)
         with open(path, "a") as fh:
             fh.write("1,2,3\n")
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceCorruptionError):
             TraceStore.read_csv(path)
+
+    def test_unparseable_row_is_corruption(self, tmp_path):
+        store = TraceStore()
+        store.add(make_sample(0))
+        path = tmp_path / "trace.csv"
+        store.write_csv(path)
+        text = path.read_text().splitlines()
+        # right width, garbage content (bit rot in a numeric field)
+        text.append(text[-1].replace("0,", "xx,", 1))
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(TraceCorruptionError):
+            TraceStore.read_csv(path)
+
+    def test_corruption_is_typed_format_error(self):
+        # callers catching the broader classes keep working
+        assert issubclass(TraceCorruptionError, TraceFormatError)
+        assert issubclass(TraceCorruptionError, TraceError)
 
 
 class TestJsonlRoundtrip:
@@ -142,7 +159,19 @@ class TestJsonlRoundtrip:
     def test_bad_json_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("{not json}\n")
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceCorruptionError):
+            TraceStore.read_jsonl(path)
+
+    def test_invalid_sample_fields_are_corruption(self, tmp_path):
+        store = TraceStore()
+        store.add(make_sample(0))
+        path = tmp_path / "trace.jsonl"
+        store.write_jsonl(path)
+        tampered = path.read_text().replace('"uptime_s": 900.0',
+                                            '"uptime_s": -900.0')
+        assert tampered != path.read_text()
+        path.write_text(tampered)
+        with pytest.raises(TraceCorruptionError):
             TraceStore.read_jsonl(path)
 
     def test_blank_lines_skipped(self, tmp_path):
