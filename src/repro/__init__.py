@@ -38,6 +38,7 @@ from repro.experiment import MonitoringResult, run_experiment, run_paper_experim
 from repro.faults import FaultPlan, FaultScenario
 from repro.obs import NullObserver, Observer, ObsSnapshot
 from repro.recovery import RecoveryConfig, RecoveryInfo
+from repro.resilience import ResiliencePolicy
 
 __version__ = "1.0.0"
 
@@ -60,4 +61,5 @@ __all__ = [
     "ObsSnapshot",
     "RecoveryConfig",
     "RecoveryInfo",
+    "ResiliencePolicy",
 ]

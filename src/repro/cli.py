@@ -23,6 +23,11 @@ Commands
     Inspect a crash-safe run directory (``run --recover-dir``):
     checkpoint ladder, journal segment chain, quarantine ledger and
     whether (and from where) the run is resumable.
+``resilience``
+    Inspect the adaptive resilience control plane: run one fault
+    scenario with a policy attached and print breaker / hedge / shed
+    accounting, or ``--differential`` for the policy-on vs policy-off
+    comparison across the whole scenario catalog.
 
 Every command accepts ``--days`` and ``--seed``; defaults reproduce the
 paper (77 days, seed 2005) where that makes sense and use short runs
@@ -72,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", action="store_true",
                        help="resume the crashed run in --recover-dir from "
                        "its latest valid checkpoint")
+    p_run.add_argument("--resilience", action="store_true",
+                       help="attach the default ResiliencePolicy: circuit "
+                       "breakers, adaptive deadlines, hedged probes and "
+                       "load shedding (see docs/resilience.md)")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -107,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--json", action="store_true",
                        help="emit a JSON digest instead of tables")
 
+    p_res = sub.add_parser("resilience",
+                           help="inspect the adaptive control plane")
+    add_common(p_res, 1)
+    p_res.add_argument("--scenario", default="flapping",
+                       help="fault scenario to run under (one of the "
+                       "chaos catalog names, or 'none' for a fault-free "
+                       "run; default flapping)")
+    p_res.add_argument("--differential", action="store_true",
+                       help="run policy-on vs policy-off across the whole "
+                       "scenario catalog and print the dominance table")
+    p_res.add_argument("--json", action="store_true",
+                       help="emit a JSON digest instead of tables")
+    p_res.add_argument("--out", default=None, metavar="REPORT",
+                       help="also write the JSON digest to this file")
+
     return parser
 
 
@@ -121,6 +145,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.recover_dir:
         print("error: --resume needs --recover-dir", file=sys.stderr)
         return 2
+    if args.resume and args.resilience:
+        print("error: --resilience cannot be changed on --resume; the "
+              "resumed run keeps its checkpointed policy", file=sys.stderr)
+        return 2
+    policy = None
+    if args.resilience:
+        from repro.resilience import ResiliencePolicy
+
+        policy = ResiliencePolicy(seed=args.seed)
     config = ExperimentConfig(days=args.days, seed=args.seed)
     if args.resume:
         from repro.errors import RecoveryError
@@ -138,9 +171,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         rcfg = RecoveryConfig(run_dir=args.recover_dir,
                               checkpoint_every=args.checkpoint_every)
-        result = run_experiment(config, observer=observer, recovery=rcfg)
+        result = run_experiment(config, observer=observer, recovery=rcfg,
+                                resilience=policy)
     else:
-        result = run_experiment(config, observer=observer)
+        result = run_experiment(config, observer=observer,
+                                resilience=policy)
     out = pathlib.Path(args.out)
     if out.suffix == ".jsonl":
         result.store.write_jsonl(out)
@@ -152,6 +187,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     print(f"{len(result.store)} samples -> {out} "
           f"(response rate {100 * result.coordinator.response_rate:.1f}%)")
+    if result.coordinator.resilience is not None:
+        c = result.coordinator
+        print(f"resilience: {c.breaker_skipped} breaker-skipped, "
+              f"{c.shed} shed, {c.hedges} hedges ({c.hedge_wins} won), "
+              f"{c.retries_skipped} retries skipped")
     if args.obs_out and result.observer is not None:
         # On resume the instrumented observer is the checkpointed one.
         result.observer.snapshot().write_jsonl(args.obs_out)
@@ -277,6 +317,55 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiment import run_experiment
+    from repro.report.resilience import (
+        render_differential,
+        render_resilience_report,
+        resilience_summary,
+    )
+    from repro.resilience.chaos import (
+        SCENARIOS,
+        chaos_policy,
+        run_differential,
+    )
+
+    if args.differential:
+        rows = run_differential(days=args.days, seed=args.seed)
+        print(render_differential(rows))
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(rows, fh, indent=2, sort_keys=True)
+            print(f"reconciliation report -> {args.out}")
+        losses = [r for r in rows
+                  if r["response_rate_on"] < r["response_rate_off"]]
+        return 1 if losses else 0
+    if args.scenario != "none" and args.scenario not in SCENARIOS:
+        print(f"error: unknown scenario {args.scenario!r} (pick one of "
+              f"{', '.join(sorted(SCENARIOS))}, or 'none')",
+              file=sys.stderr)
+        return 2
+    config = ExperimentConfig(days=args.days, seed=args.seed)
+    faults = (None if args.scenario == "none"
+              else SCENARIOS[args.scenario](config.horizon, args.seed))
+    result = run_experiment(config, faults=faults, strict_postcollect=False,
+                            collect_nbench=False,
+                            resilience=chaos_policy(args.seed))
+    if args.json:
+        print(json.dumps(resilience_summary(result), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_resilience_report(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(resilience_summary(result), fh, indent=2,
+                      sort_keys=True)
+        print(f"resilience digest -> {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -286,6 +375,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "obs": _cmd_obs,
     "recovery": _cmd_recovery,
+    "resilience": _cmd_resilience,
 }
 
 

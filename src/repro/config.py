@@ -16,8 +16,9 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from repro.resilience.policy import ResiliencePolicy
 from repro.sim.calendar import DAY, HOUR, MINUTE
 
 __all__ = [
@@ -217,6 +218,11 @@ class DdcParams:
     #: Off by default: on a half-powered-off fleet most unreachables are
     #: permanent for the iteration and retries only burn timeout budget.
     retry_unreachable: bool = False
+    #: Optional :class:`~repro.resilience.ResiliencePolicy` engaging the
+    #: adaptive control plane (circuit breakers, health scores, hedged
+    #: probes, load shedding).  ``None`` -- the default -- keeps the
+    #: paper's behaviour with bit-identical traces.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         # NaN slips through plain comparisons (nan <= 0 is False), so

@@ -38,6 +38,7 @@ from repro.ddc.remote import Credentials, RemoteExecutor, RemoteOutcome
 from repro.errors import AccessDenied, MachineUnreachable
 from repro.faults.plan import FaultPlan
 from repro.machines.machine import SimMachine
+from repro.resilience.control import PROBE, ResilienceControl
 from repro.sim.engine import Simulator
 from repro.traces.records import TraceMeta
 
@@ -52,7 +53,8 @@ class _LabInstruments:
     """Per-lab instruments, bound once so the probing loop stays cheap."""
 
     __slots__ = ("timeouts", "access_denied", "samples", "parse_failures",
-                 "retries", "retries_recovered", "pass_seconds")
+                 "retries", "retries_recovered", "retries_skipped",
+                 "pass_seconds")
 
     def __init__(self, observer: "Observer", lab: str):
         from repro.obs.metrics import DURATION_BUCKETS
@@ -64,6 +66,7 @@ class _LabInstruments:
         self.parse_failures = m.counter("ddc.parse_failures", lab=lab)
         self.retries = m.counter("ddc.retries", lab=lab)
         self.retries_recovered = m.counter("ddc.retries_recovered", lab=lab)
+        self.retries_skipped = m.counter("ddc.retries_skipped", lab=lab)
         self.pass_seconds = m.histogram(
             "ddc.lab_pass_seconds", edges=DURATION_BUCKETS, lab=lab
         )
@@ -150,6 +153,18 @@ class DdcCoordinator:
             faults=self.faults,
             observer=observer,
         )
+        #: Resilience control plane; ``None`` (no policy on ``params``)
+        #: keeps the classic pass with bit-identical traces -- the same
+        #: drop-at-construction contract as ``faults`` and ``observer``.
+        self.resilience: Optional[ResilienceControl] = None
+        if params.resilience is not None:
+            self.resilience = ResilienceControl(
+                params.resilience,
+                [(m.spec.machine_id, m.spec.lab) for m in self.machines],
+                off_timeout=params.off_timeout,
+                sample_period=params.sample_period,
+                observer=observer,
+            )
         # accounting
         self.iterations_scheduled = 0
         self.iterations_run = 0
@@ -160,6 +175,7 @@ class DdcCoordinator:
         self.parse_failures = 0
         self.retries = 0
         self.retries_recovered = 0
+        self.retries_skipped = 0
         self.iteration_durations: List[float] = []
         self._started = False
         #: Recovery hook installed by :class:`repro.recovery.runtime
@@ -191,14 +207,16 @@ class DdcCoordinator:
                 self._c_iter_lost.inc()
         elif self.rng.random() < self.params.coordinator_availability:
             self.iterations_run += 1
+            run_pass = (self._run_pass if self.resilience is None
+                        else self._run_pass_resilient)
             if obs is not None:
                 with obs.span("ddc.iteration", iteration=k) as span:
-                    elapsed = self._run_pass(k, start)
+                    elapsed = run_pass(k, start)
                     span.set_end(start + elapsed)
                 self._c_iter_run.inc()
                 self._h_iteration.observe(elapsed)
             else:
-                elapsed = self._run_pass(k, start)
+                elapsed = run_pass(k, start)
             self.iteration_durations.append(elapsed)
         elif obs is not None:
             self._c_iter_lost.inc()
@@ -219,12 +237,24 @@ class DdcCoordinator:
         return li
 
     def _retryable(self, error: Optional[Exception]) -> bool:
-        """Whether a failed outcome is worth a bounded retry."""
+        """Whether a failed outcome is worth a bounded retry.
+
+        Only *transient* denials qualify: a deterministic credential
+        mismatch fails identically every time, so retrying it burns
+        iteration budget for nothing (the withheld retries are counted
+        in ``retries_skipped``).
+        """
         if isinstance(error, AccessDenied):
-            return True
+            return error.transient
         return self.params.retry_unreachable and isinstance(
             error, MachineUnreachable
         )
+
+    def _skip_retry(self, li: Optional[_LabInstruments]) -> None:
+        """Account one retry opportunity withheld as futile."""
+        self.retries_skipped += 1
+        if li is not None:
+            li.retries_skipped.inc()
 
     def _execute_with_retry(
         self, machine: SimMachine, start: float
@@ -240,6 +270,7 @@ class DdcCoordinator:
         li = self._lab(machine.spec.lab) if self._obs is not None else None
         for _ in range(self.params.retry_limit):
             if not self._retryable(outcome.error):
+                self._skip_retry(li)
                 break
             self.retries += 1
             if li is not None:
@@ -276,35 +307,120 @@ class DdcCoordinator:
             outcome, elapsed = self._execute_with_retry(machine, cursor)
             self.attempts += 1
             cursor += elapsed
+            self._account_outcome(machine, outcome, cursor, k, li)
+        if li is not None:
+            li.pass_seconds.observe(cursor - lab_start)
+        return cursor - start
+
+    def _account_outcome(
+        self,
+        machine: SimMachine,
+        outcome: RemoteOutcome,
+        t: float,
+        k: int,
+        li: Optional[_LabInstruments],
+    ) -> None:
+        """Fold one attempt's outcome into the counters (and the trace)."""
+        if outcome.ok:
+            assert outcome.result is not None
+            spec = machine.spec
+            ctx = PostCollectContext(
+                machine_id=spec.machine_id,
+                hostname=spec.hostname,
+                lab=spec.lab,
+                t=t,
+                iteration=k,
+            )
+            if self.post_collect(outcome.result.stdout,
+                                 outcome.result.stderr, ctx) is not None:
+                self.samples_collected += 1
+                if li is not None:
+                    li.samples.inc()
+            else:
+                # Non-strict post-collecting code dropped the report
+                # (garbled telemetry); strict mode raises instead.
+                self.parse_failures += 1
+                if li is not None:
+                    li.parse_failures.inc()
+        elif isinstance(outcome.error, MachineUnreachable):
+            self.timeouts += 1
+            if li is not None:
+                li.timeouts.inc()
+        elif isinstance(outcome.error, AccessDenied):
+            self.access_denied += 1
+            if li is not None:
+                li.access_denied.inc()
+
+    # -- resilient variants (policy attached) --------------------------
+    def _execute_with_retry_resilient(
+        self, machine: SimMachine, start: float, rc: ResilienceControl
+    ) -> "tuple[RemoteOutcome, float]":
+        """:meth:`_execute_with_retry` against the resilient executor.
+
+        Health/latency evidence is fed to the control plane inside
+        :meth:`~repro.ddc.remote.RemoteExecutor.execute_resilient`
+        itself (once per attempt, retries included).
+        """
+        outcome = self.executor.execute_resilient(
+            machine, self.probe, start, self.credentials, rc
+        )
+        elapsed = outcome.elapsed
+        if outcome.ok or self.params.retry_limit == 0:
+            return outcome, elapsed
+        backoff = self.params.retry_backoff
+        li = self._lab(machine.spec.lab) if self._obs is not None else None
+        for _ in range(self.params.retry_limit):
+            if not self._retryable(outcome.error):
+                self._skip_retry(li)
+                break
+            self.retries += 1
+            if li is not None:
+                li.retries.inc()
+            elapsed += backoff
+            outcome = self.executor.execute_resilient(
+                machine, self.probe, start + elapsed, self.credentials, rc
+            )
+            elapsed += outcome.elapsed
+            backoff *= 2.0
             if outcome.ok:
-                assert outcome.result is not None
-                spec = machine.spec
-                ctx = PostCollectContext(
-                    machine_id=spec.machine_id,
-                    hostname=spec.hostname,
-                    lab=spec.lab,
-                    t=cursor,
-                    iteration=k,
-                )
-                if self.post_collect(outcome.result.stdout,
-                                     outcome.result.stderr, ctx) is not None:
-                    self.samples_collected += 1
-                    if li is not None:
-                        li.samples.inc()
-                else:
-                    # Non-strict post-collecting code dropped the report
-                    # (garbled telemetry); strict mode raises instead.
-                    self.parse_failures += 1
-                    if li is not None:
-                        li.parse_failures.inc()
-            elif isinstance(outcome.error, MachineUnreachable):
-                self.timeouts += 1
+                self.retries_recovered += 1
                 if li is not None:
-                    li.timeouts.inc()
-            elif isinstance(outcome.error, AccessDenied):
-                self.access_denied += 1
+                    li.retries_recovered.inc()
+                break
+        return outcome, elapsed
+
+    def _run_pass_resilient(self, k: int, start: float) -> float:
+        """One roster pass with the resilience control plane engaged.
+
+        Identical to :meth:`_run_pass` except that each machine first
+        passes through :meth:`~repro.resilience.control.ResilienceControl
+        .admit` (circuit breaker, load shedder) and every executor call
+        feeds health/latency evidence back.  Skipped machines are fully
+        accounted: ``iterations_run * n_machines == attempts + shed +
+        breaker_skipped`` holds at all times.
+        """
+        rc = self.resilience
+        rc.begin_pass(k, start)
+        observing = self._obs is not None
+        cursor = start
+        lab_start = start
+        current_lab: Optional[str] = None
+        li: Optional[_LabInstruments] = None
+        for machine in self.machines:
+            if observing and machine.spec.lab != current_lab:
                 if li is not None:
-                    li.access_denied.inc()
+                    li.pass_seconds.observe(cursor - lab_start)
+                current_lab = machine.spec.lab
+                li = self._lab(current_lab)
+                lab_start = cursor
+            if rc.admit(machine.spec.machine_id, cursor) != PROBE:
+                continue
+            outcome, elapsed = self._execute_with_retry_resilient(
+                machine, cursor, rc
+            )
+            self.attempts += 1
+            cursor += elapsed
+            self._account_outcome(machine, outcome, cursor, k, li)
         if li is not None:
             li.pass_seconds.observe(cursor - lab_start)
         return cursor - start
@@ -321,11 +437,42 @@ class DdcCoordinator:
         meta.parse_failures = self.parse_failures
         meta.retries = self.retries
         meta.retries_recovered = self.retries_recovered
+        meta.retries_skipped = self.retries_skipped
+        meta.shed = self.shed
+        meta.breaker_skipped = self.breaker_skipped
+        meta.hedges = self.hedges
+        meta.hedge_wins = self.hedge_wins
         return meta
+
+    # -- resilience accounting views (0 when no policy is attached) ----
+    @property
+    def shed(self) -> int:
+        """Machine-slots skipped by the load shedder."""
+        return 0 if self.resilience is None else self.resilience.shed_total
+
+    @property
+    def breaker_skipped(self) -> int:
+        """Machine-slots blocked by an open circuit breaker."""
+        return 0 if self.resilience is None else self.resilience.breaker_skips
+
+    @property
+    def hedges(self) -> int:
+        """Hedged duplicate probes dispatched."""
+        return 0 if self.resilience is None else self.resilience.hedges
+
+    @property
+    def hedge_wins(self) -> int:
+        """Hedged duplicates that beat their primary."""
+        return 0 if self.resilience is None else self.resilience.hedge_wins
 
     @property
     def response_rate(self) -> float:
-        """Fraction of attempts that yielded a sample (paper: 50.2%)."""
+        """Fraction of attempts that yielded a sample (paper: 50.2%).
+
+        0.0 -- not NaN -- when no attempt was ever made (e.g. a run
+        aborted before its first pass), so downstream reporting
+        arithmetic never propagates NaN.
+        """
         if self.attempts == 0:
-            return float("nan")
+            return 0.0
         return self.samples_collected / self.attempts

@@ -74,7 +74,17 @@ class RemoteTimeout(RemoteExecError):
 
 
 class AccessDenied(RemoteExecError):
-    """Credentials were rejected by the remote machine."""
+    """Credentials were rejected by the remote machine.
+
+    ``transient`` separates storm-style flaky rejections (the DC or the
+    machine's LSA hiccuped; a retry may succeed) from deterministic
+    credential mismatches, where retrying burns iteration budget on a
+    certain failure.  The coordinator only retries transient denials.
+    """
+
+    def __init__(self, message: str = "", *, transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
 
 
 class MachineUnreachable(RemoteExecError):

@@ -35,6 +35,7 @@ from repro.ddc.w32probe import W32Probe
 from repro.machines.hardware import TABLE1_LABS, LabSpec
 from repro.machines.winapi import Win32Api
 from repro.recovery.runtime import RecoveryConfig, RecoveryInfo, RecoveryRuntime
+from repro.resilience.policy import ResiliencePolicy
 from repro.sim.fleet import FleetSimulator
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.records import StaticInfo, TraceMeta
@@ -101,6 +102,7 @@ def run_experiment(
     observer: Optional[Observer] = None,
     recovery: Optional[RecoveryConfig] = None,
     resume_from: Optional[Union[str, Path, RecoveryConfig]] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -148,12 +150,25 @@ def run_experiment(
         ``recovery``; per-run arguments (``labs``, ``faults``,
         ``fleet_factory``, ``observer``) come from the checkpoint, and a
         ``config`` passed here must digest-match the checkpointed one.
+    resilience:
+        Convenience for attaching a
+        :class:`~repro.resilience.ResiliencePolicy` without rebuilding
+        the config: replaces ``config.ddc.resilience`` before the run.
+        ``None`` (default) engages nothing -- traces stay bit-identical
+        to pre-resilience builds.  Not accepted together with
+        ``resume_from``: a resumed run's policy (and live control-plane
+        state) comes from the checkpoint.
     """
     if resume_from is not None:
         if recovery is not None:
             raise CheckpointError(
                 "pass either recovery= (fresh run) or resume_from= "
                 "(continue a crashed run), not both"
+            )
+        if resilience is not None:
+            raise CheckpointError(
+                "resilience= cannot be changed on resume; the policy and "
+                "its control-plane state come from the checkpoint"
             )
         return _resume_experiment(
             resume_from,
@@ -166,6 +181,10 @@ def run_experiment(
             observer=observer,
         )
     cfg = config or paper_config()
+    if resilience is not None:
+        cfg = cfg.replace(
+            ddc=dataclasses.replace(cfg.ddc, resilience=resilience)
+        )
     obs = observer if observer is not None and observer.enabled else None
     with maybe_phase(obs, "build"):
         if fleet_factory is None:

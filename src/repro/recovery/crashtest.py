@@ -58,6 +58,11 @@ _META_COUNTERS = (
     "parse_failures",
     "retries",
     "retries_recovered",
+    "retries_skipped",
+    "shed",
+    "breaker_skipped",
+    "hedges",
+    "hedge_wins",
 )
 
 

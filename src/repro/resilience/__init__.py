@@ -1,0 +1,55 @@
+"""Adaptive resilience control plane for DDC collection.
+
+Sits between :class:`~repro.ddc.coordinator.DdcCoordinator` and
+:class:`~repro.ddc.remote.RemoteExecutor` when a :class:`ResiliencePolicy`
+is attached to :class:`~repro.config.DdcParams`:
+
+- per-machine EWMA **health scores** fed from probe outcomes;
+- a three-state **circuit breaker** per machine (closed / open /
+  half-open with seeded probe admission);
+- **adaptive deadlines**: a per-lab running latency quantile bounds the
+  unreachable fast-fail instead of the fixed ``off_timeout``;
+- **hedged dispatch**: a seeded duplicate probe for stragglers, first
+  arrival wins;
+- a deadline-aware **load shedder** that skips lowest-health machines
+  when the iteration budget is at risk -- recorded in a ledger, never
+  silently dropped.
+
+The default policy (``None``) keeps today's behaviour bit-identical.
+See ``docs/resilience.md``.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_NAMES,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.resilience.control import (
+    PROBE,
+    SHED,
+    SKIP_BREAKER,
+    ResilienceControl,
+    ShedRecord,
+)
+from repro.resilience.health import HealthTracker, QuantileTracker
+from repro.resilience.policy import ResiliencePolicy
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_NAMES",
+    "PROBE",
+    "SKIP_BREAKER",
+    "SHED",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "HealthTracker",
+    "QuantileTracker",
+    "ResilienceControl",
+    "ResiliencePolicy",
+    "ShedRecord",
+]

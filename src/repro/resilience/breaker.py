@@ -1,0 +1,100 @@
+"""Per-machine three-state circuit breaker.
+
+The classic closed -> open -> half-open machine, adapted to the DDC
+collection loop: *closed* machines are probed normally, *open* machines
+are skipped entirely (their guaranteed timeout would burn iteration
+budget), and after a cooldown the breaker goes *half-open* and admits a
+single trial probe per pass -- optionally with a seeded admission
+probability so a storm of recovering machines does not synchronise.
+
+Openings require **both** a consecutive-failure count and a depressed
+health score (see :class:`~repro.resilience.policy.ResiliencePolicy`),
+so a single unlucky timeout on an otherwise healthy machine never trips
+the breaker.  Every state change is returned to the caller as a
+:class:`BreakerTransition` for the control plane's bounded log, which
+tests pin byte-for-byte across reruns and across crash + resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "STATE_NAMES",
+           "BreakerTransition", "CircuitBreaker"]
+
+#: Breaker states, ints for cheap hot-path comparison.
+CLOSED, OPEN, HALF_OPEN = 0, 1, 2
+STATE_NAMES = ("closed", "open", "half_open")
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerTransition:
+    """One breaker state change (the unit of the transition log)."""
+
+    t: float
+    machine_id: int
+    old: str
+    new: str
+    reason: str
+
+    def __repr__(self) -> str:
+        return (f"BreakerTransition(t={self.t!r}, machine={self.machine_id}, "
+                f"{self.old}->{self.new}, {self.reason})")
+
+
+class CircuitBreaker:
+    """Breaker state of one machine.
+
+    The breaker itself is time- and policy-agnostic: the control plane
+    feeds it outcomes plus the current health evidence and receives
+    transitions back.  All fields are plain floats/ints so the object
+    pickles into experiment checkpoints unchanged.
+    """
+
+    __slots__ = ("machine_id", "state", "blocked_until", "cooldown",
+                 "opens", "closes")
+
+    def __init__(self, machine_id: int):
+        self.machine_id = machine_id
+        self.state = CLOSED
+        self.blocked_until = 0.0
+        self.cooldown = 0.0
+        self.opens = 0
+        self.closes = 0
+
+    # ------------------------------------------------------------------
+    def _move(self, t: float, new: int, reason: str) -> BreakerTransition:
+        old = self.state
+        self.state = new
+        return BreakerTransition(
+            t=t, machine_id=self.machine_id,
+            old=STATE_NAMES[old], new=STATE_NAMES[new], reason=reason,
+        )
+
+    def trip(self, t: float, cooldown: float, backoff: float,
+             cooldown_max: float) -> BreakerTransition:
+        """Open (or re-open) the breaker at ``t``.
+
+        The first opening uses ``cooldown``; every subsequent opening
+        without an intervening close multiplies it by ``backoff`` up to
+        ``cooldown_max``.
+        """
+        if self.cooldown <= 0.0:
+            self.cooldown = cooldown
+        else:
+            self.cooldown = min(self.cooldown * backoff, cooldown_max)
+        self.blocked_until = t + self.cooldown
+        self.opens += 1
+        reason = "reopened" if self.state == HALF_OPEN else "tripped"
+        return self._move(t, OPEN, reason)
+
+    def half_open(self, t: float) -> BreakerTransition:
+        """Cooldown expired: start admitting trial probes."""
+        return self._move(t, HALF_OPEN, "cooldown_elapsed")
+
+    def close(self, t: float) -> BreakerTransition:
+        """A probe got through: back to normal operation."""
+        self.cooldown = 0.0
+        self.blocked_until = 0.0
+        self.closes += 1
+        return self._move(t, CLOSED, "probe_succeeded")

@@ -1,0 +1,89 @@
+"""Streaming estimators feeding the control plane.
+
+Two tiny O(1) trackers, both deliberately free of NumPy and of any
+global state so they are cheap on the probing hot path, trivially
+picklable (they ride inside experiment checkpoints) and bit-for-bit
+deterministic:
+
+- :class:`HealthTracker` -- an EWMA reachability score per machine,
+- :class:`QuantileTracker` -- a Robbins-Monro running quantile of the
+  per-lab live-probe latency, the basis of the adaptive deadline and
+  the hedge threshold.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HealthTracker", "QuantileTracker"]
+
+
+class HealthTracker:
+    """EWMA health score of one machine, in ``[0, 1]``.
+
+    ``1`` is perfectly reachable, ``0`` persistently dead.  The score
+    starts optimistic (1.0): a machine must *earn* distrust, so a fresh
+    run never sheds or breaks anything before evidence accumulates.
+    """
+
+    __slots__ = ("score", "alpha", "consecutive_failures")
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.score = 1.0
+        self.consecutive_failures = 0
+
+    def success(self) -> None:
+        """One reachable outcome (sample, auth failure or parse failure)."""
+        self.score += self.alpha * (1.0 - self.score)
+        self.consecutive_failures = 0
+
+    def failure(self) -> None:
+        """One unreachable outcome (timeout)."""
+        self.score -= self.alpha * self.score
+        self.consecutive_failures += 1
+
+    def restore(self, floor: float) -> None:
+        """Raise the score to at least ``floor`` (breaker close)."""
+        if self.score < floor:
+            self.score = floor
+        self.consecutive_failures = 0
+
+
+class QuantileTracker:
+    """Robbins-Monro running quantile estimate with bounded updates.
+
+    Each observation nudges the estimate: up by ``lr * scale * tau``
+    when the sample exceeds it, down by ``lr * scale * (1 - tau)``
+    otherwise, where ``scale`` tracks the observation magnitude (an
+    EWMA of ``|x|``).  The estimate converges near the ``tau`` quantile
+    for stationary input and adapts within tens of samples when the
+    latency regime shifts (e.g. a :class:`~repro.faults.scenarios
+    .SlowMachines` window opening).  It is an *estimate* -- consumers
+    clamp it into configured bounds before acting on it.
+    """
+
+    __slots__ = ("tau", "lr", "estimate", "scale", "count")
+
+    def __init__(self, tau: float, lr: float = 0.1):
+        if not 0.0 < tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {tau}")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.tau = tau
+        self.lr = lr
+        self.estimate = 0.0
+        self.scale = 0.0
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        if self.count == 0:
+            self.estimate = x
+            self.scale = abs(x)
+        else:
+            self.scale += 0.05 * (abs(x) - self.scale)
+            step = self.lr * max(self.scale, 1e-9)
+            if x > self.estimate:
+                self.estimate += step * self.tau
+            else:
+                self.estimate -= step * (1.0 - self.tau)
+        self.count += 1

@@ -1,0 +1,151 @@
+"""The :class:`ResiliencePolicy` configuration surface.
+
+One frozen dataclass holds every knob of the adaptive control plane
+(:mod:`repro.resilience.control`): health scoring, circuit breaking,
+adaptive deadlines, hedged dispatch and deadline-aware load shedding.
+It rides on :class:`~repro.config.DdcParams` as the optional
+``resilience`` field; the default (``None``) keeps today's behaviour --
+traces bit-identical to a policy-less run, no control-plane hook on the
+hot path (the same drop-at-construction contract the fault and
+observability layers honour).
+
+Like :class:`~repro.faults.plan.FaultPlan`, the policy owns a private
+seed: every stochastic decision the control plane makes (half-open probe
+admission, hedge latency draws) comes from its own
+:class:`numpy.random.Generator`, so attaching a policy never perturbs
+the experiment's streams and two runs with the same ``(experiment seed,
+policy)`` pair are bitwise identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ResiliencePolicy"]
+
+
+def _check_prob(name: str, value: float, *, lo_open: bool = False) -> None:
+    ok = math.isfinite(value) and (0.0 < value if lo_open else 0.0 <= value)
+    if not ok or value > 1.0:
+        raise ValueError(f"{name} must be a probability, got {value!r}")
+
+
+def _check_pos(name: str, value: float) -> None:
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the adaptive resilience control plane.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the control plane's private random stream (half-open
+        probe admission, hedge latency draws).
+    health_alpha:
+        EWMA weight of the newest reachability observation in a
+        machine's health score (``h <- (1-a)*h + a*outcome``).
+    breaker_min_failures / breaker_open_threshold:
+        The breaker opens when a machine has failed this many probes in
+        a row *and* its health fell below the threshold -- both gates,
+        so one unlucky timeout on a healthy machine never trips it.
+    breaker_cooldown / breaker_backoff / breaker_cooldown_max:
+        Seconds a freshly opened breaker blocks probes; each failed
+        half-open probe multiplies the cooldown by ``breaker_backoff``
+        up to the cap, so persistently dead machines are probed ever
+        more rarely.
+    probe_admission:
+        Probability a half-open machine's probe is admitted in a pass
+        (drawn from the policy's seeded stream when < 1).
+    reset_health:
+        Health floor restored when a half-open probe succeeds, so a
+        recovered machine is not immediately re-shed for its history.
+    deadline_quantile / deadline_margin / deadline_min / deadline_max:
+        The adaptive probe deadline per lab is
+        ``clamp(margin * Q(deadline_quantile), deadline_min,
+        deadline_max)`` over the lab's observed live-probe latencies;
+        a machine that fast-fails as unreachable costs
+        ``min(off_timeout, deadline)`` instead of the fixed
+        ``off_timeout``.
+    deadline_warmup:
+        Live-latency observations a lab needs before its adaptive
+        deadline (and hedging) activates; until then the fixed
+        ``off_timeout`` applies, exactly like policy-off.
+    hedge_enabled / hedge_quantile / hedge_margin / hedge_budget:
+        When a live probe's connect latency exceeds
+        ``hedge_margin * Q(hedge_quantile)`` for its lab, a duplicate
+        probe is dispatched at that threshold and the first arrival
+        wins; at most ``hedge_budget`` hedges are issued per pass.
+    shed_budget_fraction:
+        Fraction of the sample period one pass may consume before the
+        shedder intervenes: machines predicted to overrun the budget
+        are skipped lowest-health-first (recorded, never dropped).
+    shed_max_streak:
+        A machine shed this many passes in a row is exempted from the
+        next shed plan, so chronically unhealthy machines keep getting
+        periodic probes (no starvation).
+    max_log:
+        Bound on the breaker transition log and the shed ledger; beyond
+        it entries are counted but not stored.
+    """
+
+    seed: int = 0
+    # health scoring
+    health_alpha: float = 0.3
+    # circuit breaker
+    breaker_min_failures: int = 3
+    breaker_open_threshold: float = 0.35
+    breaker_cooldown: float = 1800.0
+    breaker_backoff: float = 2.0
+    breaker_cooldown_max: float = 7200.0
+    probe_admission: float = 1.0
+    reset_health: float = 0.6
+    # adaptive deadline
+    deadline_quantile: float = 0.99
+    deadline_margin: float = 1.3
+    deadline_min: float = 0.3
+    deadline_max: float = 30.0
+    deadline_warmup: int = 32
+    # hedged dispatch
+    hedge_enabled: bool = True
+    hedge_quantile: float = 0.95
+    hedge_margin: float = 1.1
+    hedge_budget: int = 32
+    # deadline-aware load shedding
+    shed_budget_fraction: float = 0.8
+    shed_max_streak: int = 4
+    # bookkeeping
+    max_log: int = 100_000
+
+    def __post_init__(self) -> None:
+        _check_prob("health_alpha", self.health_alpha, lo_open=True)
+        if self.breaker_min_failures < 1:
+            raise ValueError("breaker_min_failures must be at least 1")
+        _check_prob("breaker_open_threshold", self.breaker_open_threshold)
+        _check_pos("breaker_cooldown", self.breaker_cooldown)
+        if not math.isfinite(self.breaker_backoff) or self.breaker_backoff < 1.0:
+            raise ValueError("breaker_backoff must be >= 1")
+        if self.breaker_cooldown_max < self.breaker_cooldown:
+            raise ValueError("breaker_cooldown_max must be >= breaker_cooldown")
+        _check_prob("probe_admission", self.probe_admission, lo_open=True)
+        _check_prob("reset_health", self.reset_health)
+        _check_prob("deadline_quantile", self.deadline_quantile, lo_open=True)
+        _check_pos("deadline_margin", self.deadline_margin)
+        _check_pos("deadline_min", self.deadline_min)
+        if self.deadline_max < self.deadline_min:
+            raise ValueError("deadline bounds must be ordered")
+        if self.deadline_warmup < 1:
+            raise ValueError("deadline_warmup must be at least 1")
+        _check_prob("hedge_quantile", self.hedge_quantile, lo_open=True)
+        _check_pos("hedge_margin", self.hedge_margin)
+        if self.hedge_budget < 0:
+            raise ValueError("hedge_budget must be non-negative")
+        if not 0.0 < self.shed_budget_fraction <= 1.0:
+            raise ValueError("shed_budget_fraction must be in (0, 1]")
+        if self.shed_max_streak < 1:
+            raise ValueError("shed_max_streak must be at least 1")
+        if self.max_log < 0:
+            raise ValueError("max_log must be non-negative")

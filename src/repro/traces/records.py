@@ -115,6 +115,19 @@ class TraceMeta:
     retries / retries_recovered:
         Transient-failure retry accounting (0 unless the retry layer is
         enabled via ``DdcParams.retry_limit``).
+    retries_skipped:
+        Failed attempts for which retry budget remained but was withheld
+        because the failure is deterministic (credential mismatch, or an
+        unreachable machine with ``retry_unreachable`` off).
+    shed / breaker_skipped:
+        Machine-slots the resilience control plane skipped: load-shed
+        under iteration-budget pressure, or blocked by an open circuit
+        breaker.  Both 0 unless a ``ResiliencePolicy`` is attached; they
+        complete the accounting identity ``iterations_run * n_machines
+        == attempts + shed + breaker_skipped``.
+    hedges / hedge_wins:
+        Hedged duplicate probes dispatched for latency stragglers, and
+        how many of the duplicates beat the primary.
     statics:
         Per-machine static info keyed by ``machine_id``.
     """
@@ -131,6 +144,11 @@ class TraceMeta:
     parse_failures: int = 0
     retries: int = 0
     retries_recovered: int = 0
+    retries_skipped: int = 0
+    shed: int = 0
+    breaker_skipped: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
     statics: Dict[int, StaticInfo] = field(default_factory=dict)
 
     @property

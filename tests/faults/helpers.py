@@ -46,6 +46,11 @@ META_COUNTERS = (
     "parse_failures",
     "retries",
     "retries_recovered",
+    "retries_skipped",
+    "shed",
+    "breaker_skipped",
+    "hedges",
+    "hedge_wins",
 )
 
 
@@ -78,6 +83,7 @@ def run_mini(
     retry_backoff: float = 5.0,
     retry_unreachable: bool = False,
     seed: int = 0,
+    resilience=None,
 ) -> Tuple[DdcCoordinator, TraceStore]:
     """Drive one coordinator over ``machines`` for ``hours`` and finalize."""
     horizon = hours * HOUR
@@ -86,6 +92,7 @@ def run_mini(
         retry_limit=retry_limit,
         retry_backoff=retry_backoff,
         retry_unreachable=retry_unreachable,
+        resilience=resilience,
     )
     meta = TraceMeta(n_machines=len(machines),
                      sample_period=params.sample_period, horizon=horizon)

@@ -1,0 +1,162 @@
+"""Unit tests for the health/quantile trackers and the circuit breaker."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_NAMES,
+    CircuitBreaker,
+    HealthTracker,
+    QuantileTracker,
+)
+
+
+class TestHealthTracker:
+    def test_starts_optimistic(self):
+        h = HealthTracker(alpha=0.3)
+        assert h.score == 1.0
+        assert h.consecutive_failures == 0
+
+    def test_failure_decays_geometrically(self):
+        h = HealthTracker(alpha=0.5)
+        h.failure()
+        assert h.score == pytest.approx(0.5)
+        h.failure()
+        assert h.score == pytest.approx(0.25)
+        assert h.consecutive_failures == 2
+
+    def test_success_resets_streak_and_recovers(self):
+        h = HealthTracker(alpha=0.5)
+        for _ in range(4):
+            h.failure()
+        low = h.score
+        h.success()
+        assert h.consecutive_failures == 0
+        assert h.score == pytest.approx(low + 0.5 * (1.0 - low))
+
+    def test_score_stays_in_unit_interval(self):
+        h = HealthTracker(alpha=0.3)
+        for _ in range(200):
+            h.failure()
+        assert 0.0 <= h.score <= 1.0
+        for _ in range(200):
+            h.success()
+        assert 0.0 <= h.score <= 1.0
+
+    def test_restore_is_a_floor_not_a_set(self):
+        h = HealthTracker(alpha=0.3)
+        for _ in range(10):
+            h.failure()
+        h.restore(0.6)
+        assert h.score == 0.6
+        # an already-healthy machine is not dragged down
+        g = HealthTracker(alpha=0.3)
+        g.restore(0.6)
+        assert g.score == 1.0
+
+
+class TestQuantileTracker:
+    def test_first_observation_seeds_estimate(self):
+        q = QuantileTracker(tau=0.99)
+        q.observe(0.7)
+        assert q.estimate == 0.7
+        assert q.count == 1
+
+    def test_converges_near_quantile(self):
+        # deterministic sawtooth over [0, 1): the 0.9 quantile is ~0.9
+        q = QuantileTracker(tau=0.9)
+        for i in range(5000):
+            q.observe((i % 100) / 100.0)
+        # it is an estimate (consumers clamp): near, not exactly at, 0.9
+        assert 0.7 <= q.estimate <= 1.2
+
+    def test_tracks_regime_shift_upward(self):
+        # a SlowMachines-style 6x latency shift must pull the estimate up
+        q = QuantileTracker(tau=0.95)
+        for i in range(200):
+            q.observe(0.5)
+        before = q.estimate
+        for i in range(400):
+            q.observe(3.0)
+        assert q.estimate > before * 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            QuantileTracker(tau=0.0)
+        with pytest.raises(ValueError):
+            QuantileTracker(tau=1.0)
+        with pytest.raises(ValueError):
+            QuantileTracker(tau=0.5, lr=0.0)
+
+
+class TestCircuitBreaker:
+    def test_initial_state(self):
+        b = CircuitBreaker(7)
+        assert b.state == CLOSED
+        assert b.opens == b.closes == 0
+
+    def test_trip_half_open_close_cycle(self):
+        b = CircuitBreaker(7)
+        tr = b.trip(100.0, cooldown=60.0, backoff=2.0, cooldown_max=600.0)
+        assert b.state == OPEN
+        assert b.blocked_until == 160.0
+        assert (tr.old, tr.new, tr.reason) == ("closed", "open", "tripped")
+
+        tr = b.half_open(160.0)
+        assert b.state == HALF_OPEN
+        assert (tr.old, tr.new, tr.reason) == ("open", "half_open",
+                                               "cooldown_elapsed")
+
+        tr = b.close(161.0)
+        assert b.state == CLOSED
+        assert b.cooldown == 0.0 and b.blocked_until == 0.0
+        assert (tr.old, tr.new, tr.reason) == ("half_open", "closed",
+                                               "probe_succeeded")
+        assert b.opens == 1 and b.closes == 1
+
+    def test_reopen_from_half_open_backs_off(self):
+        b = CircuitBreaker(1)
+        b.trip(0.0, cooldown=60.0, backoff=2.0, cooldown_max=500.0)
+        cooldowns = [b.cooldown]
+        for k in range(5):
+            b.half_open(b.blocked_until)
+            tr = b.trip(b.blocked_until, cooldown=60.0, backoff=2.0,
+                        cooldown_max=500.0)
+            assert tr.reason == "reopened"
+            cooldowns.append(b.cooldown)
+        # 60 -> 120 -> 240 -> 480 -> 500 (capped) -> 500
+        assert cooldowns == [60.0, 120.0, 240.0, 480.0, 500.0, 500.0]
+
+    def test_close_resets_backoff(self):
+        b = CircuitBreaker(1)
+        b.trip(0.0, cooldown=60.0, backoff=2.0, cooldown_max=500.0)
+        b.half_open(60.0)
+        b.trip(60.0, cooldown=60.0, backoff=2.0, cooldown_max=500.0)
+        assert b.cooldown == 120.0
+        b.half_open(180.0)
+        b.close(181.0)
+        # a fresh trip after a close starts from the base cooldown again
+        b.trip(300.0, cooldown=60.0, backoff=2.0, cooldown_max=500.0)
+        assert b.cooldown == 60.0
+
+    def test_transition_repr_is_stable(self):
+        tr = CircuitBreaker(3).trip(9.5, cooldown=10.0, backoff=2.0,
+                                    cooldown_max=20.0)
+        assert repr(tr) == ("BreakerTransition(t=9.5, machine=3, "
+                            "closed->open, tripped)")
+
+    def test_state_names_cover_states(self):
+        assert STATE_NAMES[CLOSED] == "closed"
+        assert STATE_NAMES[OPEN] == "open"
+        assert STATE_NAMES[HALF_OPEN] == "half_open"
+
+    def test_pickles_for_checkpoints(self):
+        b = CircuitBreaker(5)
+        b.trip(10.0, cooldown=60.0, backoff=2.0, cooldown_max=600.0)
+        c = pickle.loads(pickle.dumps(b))
+        assert (c.machine_id, c.state, c.blocked_until, c.cooldown,
+                c.opens) == (5, OPEN, 70.0, 60.0, 1)

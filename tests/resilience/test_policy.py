@@ -1,0 +1,81 @@
+"""ResiliencePolicy validation and configuration plumbing."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DdcParams, ExperimentConfig
+from repro.errors import CheckpointError
+from repro.resilience import ResiliencePolicy
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ResiliencePolicy()
+
+    def test_frozen(self):
+        policy = ResiliencePolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.seed = 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"health_alpha": 0.0},
+        {"health_alpha": 1.5},
+        {"health_alpha": float("nan")},
+        {"breaker_min_failures": 0},
+        {"breaker_open_threshold": -0.1},
+        {"breaker_cooldown": 0.0},
+        {"breaker_backoff": 0.5},
+        {"breaker_cooldown_max": 1.0},  # below breaker_cooldown default
+        {"probe_admission": 0.0},
+        {"reset_health": 2.0},
+        {"deadline_quantile": 1.5},
+        {"deadline_margin": 0.0},
+        {"deadline_min": -1.0},
+        {"deadline_min": 40.0},  # above deadline_max default
+        {"deadline_warmup": 0},
+        {"hedge_quantile": 0.0},
+        {"hedge_margin": float("inf")},
+        {"hedge_budget": -1},
+        {"shed_budget_fraction": 0.0},
+        {"shed_budget_fraction": 1.1},
+        {"shed_max_streak": 0},
+        {"max_log": -1},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+
+class TestConfigPlumbing:
+    def test_ddc_params_default_off(self):
+        assert DdcParams().resilience is None
+
+    def test_policy_rides_on_config(self):
+        policy = ResiliencePolicy(seed=3)
+        cfg = ExperimentConfig(days=1, ddc=DdcParams(resilience=policy))
+        assert cfg.ddc.resilience is policy
+        # provenance serialisation must swallow the nested dataclass
+        d = cfg.to_dict()
+        assert d["ddc"]["resilience"]["seed"] == 3
+
+    def test_to_dict_none_policy(self):
+        assert ExperimentConfig(days=1).to_dict()["ddc"]["resilience"] is None
+
+    def test_run_experiment_kwarg_attaches_policy(self):
+        from repro.experiment import run_experiment
+
+        policy = ResiliencePolicy(seed=1)
+        result = run_experiment(ExperimentConfig(days=1, seed=5),
+                                collect_nbench=False, resilience=policy)
+        assert result.config.ddc.resilience is policy
+        assert result.coordinator.resilience is not None
+        assert result.coordinator.resilience.policy is policy
+
+    def test_resilience_kwarg_rejected_on_resume(self, tmp_path):
+        from repro.experiment import run_experiment
+
+        with pytest.raises(CheckpointError, match="resume"):
+            run_experiment(ExperimentConfig(days=1),
+                           resume_from=tmp_path / "nope",
+                           resilience=ResiliencePolicy())

@@ -112,11 +112,15 @@ class TestAccountingEdges:
                            base_disk_used_bytes=int(10e9)))
         return machines
 
-    def test_response_rate_nan_before_any_attempt(self):
+    def test_response_rate_zero_before_any_attempt(self):
         import math
         coord, _, store = self._coordinator(self._machines(3))
-        assert math.isnan(coord.response_rate)  # never started
+        # Regression: a run aborted before its first pass used to yield
+        # NaN, which poisoned any downstream reporting arithmetic.
+        assert coord.response_rate == 0.0  # never started
         meta = coord.finalize_meta(store.meta)
+        # The trace-level meta keeps NaN ("no data"), which analyses
+        # already guard for; only the live coordinator view is clamped.
         assert math.isnan(meta.response_rate)
         assert math.isnan(meta.sample_rate)
 
