@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the default ResiliencePolicy: circuit "
                        "breakers, adaptive deadlines, hedged probes and "
                        "load shedding (see docs/resilience.md)")
+    p_run.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="collect the run as N lab-aligned worker "
+                       "processes and merge a byte-identical trace "
+                       "(default 1: the classic sequential run; see "
+                       "docs/sharding.md)")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -149,12 +154,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --resilience cannot be changed on --resume; the "
               "resumed run keeps its checkpointed policy", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1 and (args.resume or args.recover_dir):
+        print("error: --shards cannot be combined with --recover-dir/"
+              "--resume; crash-safe journaling is per sequential process "
+              "(run with --shards 1)", file=sys.stderr)
+        return 2
     policy = None
     if args.resilience:
         from repro.resilience import ResiliencePolicy
 
         policy = ResiliencePolicy(seed=args.seed)
-    config = ExperimentConfig(days=args.days, seed=args.seed)
+    config = ExperimentConfig(days=args.days, seed=args.seed,
+                              shards=args.shards)
     if args.resume:
         from repro.errors import RecoveryError
         from repro.recovery import RecoveryConfig
@@ -185,16 +200,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: unsupported trace format {out.suffix!r} "
               "(use .csv or .jsonl)", file=sys.stderr)
         return 2
+    meta = result.meta
+    # A sharded run has no live coordinator; the merged accounting on
+    # the trace meta carries the identical numbers.
+    rate = (meta.samples_collected / meta.attempts) if meta.attempts else 0.0
     print(f"{len(result.store)} samples -> {out} "
-          f"(response rate {100 * result.coordinator.response_rate:.1f}%)")
-    if result.coordinator.resilience is not None:
-        c = result.coordinator
-        print(f"resilience: {c.breaker_skipped} breaker-skipped, "
-              f"{c.shed} shed, {c.hedges} hedges ({c.hedge_wins} won), "
-              f"{c.retries_skipped} retries skipped")
+          f"(response rate {100 * rate:.1f}%)")
+    if policy is not None or (result.coordinator is not None
+                              and result.coordinator.resilience is not None):
+        print(f"resilience: {meta.breaker_skipped} breaker-skipped, "
+              f"{meta.shed} shed, {meta.hedges} hedges "
+              f"({meta.hedge_wins} won), "
+              f"{meta.retries_skipped} retries skipped")
     if args.obs_out and result.observer is not None:
         # On resume the instrumented observer is the checkpointed one.
         result.observer.snapshot().write_jsonl(args.obs_out)
+        print(f"observability snapshot -> {args.obs_out}")
+    elif args.obs_out and result.obs_snapshot is not None:
+        # Sharded runs return the merged per-worker snapshot instead.
+        result.obs_snapshot.write_jsonl(args.obs_out)
         print(f"observability snapshot -> {args.obs_out}")
     info = result.recovery
     if info is not None:

@@ -268,10 +268,16 @@ class ExperimentConfig:
     workload: WorkloadParams = field(default_factory=WorkloadParams)
     ddc: DdcParams = field(default_factory=DdcParams)
     smart: SmartParams = field(default_factory=SmartParams)
+    #: Worker processes collecting the run as lab-aligned shards whose
+    #: merged trace is byte-identical to the sequential one (1 -- the
+    #: default -- is the classic in-process run).  See docs/sharding.md.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ValueError("experiment length must be at least one day")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
     @property
     def horizon(self) -> float:

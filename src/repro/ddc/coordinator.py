@@ -38,7 +38,7 @@ from repro.ddc.remote import Credentials, RemoteExecutor, RemoteOutcome
 from repro.errors import AccessDenied, MachineUnreachable
 from repro.faults.plan import FaultPlan
 from repro.machines.machine import SimMachine
-from repro.resilience.control import PROBE, ResilienceControl
+from repro.resilience.control import PROBE, SHED, ResilienceControl
 from repro.sim.engine import Simulator
 from repro.traces.records import TraceMeta
 
@@ -107,6 +107,16 @@ class DdcCoordinator:
         (timeouts, access-denied, retries, parse failures) are tallied
         per lab.  Dropped at construction when absent or disabled, the
         same differential guarantee as ``faults``.
+    owned_labs:
+        Labs this coordinator *collects for* (``None`` -- the default --
+        means all: the classic sequential run).  A shard coordinator
+        still walks the **whole** roster every iteration so that the
+        shared latency stream, the fault hooks and the resilience
+        control plane evolve exactly as in the sequential run, but for
+        foreign machines it only replicates the draws and the elapsed
+        time (see :meth:`_shadow_elapsed`): no probe output is
+        materialised, no sample stored, and no counter incremented.
+        Merged shard accounting therefore sums to the sequential run's.
     """
 
     def __init__(
@@ -121,6 +131,7 @@ class DdcCoordinator:
         credentials: Optional[Credentials] = None,
         faults: Optional[FaultPlan] = None,
         observer: Optional["Observer"] = None,
+        owned_labs: Optional[frozenset] = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -132,6 +143,12 @@ class DdcCoordinator:
         self.rng = rng
         self.horizon = float(horizon)
         self.faults = faults if faults is not None and not faults.empty else None
+        self.owned_labs = (frozenset(owned_labs) if owned_labs is not None
+                           else None)
+        #: Foreign cursor advance without probe materialisation is only
+        #: sound for draw-free fixed-cost probes; others fall back to a
+        #: full (but unaccounted) execution.
+        self._shadow_cost = probe.shadow_cost_seconds
         self._obs = observer if observer is not None and observer.enabled else None
         self._lab_instruments: Dict[str, _LabInstruments] = {}
         if self._obs is not None:
@@ -152,6 +169,7 @@ class DdcCoordinator:
             rng=rng,
             faults=self.faults,
             observer=observer,
+            owned_labs=self.owned_labs,
         )
         #: Resilience control plane; ``None`` (no policy on ``params``)
         #: keeps the classic pass with bit-identical traces -- the same
@@ -165,7 +183,7 @@ class DdcCoordinator:
                 sample_period=params.sample_period,
                 observer=observer,
             )
-        # accounting
+        # accounting (owned machines only; all machines when unsharded)
         self.iterations_scheduled = 0
         self.iterations_run = 0
         self.attempts = 0
@@ -176,6 +194,15 @@ class DdcCoordinator:
         self.retries = 0
         self.retries_recovered = 0
         self.retries_skipped = 0
+        # Resilience slots, counted per admit verdict / hedge dispatch of
+        # *owned* machines.  Equal to the control plane's full-fleet
+        # totals when owned_labs is None, and summing to them across a
+        # shard plan otherwise (the control plane itself is replicated
+        # identically in every shard).
+        self._shed = 0
+        self._breaker_skipped = 0
+        self._hedges = 0
+        self._hedge_wins = 0
         self.iteration_durations: List[float] = []
         self._started = False
         #: Recovery hook installed by :class:`repro.recovery.runtime
@@ -257,9 +284,14 @@ class DdcCoordinator:
             li.retries_skipped.inc()
 
     def _execute_with_retry(
-        self, machine: SimMachine, start: float
+        self, machine: SimMachine, start: float, count: bool = True
     ) -> "tuple[RemoteOutcome, float]":
-        """One attempt plus bounded retries; returns (outcome, elapsed)."""
+        """One attempt plus bounded retries; returns (outcome, elapsed).
+
+        ``count=False`` replicates a foreign machine's execution (same
+        draws, same elapsed time) without touching the retry counters --
+        the owning shard accounts it.
+        """
         outcome = self.executor.execute(
             machine, self.probe, start, self.credentials
         )
@@ -267,14 +299,17 @@ class DdcCoordinator:
         if outcome.ok or self.params.retry_limit == 0:
             return outcome, elapsed
         backoff = self.params.retry_backoff
-        li = self._lab(machine.spec.lab) if self._obs is not None else None
+        li = (self._lab(machine.spec.lab)
+              if count and self._obs is not None else None)
         for _ in range(self.params.retry_limit):
             if not self._retryable(outcome.error):
-                self._skip_retry(li)
+                if count:
+                    self._skip_retry(li)
                 break
-            self.retries += 1
-            if li is not None:
-                li.retries.inc()
+            if count:
+                self.retries += 1
+                if li is not None:
+                    li.retries.inc()
             elapsed += backoff
             outcome = self.executor.execute(
                 machine, self.probe, start + elapsed, self.credentials
@@ -282,35 +317,72 @@ class DdcCoordinator:
             elapsed += outcome.elapsed
             backoff *= 2.0
             if outcome.ok:
-                self.retries_recovered += 1
-                if li is not None:
-                    li.retries_recovered.inc()
+                if count:
+                    self.retries_recovered += 1
+                    if li is not None:
+                        li.retries_recovered.inc()
                 break
         return outcome, elapsed
 
     def _run_pass(self, k: int, start: float) -> float:
         """One sequential pass over the roster; returns its duration."""
         observing = self._obs is not None
+        owned = self.owned_labs
+        shadow = self.faults is None and self._shadow_cost is not None
         cursor = start
         lab_start = start
         current_lab: Optional[str] = None
         li: Optional[_LabInstruments] = None
+        mine = True
         for machine in self.machines:
-            if observing and machine.spec.lab != current_lab:
+            if machine.spec.lab != current_lab:
                 # The roster is lab-ordered, so each lab is one contiguous
                 # segment of the pass; close the previous lab's timing.
                 if li is not None:
                     li.pass_seconds.observe(cursor - lab_start)
                 current_lab = machine.spec.lab
-                li = self._lab(current_lab)
+                mine = owned is None or current_lab in owned
+                li = self._lab(current_lab) if observing and mine else None
                 lab_start = cursor
-            outcome, elapsed = self._execute_with_retry(machine, cursor)
-            self.attempts += 1
-            cursor += elapsed
-            self._account_outcome(machine, outcome, cursor, k, li)
+            if mine:
+                outcome, elapsed = self._execute_with_retry(machine, cursor)
+                self.attempts += 1
+                cursor += elapsed
+                self._account_outcome(machine, outcome, cursor, k, li)
+            elif shadow:
+                cursor += self._shadow_elapsed(machine, cursor)
+            else:
+                # Fault hooks see the machine object and draw from the
+                # plan's own streams in roster order, so a foreign machine
+                # must really execute -- just unaccounted.
+                _, elapsed = self._execute_with_retry(
+                    machine, cursor, count=False
+                )
+                cursor += elapsed
         if li is not None:
             li.pass_seconds.observe(cursor - lab_start)
         return cursor - start
+
+    def _shadow_elapsed(self, machine: SimMachine, start: float) -> float:
+        """Elapsed time of a foreign machine's attempt, draws replicated.
+
+        Mirrors :meth:`_execute_with_retry` exactly for the fault-free
+        case: an off machine costs ``off_timeout`` per attempt and draws
+        nothing; a powered machine costs one shared-stream latency draw
+        plus the probe's fixed ``shadow_cost_seconds``.  The coordinator
+        authenticates with the executor's own credentials, so the access
+        checks cannot fail and no other path exists.
+        """
+        ex = self.executor
+        if not machine.powered:
+            elapsed = ex.off_timeout
+            if self.params.retry_limit and self.params.retry_unreachable:
+                backoff = self.params.retry_backoff
+                for _ in range(self.params.retry_limit):
+                    elapsed += backoff + ex.off_timeout
+                    backoff *= 2.0
+            return elapsed
+        return ex.draw_latency() + self._shadow_cost
 
     def _account_outcome(
         self,
@@ -353,13 +425,16 @@ class DdcCoordinator:
 
     # -- resilient variants (policy attached) --------------------------
     def _execute_with_retry_resilient(
-        self, machine: SimMachine, start: float, rc: ResilienceControl
+        self, machine: SimMachine, start: float, rc: ResilienceControl,
+        count: bool = True,
     ) -> "tuple[RemoteOutcome, float]":
         """:meth:`_execute_with_retry` against the resilient executor.
 
         Health/latency evidence is fed to the control plane inside
         :meth:`~repro.ddc.remote.RemoteExecutor.execute_resilient`
-        itself (once per attempt, retries included).
+        itself (once per attempt, retries included).  ``count=False``
+        replicates a foreign machine's attempts -- evidence still flows
+        to the (replicated) control plane, counters stay untouched.
         """
         outcome = self.executor.execute_resilient(
             machine, self.probe, start, self.credentials, rc
@@ -368,14 +443,17 @@ class DdcCoordinator:
         if outcome.ok or self.params.retry_limit == 0:
             return outcome, elapsed
         backoff = self.params.retry_backoff
-        li = self._lab(machine.spec.lab) if self._obs is not None else None
+        li = (self._lab(machine.spec.lab)
+              if count and self._obs is not None else None)
         for _ in range(self.params.retry_limit):
             if not self._retryable(outcome.error):
-                self._skip_retry(li)
+                if count:
+                    self._skip_retry(li)
                 break
-            self.retries += 1
-            if li is not None:
-                li.retries.inc()
+            if count:
+                self.retries += 1
+                if li is not None:
+                    li.retries.inc()
             elapsed += backoff
             outcome = self.executor.execute_resilient(
                 machine, self.probe, start + elapsed, self.credentials, rc
@@ -383,9 +461,10 @@ class DdcCoordinator:
             elapsed += outcome.elapsed
             backoff *= 2.0
             if outcome.ok:
-                self.retries_recovered += 1
-                if li is not None:
-                    li.retries_recovered.inc()
+                if count:
+                    self.retries_recovered += 1
+                    if li is not None:
+                        li.retries_recovered.inc()
                 break
         return outcome, elapsed
 
@@ -402,28 +481,97 @@ class DdcCoordinator:
         rc = self.resilience
         rc.begin_pass(k, start)
         observing = self._obs is not None
+        owned = self.owned_labs
+        shadow = self.faults is None and self._shadow_cost is not None
         cursor = start
         lab_start = start
         current_lab: Optional[str] = None
         li: Optional[_LabInstruments] = None
+        mine = True
         for machine in self.machines:
-            if observing and machine.spec.lab != current_lab:
+            if machine.spec.lab != current_lab:
                 if li is not None:
                     li.pass_seconds.observe(cursor - lab_start)
                 current_lab = machine.spec.lab
-                li = self._lab(current_lab)
+                mine = owned is None or current_lab in owned
+                li = self._lab(current_lab) if observing and mine else None
                 lab_start = cursor
-            if rc.admit(machine.spec.machine_id, cursor) != PROBE:
+            verdict = rc.admit(machine.spec.machine_id, cursor)
+            if verdict != PROBE:
+                if mine:
+                    if verdict == SHED:
+                        self._shed += 1
+                    else:
+                        self._breaker_skipped += 1
                 continue
-            outcome, elapsed = self._execute_with_retry_resilient(
-                machine, cursor, rc
-            )
-            self.attempts += 1
-            cursor += elapsed
-            self._account_outcome(machine, outcome, cursor, k, li)
+            if mine:
+                # Hedge dispatches happen inside the executor (retries
+                # included); the before/after delta attributes them to
+                # this owned machine.
+                h0, w0 = rc.hedges, rc.hedge_wins
+                outcome, elapsed = self._execute_with_retry_resilient(
+                    machine, cursor, rc
+                )
+                self._hedges += rc.hedges - h0
+                self._hedge_wins += rc.hedge_wins - w0
+                self.attempts += 1
+                cursor += elapsed
+                self._account_outcome(machine, outcome, cursor, k, li)
+            elif shadow:
+                cursor += self._shadow_elapsed_resilient(machine, cursor, rc)
+            else:
+                _, elapsed = self._execute_with_retry_resilient(
+                    machine, cursor, rc, count=False
+                )
+                cursor += elapsed
         if li is not None:
             li.pass_seconds.observe(cursor - lab_start)
         return cursor - start
+
+    def _shadow_elapsed_resilient(
+        self, machine: SimMachine, start: float, rc: ResilienceControl
+    ) -> float:
+        """Resilient-path twin of :meth:`_shadow_elapsed`.
+
+        The control plane is replicated in every shard, so a foreign
+        machine's evidence (:meth:`~repro.resilience.control
+        .ResilienceControl.observe`), fast-fail cuts and hedge-budget
+        consumption must happen exactly as inside
+        :meth:`~repro.ddc.remote.RemoteExecutor.execute_resilient`; only
+        the probe run and the accounting are skipped.
+        """
+        ex = self.executor
+        spec = machine.spec
+
+        if not machine.powered:
+            def attempt(now: float) -> float:
+                cost = ex.off_timeout
+                deadline = rc.pass_deadline[spec.lab]
+                if deadline is not None and deadline < cost:
+                    rc.note_fastfail_cut()
+                    rc.observe(spec.machine_id, now + deadline, False, None)
+                    return deadline
+                rc.observe(spec.machine_id, now + cost, False, None)
+                return cost
+
+            elapsed = attempt(start)
+            if self.params.retry_limit and self.params.retry_unreachable:
+                backoff = self.params.retry_backoff
+                for _ in range(self.params.retry_limit):
+                    elapsed += backoff
+                    elapsed += attempt(start + elapsed)
+                    backoff *= 2.0
+            return elapsed
+        primary = ex.draw_latency()
+        latency = primary
+        threshold = rc.pass_hedge[spec.lab]
+        if threshold is not None and primary > threshold and rc.take_hedge():
+            duplicate = rc.draw_hedge_latency(*ex.latency_range)
+            hedge_won = threshold + duplicate < primary
+            latency = min(primary, threshold + duplicate)
+            rc.note_hedge(hedge_won)
+        rc.observe(spec.machine_id, start + latency, True, primary)
+        return latency + self._shadow_cost
 
     # ------------------------------------------------------------------
     def finalize_meta(self, meta: TraceMeta) -> TraceMeta:
@@ -444,26 +592,29 @@ class DdcCoordinator:
         meta.hedge_wins = self.hedge_wins
         return meta
 
-    # -- resilience accounting views (0 when no policy is attached) ----
+    # -- resilience accounting views (0 when no policy is attached).
+    # Counted per *owned* admit verdict / hedge dispatch, so that shard
+    # metas sum to the sequential run's; identical to the control
+    # plane's full-fleet totals when ``owned_labs`` is None.
     @property
     def shed(self) -> int:
         """Machine-slots skipped by the load shedder."""
-        return 0 if self.resilience is None else self.resilience.shed_total
+        return self._shed
 
     @property
     def breaker_skipped(self) -> int:
         """Machine-slots blocked by an open circuit breaker."""
-        return 0 if self.resilience is None else self.resilience.breaker_skips
+        return self._breaker_skipped
 
     @property
     def hedges(self) -> int:
         """Hedged duplicate probes dispatched."""
-        return 0 if self.resilience is None else self.resilience.hedges
+        return self._hedges
 
     @property
     def hedge_wins(self) -> int:
         """Hedged duplicates that beat their primary."""
-        return 0 if self.resilience is None else self.resilience.hedge_wins
+        return self._hedge_wins
 
     @property
     def response_rate(self) -> float:

@@ -56,6 +56,13 @@ class Probe(abc.ABC):
     #: Executable name, as it would be pushed by psexec.
     name: str = "probe.exe"
 
+    #: Fixed CPU cost of one execution, declared only by probes whose
+    #: :meth:`run` consumes no randomness and always reports this exact
+    #: ``cpu_seconds``.  The shard runtime uses it to advance a foreign
+    #: machine's probing cursor without materialising the probe output;
+    #: ``None`` (the default) means the probe must really run.
+    shadow_cost_seconds = None
+
     @abc.abstractmethod
     def run(self, api: Win32Api, now: float) -> ProbeResult:
         """Execute on the remote machine at simulated time ``now``.

@@ -156,6 +156,12 @@ class RemoteExecutor:
         execution's latency (post fault inflation) is recorded into the
         per-lab ``ddc.exec_latency_seconds`` histogram.  ``None`` or a
         disabled observer is dropped here, like an empty fault plan.
+    owned_labs:
+        Labs whose executions this executor *accounts for* (``None`` --
+        the default -- means all).  A shard coordinator replicates
+        foreign machines' executions draw-for-draw to keep the shared
+        latency stream aligned, but only the owning shard may record
+        them, or merged snapshots would double-count.
     """
 
     def __init__(
@@ -166,6 +172,7 @@ class RemoteExecutor:
         rng: np.random.Generator,
         faults: Optional["FaultPlan"] = None,
         observer: Optional["Observer"] = None,
+        owned_labs: Optional[frozenset] = None,
     ):
         lo, hi = latency_range
         if not 0 < lo <= hi:
@@ -178,7 +185,33 @@ class RemoteExecutor:
         self._rng = rng
         self._faults = faults if faults is not None and not faults.empty else None
         self._obs = observer if observer is not None and observer.enabled else None
+        self._owned_labs = owned_labs
         self._lat_hists: dict = {}
+
+    # -- shard-shadow helpers (see DdcCoordinator._shadow_elapsed) ------
+    @property
+    def latency_range(self) -> Tuple[float, float]:
+        """The ``(lo, hi)`` live-execution latency bounds."""
+        return self._latency
+
+    @property
+    def off_timeout(self) -> float:
+        """Seconds one unreachable fast-fail costs."""
+        return self._off_timeout
+
+    def draw_latency(self) -> float:
+        """One latency draw from the shared stream (no other effects).
+
+        Exactly the draw :meth:`execute` performs for a powered machine;
+        shard coordinators use it to keep the stream position aligned
+        while skipping a foreign machine's probe.
+        """
+        return float(self._rng.uniform(*self._latency))
+
+    def _observes(self, lab: str) -> bool:
+        """Whether this executor accounts executions of ``lab``."""
+        return (self._obs is not None
+                and (self._owned_labs is None or lab in self._owned_labs))
 
     def _latency_hist(self, lab: str) -> "Histogram":
         """Bound per-lab latency histogram (resolved once per lab)."""
@@ -222,7 +255,7 @@ class RemoteExecutor:
         latency = float(self._rng.uniform(*self._latency))
         if faults is not None:
             latency *= faults.latency_factor(now, machine)
-        if self._obs is not None:
+        if self._obs is not None and self._observes(machine.spec.lab):
             self._latency_hist(machine.spec.lab).observe(latency)
         if not credentials.matches(self._admin):
             return RemoteOutcome(
@@ -325,7 +358,7 @@ class RemoteExecutor:
             hedge_won = threshold + duplicate < primary
             latency = min(primary, threshold + duplicate)
             control.note_hedge(hedge_won)
-        if self._obs is not None:
+        if self._obs is not None and self._observes(lab):
             self._latency_hist(lab).observe(latency)
         control.observe(spec.machine_id, now + latency, True, primary)
         if not credentials.matches(self._admin):

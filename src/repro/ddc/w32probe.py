@@ -60,6 +60,11 @@ class W32Probe(Probe):
 
     name = "w32probe.exe"
 
+    #: Draw-free and fixed-cost, so foreign-shard cursors can advance
+    #: past this probe without materialising its report (must equal the
+    #: ``cpu_seconds`` :meth:`run` reports).
+    shadow_cost_seconds = 0.01
+
     def run(self, api: Win32Api, now: float) -> ProbeResult:
         """Collect one full report from the machine behind ``api``."""
         info = api.system_info()
@@ -96,7 +101,8 @@ class W32Probe(Probe):
             lines.append(f"session.user: {session.username}")
             lines.append(f"session.logon_s: {session.logon_time:.3f}")
         # W32Probe is a handful of win32 calls: charge a token CPU cost.
-        return ProbeResult(stdout="\n".join(lines) + "\n", cpu_seconds=0.01)
+        return ProbeResult(stdout="\n".join(lines) + "\n",
+                           cpu_seconds=self.shadow_cost_seconds)
 
 
 def parse_w32probe(stdout: str) -> Dict[str, str]:

@@ -19,6 +19,7 @@ machines, ~580k samples, a few tens of seconds of wall time.
 from __future__ import annotations
 
 import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -29,16 +30,21 @@ from repro.ddc.coordinator import DdcCoordinator
 from repro.errors import CheckpointError
 from repro.faults.plan import FAULT_CATEGORIES, FaultPlan
 from repro.obs.observer import Observer, maybe_phase
-from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
-from repro.ddc.postcollect import SamplePostCollector
-from repro.ddc.w32probe import W32Probe
+from repro.obs.snapshot import ObsSnapshot
 from repro.machines.hardware import TABLE1_LABS, LabSpec
-from repro.machines.winapi import Win32Api
 from repro.recovery.runtime import RecoveryConfig, RecoveryInfo, RecoveryRuntime
 from repro.resilience.policy import ResiliencePolicy
+from repro.shard.merge import merge_outcomes
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import (
+    ShardTask,
+    _run_shard_task,
+    attach_nbench_indexes,
+    run_shard,
+)
 from repro.sim.fleet import FleetSimulator
 from repro.traces.columnar import ColumnarTrace
-from repro.traces.records import StaticInfo, TraceMeta
+from repro.traces.records import TraceMeta
 from repro.traces.store import TraceStore
 
 __all__ = ["MonitoringResult", "run_experiment", "run_paper_experiment"]
@@ -53,30 +59,38 @@ class MonitoringResult:
     config:
         The configuration the run used.
     fleet:
-        The fleet simulator (holds ground-truth machine logs).
+        The fleet simulator (holds ground-truth machine logs).  ``None``
+        after a sharded run: the fleets lived in worker processes.
     coordinator:
-        The DDC coordinator (attempt/timeout accounting).
+        The DDC coordinator (attempt/timeout accounting); ``None`` after
+        a sharded run -- the merged accounting is on :attr:`meta`.
     store:
         The collected trace.
     faults:
         The fault plan the run used (``None`` for a fault-free run).
     observer:
         The observer the run was instrumented with (``None`` when
-        uninstrumented); export it with ``observer.snapshot()``.
+        uninstrumented); export it with ``observer.snapshot()``.  A
+        sharded run instruments each worker separately and returns the
+        merged :attr:`obs_snapshot` instead.
     recovery:
         Summary of what the crash-safe persistence layer did (``None``
         for a run without recovery plumbing): checkpoints written,
         journal segments sealed, replay verification counts and any
         quarantine ledger entries.
+    obs_snapshot:
+        Merged per-shard observability snapshot (sharded, instrumented
+        runs only; single-shard runs snapshot their live ``observer``).
     """
 
     config: ExperimentConfig
-    fleet: FleetSimulator
-    coordinator: DdcCoordinator
+    fleet: Optional[FleetSimulator]
+    coordinator: Optional[DdcCoordinator]
     store: TraceStore
     faults: Optional[FaultPlan] = None
     observer: Optional[Observer] = None
     recovery: Optional[RecoveryInfo] = None
+    obs_snapshot: Optional[ObsSnapshot] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
@@ -103,6 +117,7 @@ def run_experiment(
     recovery: Optional[RecoveryConfig] = None,
     resume_from: Optional[Union[str, Path, RecoveryConfig]] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    shards: Optional[int] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -158,6 +173,18 @@ def run_experiment(
         to pre-resilience builds.  Not accepted together with
         ``resume_from``: a resumed run's policy (and live control-plane
         state) comes from the checkpoint.
+    shards:
+        Number of lab-aligned worker processes collecting the run
+        (``None`` defers to ``config.shards``, default 1).  Every value
+        routes through the same :mod:`repro.shard` plan/worker/merge
+        pipeline: ``shards=1`` runs the single all-labs shard in-process
+        (the classic sequential run, byte for byte), ``shards>1`` fans
+        the plan out over a :class:`~concurrent.futures
+        .ProcessPoolExecutor` and merges a trace byte-identical to the
+        sequential one.  Incompatible with ``recovery``/``resume_from``
+        (per-shard journaling is rejected loudly, never silently
+        different) and with ``fleet_factory`` (workers rebuild fleets
+        from the config in their own processes).
     """
     if resume_from is not None:
         if recovery is not None:
@@ -169,6 +196,13 @@ def run_experiment(
             raise CheckpointError(
                 "resilience= cannot be changed on resume; the policy and "
                 "its control-plane state come from the checkpoint"
+            )
+        if (shards is not None and shards > 1) or (
+                config is not None and config.shards > 1):
+            raise CheckpointError(
+                "a crashed run cannot be resumed as a sharded run: the "
+                "journal and checkpoints describe one sequential "
+                "process; resume with shards=1"
             )
         return _resume_experiment(
             resume_from,
@@ -185,52 +219,49 @@ def run_experiment(
         cfg = cfg.replace(
             ddc=dataclasses.replace(cfg.ddc, resilience=resilience)
         )
-    obs = observer if observer is not None and observer.enabled else None
-    with maybe_phase(obs, "build"):
-        if fleet_factory is None:
-            fleet = FleetSimulator(cfg, labs=labs, observer=observer)
-        else:
-            fleet = fleet_factory(cfg, labs)
-            if obs is not None:
-                # Custom fleets don't instrument their engine, but spans
-                # (and the coordinator) still run on its clock.
-                obs.bind_clock(fleet.sim)
-        meta = TraceMeta(
-            n_machines=len(fleet.machines),
-            sample_period=cfg.ddc.sample_period,
-            horizon=cfg.horizon,
+    n_shards = cfg.shards if shards is None else shards
+    if n_shards < 1:
+        raise ValueError("shards must be at least 1")
+    if n_shards == 1:
+        plan = ShardPlan.build(labs, 1)
+        task = ShardTask(
+            config=cfg, shard=plan.specs[0], labs=tuple(labs),
+            collect_nbench=collect_nbench,
+            strict_postcollect=strict_postcollect, faults=faults,
         )
-        store = TraceStore(meta)
-        post = SamplePostCollector(store, strict=strict_postcollect)
-        coordinator = DdcCoordinator(
-            fleet.machines,
-            fleet.sim,
-            cfg.ddc,
-            W32Probe(),
-            post,
-            fleet.streams.stream("ddc"),
-            horizon=cfg.horizon,
-            faults=faults,
-            observer=observer,
+        runtime = _fresh_runtime(recovery) if recovery is not None else None
+        outcome = run_shard(task, observer=observer,
+                            fleet_factory=fleet_factory, runtime=runtime)
+        return MonitoringResult(config=cfg, fleet=outcome.fleet,
+                                coordinator=outcome.coordinator,
+                                store=outcome.store, faults=faults,
+                                observer=observer, recovery=outcome.recovery)
+    if recovery is not None:
+        raise CheckpointError(
+            "crash-safe recovery journals one sequential process; a "
+            "sharded run cannot share its run directory -- run with "
+            "shards=1, or give each shard count its own fresh run"
         )
-        runtime = None
-        if recovery is not None:
-            runtime = _fresh_runtime(recovery)
-            runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
-                         config=cfg, faults=faults, observer=observer)
-    with maybe_phase(obs, "simulate"):
-        fleet.start()
-        coordinator.start()
-        try:
-            fleet.sim.run_until(cfg.horizon)
-        except BaseException:
-            if runtime is not None:
-                # Emulates the process dying: handles drop, no seal.
-                runtime.hard_stop()
-            raise
-    return _finish_experiment(cfg, fleet, coordinator, store, meta,
-                              faults=faults, observer=observer, obs=obs,
-                              collect_nbench=collect_nbench, runtime=runtime)
+    if fleet_factory is not None:
+        raise ValueError(
+            "fleet_factory is not supported with shards > 1: worker "
+            "processes rebuild their fleet from the picklable config"
+        )
+    plan = ShardPlan.build(labs, n_shards)
+    instrument = observer is not None and observer.enabled
+    tasks = [
+        ShardTask(config=cfg, shard=spec, labs=tuple(labs),
+                  collect_nbench=collect_nbench,
+                  strict_postcollect=strict_postcollect, faults=faults,
+                  instrument=instrument)
+        for spec in plan.specs
+    ]
+    with ProcessPoolExecutor(max_workers=n_shards) as pool:
+        outcomes = list(pool.map(_run_shard_task, tasks))
+    store, merged_faults, snapshot = merge_outcomes(outcomes)
+    return MonitoringResult(config=cfg, fleet=None, coordinator=None,
+                            store=store, faults=merged_faults,
+                            observer=None, obs_snapshot=snapshot)
 
 
 def _fresh_runtime(recovery: RecoveryConfig) -> RecoveryRuntime:
@@ -369,74 +400,23 @@ def _run_fresh_graph(
     Used by the cold-restart resume path, where the runtime carries the
     crashed generation's iteration digests for replay verification.
     """
-    obs = observer if observer is not None and observer.enabled else None
-    with maybe_phase(obs, "build"):
-        if fleet_factory is None:
-            fleet = FleetSimulator(cfg, labs=labs, observer=observer)
-        else:
-            fleet = fleet_factory(cfg, labs)
-            if obs is not None:
-                obs.bind_clock(fleet.sim)
-        meta = TraceMeta(
-            n_machines=len(fleet.machines),
-            sample_period=cfg.ddc.sample_period,
-            horizon=cfg.horizon,
-        )
-        store = TraceStore(meta)
-        post = SamplePostCollector(store, strict=strict_postcollect)
-        coordinator = DdcCoordinator(
-            fleet.machines, fleet.sim, cfg.ddc, W32Probe(), post,
-            fleet.streams.stream("ddc"), horizon=cfg.horizon,
-            faults=faults, observer=observer,
-        )
-        runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
-                     config=cfg, faults=faults, observer=observer)
-    with maybe_phase(obs, "simulate"):
-        fleet.start()
-        coordinator.start()
-        try:
-            fleet.sim.run_until(cfg.horizon)
-        except BaseException:
-            runtime.hard_stop()
-            raise
-    return _finish_experiment(cfg, fleet, coordinator, store, meta,
-                              faults=faults, observer=observer, obs=obs,
-                              collect_nbench=collect_nbench, runtime=runtime)
+    plan = ShardPlan.build(labs, 1)
+    task = ShardTask(
+        config=cfg, shard=plan.specs[0], labs=tuple(labs),
+        collect_nbench=collect_nbench,
+        strict_postcollect=strict_postcollect, faults=faults,
+    )
+    outcome = run_shard(task, observer=observer,
+                        fleet_factory=fleet_factory, runtime=runtime)
+    return MonitoringResult(config=cfg, fleet=outcome.fleet,
+                            coordinator=outcome.coordinator,
+                            store=outcome.store, faults=faults,
+                            observer=observer, recovery=outcome.recovery)
 
 
 def _attach_nbench_indexes(fleet: FleetSimulator, meta: TraceMeta) -> None:
-    """Benchmark every machine once and record the indexes in the statics.
-
-    The authors collected the indexes in a dedicated NBench-probe pass
-    (section 4.1); availability over 77 days guarantees each machine was
-    eventually benchmarked, so we benchmark the full roster.
-    """
-    probe = NBenchProbe(fleet.streams.stream("nbench"))
-    for machine in fleet.machines:
-        result = probe.run(Win32Api(machine), fleet.sim.now)
-        report = parse_nbench_output(result.stdout)
-        spec = machine.spec
-        static = meta.statics.get(spec.machine_id)
-        if static is None:
-            # Machine never produced a W32Probe sample (off all along);
-            # synthesise its static record from the spec so Fig. 6 can
-            # still normalise over the full roster.
-            static = StaticInfo(
-                machine_id=spec.machine_id,
-                hostname=spec.hostname,
-                lab=spec.lab,
-                cpu_name=spec.cpu.model,
-                cpu_mhz=spec.cpu.mhz,
-                os_name=spec.os_name,
-                ram_mb=spec.ram_mb,
-                swap_mb=spec.swap_mb,
-                disk_serial=spec.disk_serial,
-                disk_total_b=spec.disk_bytes,
-                mac=spec.mac,
-            )
-        meta.statics[spec.machine_id] = dataclasses.replace(
-            static, nbench_int=report["int"], nbench_fp=report["fp"]
-        )
+    """Back-compat alias for :func:`repro.shard.worker.attach_nbench_indexes`."""
+    attach_nbench_indexes(fleet, meta)
 
 
 def run_paper_experiment(seed: int = 2005) -> MonitoringResult:

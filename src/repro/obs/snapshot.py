@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 
 from repro.errors import SnapshotFormatError
 
@@ -94,6 +94,73 @@ class ObsSnapshot:
     def span_durations(self, name: str) -> List[float]:
         """Durations of every recorded span called ``name``."""
         return [s["end"] - s["start"] for s in self.spans if s["name"] == name]
+
+    # ------------------------------------------------------------------
+    # shard merge
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls,
+        snapshots: "Sequence[ObsSnapshot]",
+        *,
+        sum_metrics: FrozenSet[str] = frozenset(),
+        max_gauges: FrozenSet[str] = frozenset(),
+    ) -> "ObsSnapshot":
+        """Combine per-shard snapshots into one.
+
+        The caller classifies metrics by name (the snapshot layer knows
+        nothing about which subsystems replicate across shards):
+
+        - ``sum_metrics`` -- counters and histograms owned piecewise by
+          the shards (each shard observed a disjoint slice of the fleet);
+          counter values, histogram bucket counts and totals are summed
+          per ``(name, labels)`` row.
+        - ``max_gauges`` -- per-shard wall-clock gauges (phase timings);
+          the merged value is the maximum, i.e. the parallel critical
+          path.
+        - everything else is **replicated**: every shard computed the
+          identical value (full-fleet simulation, shared seed), so the
+          first shard's row is taken verbatim.  Spans, events and the
+          drop accounting follow the same rule.
+        """
+        if not snapshots:
+            raise SnapshotFormatError("cannot merge zero snapshots")
+        first = snapshots[0]
+        merged: Dict[tuple, dict] = {}
+        for snap in snapshots:
+            for row in snap.metrics:
+                key = (row["kind"], row["name"],
+                       tuple(sorted(row["labels"].items())))
+                have = merged.get(key)
+                if have is None:
+                    merged[key] = {k: (list(v) if isinstance(v, list) else v)
+                                   for k, v in row.items()}
+                elif row["name"] in sum_metrics:
+                    if row["kind"] == "histogram":
+                        have["counts"] = [a + b for a, b in
+                                          zip(have["counts"], row["counts"])]
+                        have["count"] += row["count"]
+                        have["total"] += row["total"]
+                        for agg, fn in (("min", min), ("max", max)):
+                            if row[agg] is not None:
+                                have[agg] = (row[agg] if have[agg] is None
+                                             else fn(have[agg], row[agg]))
+                    else:
+                        have["value"] += row["value"]
+                elif (row["kind"] == "gauge"
+                      and row["name"] in max_gauges):
+                    have["value"] = max(have["value"], row["value"])
+        rows = sorted(merged.values(),
+                      key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return cls(
+            metrics=rows,
+            spans=list(first.spans),
+            events=list(first.events),
+            spans_dropped=first.spans_dropped,
+            events_dropped=first.events_dropped,
+            events_seen=first.events_seen,
+            event_sample_every=first.event_sample_every,
+        )
 
     # ------------------------------------------------------------------
     # JSONL round-trip

@@ -1,0 +1,30 @@
+"""Shard-parallel experiment runtime.
+
+Splits one monitoring experiment into N lab-aligned shards that execute
+on a :class:`concurrent.futures.ProcessPoolExecutor` and merge into a
+trace byte-identical to the sequential run:
+
+- :mod:`repro.shard.plan` partitions the lab catalog into
+  machine-balanced, lab-aligned shards;
+- :mod:`repro.shard.worker` runs one shard: a full fleet replica whose
+  DDC coordinator materialises probes only for the shard's own labs;
+- :mod:`repro.shard.merge` recombines the per-shard stores, metas and
+  observability snapshots deterministically.
+
+``repro.experiment.run_experiment`` routes every run -- including the
+sequential ``shards=1`` case -- through this plan/worker/merge pipeline;
+see ``docs/sharding.md`` for the determinism argument.
+"""
+
+from repro.shard.merge import merge_outcomes
+from repro.shard.plan import ShardPlan, ShardSpec
+from repro.shard.worker import ShardOutcome, ShardTask, run_shard
+
+__all__ = [
+    "ShardPlan",
+    "ShardSpec",
+    "ShardTask",
+    "ShardOutcome",
+    "run_shard",
+    "merge_outcomes",
+]

@@ -1,0 +1,108 @@
+"""Lab-aligned shard planning.
+
+A :class:`ShardPlan` partitions a lab catalog into N **lab-aligned**
+shards: every lab's machines land in exactly one shard, so per-lab state
+(resilience latency quantiles, obs label sets, calendar timetables)
+never straddles a shard boundary.  Shards are balanced by machine count
+with a deterministic longest-processing-time greedy, so the same catalog
+and shard count always yield the same partition.
+
+Machine ownership is expressed as lab names plus the fleet-wide
+``machine_id`` ranges those labs occupy (machines are numbered in lab
+order by :func:`repro.machines.hardware.build_fleet`), which is what
+makes the merge's ``(iteration, machine_id)`` sort reproduce the
+sequential roster order exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machines.hardware import TABLE1_LABS, LabSpec
+
+__all__ = ["ShardSpec", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the fleet.
+
+    Attributes
+    ----------
+    index / n_shards:
+        This shard's position in the plan.
+    labs:
+        Names of the labs this shard owns, in catalog order.
+    machine_ids:
+        Fleet-wide ids of the owned machines (the union over the plan is
+        the whole roster; shards are pairwise disjoint).
+    """
+
+    index: int
+    n_shards: int
+    labs: Tuple[str, ...]
+    machine_ids: Tuple[int, ...]
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines this shard owns."""
+        return len(self.machine_ids)
+
+    @property
+    def all_labs(self) -> bool:
+        """Whether this shard owns the entire catalog (``shards=1``)."""
+        return self.n_shards == 1
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic, lab-aligned partition of the fleet."""
+
+    n_shards: int
+    specs: Tuple[ShardSpec, ...]
+
+    @classmethod
+    def build(cls, labs: Sequence[LabSpec] = TABLE1_LABS,
+              shards: int = 1) -> "ShardPlan":
+        """Partition ``labs`` into ``shards`` machine-balanced shards.
+
+        Raises
+        ------
+        ValueError
+            If ``shards`` is not in ``[1, len(labs)]`` -- a shard owning
+            zero labs would contribute nothing but a full fleet replica.
+        """
+        labs = tuple(labs)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > len(labs):
+            raise ValueError(
+                f"cannot split {len(labs)} labs into {shards} lab-aligned "
+                f"shards; use at most {len(labs)}"
+            )
+        # Fleet-wide machine_id ranges per lab, in catalog order (the
+        # numbering build_fleet uses).
+        ranges: Dict[str, range] = {}
+        offset = 0
+        for lab in labs:
+            ranges[lab.name] = range(offset, offset + lab.n_machines)
+            offset += lab.n_machines
+        # Deterministic LPT greedy: biggest labs first (name breaks
+        # ties), each into the currently lightest shard (index breaks
+        # ties).  Balanced machine counts balance probing work, which is
+        # proportional to roster size.
+        loads = [0] * shards
+        members: List[List[str]] = [[] for _ in range(shards)]
+        for lab in sorted(labs, key=lambda l: (-l.n_machines, l.name)):
+            target = min(range(shards), key=lambda i: (loads[i], i))
+            loads[target] += lab.n_machines
+            members[target].append(lab.name)
+        order = {lab.name: i for i, lab in enumerate(labs)}
+        specs = []
+        for index in range(shards):
+            owned = tuple(sorted(members[index], key=order.__getitem__))
+            ids = tuple(i for name in owned for i in ranges[name])
+            specs.append(ShardSpec(index=index, n_shards=shards,
+                                   labs=owned, machine_ids=ids))
+        return cls(n_shards=shards, specs=specs)

@@ -1,0 +1,215 @@
+"""One shard's end-to-end run.
+
+A shard worker rebuilds the **entire** experiment from the shared root
+seed -- full fleet, full calendar, full DDC pass structure -- so that
+every random stream advances exactly as in the sequential run, and
+*materialises* results only for the labs it owns: probes really execute,
+samples are stored and counters tick for owned machines, while foreign
+machines take the coordinator's draw-exact shadow path (or a full
+unaccounted execution when fault hooks are attached).  The merged
+per-shard artefacts are therefore byte-identical to the sequential
+run's; ``docs/sharding.md`` lays out the argument.
+
+:func:`run_shard` is also the *sequential* runtime: ``shards=1`` is a
+single shard owning every lab, run in-process by
+:func:`repro.experiment.run_experiment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import ExperimentConfig
+from repro.ddc.coordinator import DdcCoordinator
+from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
+from repro.ddc.postcollect import SamplePostCollector
+from repro.ddc.w32probe import W32Probe
+from repro.faults.plan import FAULT_CATEGORIES, FaultPlan
+from repro.machines.hardware import LabSpec
+from repro.machines.winapi import Win32Api
+from repro.obs.observer import Observer, maybe_phase
+from repro.obs.snapshot import ObsSnapshot
+from repro.recovery.runtime import RecoveryInfo, RecoveryRuntime
+from repro.shard.plan import ShardSpec
+from repro.sim.fleet import FleetSimulator
+from repro.traces.records import StaticInfo, TraceMeta
+from repro.traces.store import TraceStore
+
+__all__ = ["ShardTask", "ShardOutcome", "run_shard", "attach_nbench_indexes"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker process needs to run one shard.
+
+    Picklable by construction: the config, the shard spec, the lab
+    catalog and the (pre-run, seeded) fault plan all ship to the worker;
+    live objects (observers, recovery runtimes, fleet factories) do not
+    cross the process boundary and are only available in-process.
+    """
+
+    config: ExperimentConfig
+    shard: ShardSpec
+    labs: Tuple[LabSpec, ...]
+    collect_nbench: bool = True
+    strict_postcollect: bool = True
+    faults: Optional[FaultPlan] = None
+    #: Whether a pool worker should build its own :class:`Observer` and
+    #: return its snapshot (the in-process path passes a live observer
+    #: to :func:`run_shard` instead).
+    instrument: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard produced.
+
+    The first four fields survive pickling back from a worker process;
+    ``fleet`` / ``coordinator`` / ``observer`` are live objects populated
+    only when the shard ran in-process (``shards=1``).
+    """
+
+    shard_index: int
+    store: TraceStore
+    faults: Optional[FaultPlan] = None
+    snapshot: Optional[ObsSnapshot] = None
+    recovery: Optional[RecoveryInfo] = None
+    fleet: Optional[FleetSimulator] = None
+    coordinator: Optional[DdcCoordinator] = None
+    observer: Optional[Observer] = None
+
+
+def run_shard(
+    task: ShardTask,
+    *,
+    observer: Optional[Observer] = None,
+    fleet_factory=None,
+    runtime: Optional[RecoveryRuntime] = None,
+) -> ShardOutcome:
+    """Run one shard to its horizon and return its artefacts.
+
+    This is the experiment runtime itself: build the (full) fleet, probe
+    it to the horizon, finalise the meta and benchmark the roster --
+    with every materialising step gated on the shard's lab ownership.
+    ``observer``, ``fleet_factory`` and ``runtime`` are the in-process
+    extras ``run_experiment`` threads through for ``shards=1``.
+    """
+    cfg = task.config
+    shard = task.shard
+    owned = None if shard.all_labs else frozenset(shard.labs)
+    obs = observer if observer is not None and observer.enabled else None
+    with maybe_phase(obs, "build"):
+        if fleet_factory is None:
+            fleet = FleetSimulator(cfg, labs=task.labs, observer=observer)
+        else:
+            fleet = fleet_factory(cfg, task.labs)
+            if obs is not None:
+                # Custom fleets don't instrument their engine, but spans
+                # (and the coordinator) still run on its clock.
+                obs.bind_clock(fleet.sim)
+        meta = TraceMeta(
+            # A shard's trace covers only the machines it owns; merged
+            # metas then sum back to the full roster.
+            n_machines=(len(fleet.machines) if owned is None
+                        else shard.n_machines),
+            sample_period=cfg.ddc.sample_period,
+            horizon=cfg.horizon,
+        )
+        store = TraceStore(meta)
+        post = SamplePostCollector(store, strict=task.strict_postcollect)
+        coordinator = DdcCoordinator(
+            fleet.machines,
+            fleet.sim,
+            cfg.ddc,
+            W32Probe(),
+            post,
+            fleet.streams.stream("ddc"),
+            horizon=cfg.horizon,
+            faults=task.faults,
+            observer=observer,
+            owned_labs=owned,
+        )
+        if runtime is not None:
+            runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
+                         config=cfg, faults=task.faults, observer=observer)
+    with maybe_phase(obs, "simulate"):
+        fleet.start()
+        coordinator.start()
+        try:
+            fleet.sim.run_until(cfg.horizon)
+        except BaseException:
+            if runtime is not None:
+                # Emulates the process dying: handles drop, no seal.
+                runtime.hard_stop()
+            raise
+    coordinator.finalize_meta(meta)
+    if task.collect_nbench:
+        with maybe_phase(obs, "collect"):
+            attach_nbench_indexes(fleet, meta, owned_labs=owned)
+    if obs is not None and task.faults is not None and not task.faults.empty:
+        for category in FAULT_CATEGORIES:
+            obs.metrics.counter("faults.injected", category=category).inc(
+                task.faults.injected.get(category, 0)
+            )
+    info = runtime.finish() if runtime is not None else None
+    return ShardOutcome(shard_index=shard.index, store=store,
+                        faults=task.faults, recovery=info, fleet=fleet,
+                        coordinator=coordinator, observer=observer)
+
+
+def _run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Pool entry point: run a shard and slim the outcome for pickling."""
+    observer = Observer() if task.instrument else None
+    outcome = run_shard(task, observer=observer)
+    if observer is not None:
+        outcome.snapshot = observer.snapshot()
+    outcome.fleet = None
+    outcome.coordinator = None
+    outcome.observer = None
+    return outcome
+
+
+def attach_nbench_indexes(
+    fleet: FleetSimulator,
+    meta: TraceMeta,
+    owned_labs: Optional[frozenset] = None,
+) -> None:
+    """Benchmark every machine once and record the indexes in the statics.
+
+    The authors collected the indexes in a dedicated NBench-probe pass
+    (section 4.1); availability over 77 days guarantees each machine was
+    eventually benchmarked, so we benchmark the full roster.  A shard
+    worker still *runs* the probe on every machine -- the ``nbench``
+    stream must advance identically everywhere -- but records indexes
+    only for machines in ``owned_labs``.
+    """
+    probe = NBenchProbe(fleet.streams.stream("nbench"))
+    for machine in fleet.machines:
+        result = probe.run(Win32Api(machine), fleet.sim.now)
+        spec = machine.spec
+        if owned_labs is not None and spec.lab not in owned_labs:
+            continue  # draws consumed; the owning shard records the index
+        report = parse_nbench_output(result.stdout)
+        static = meta.statics.get(spec.machine_id)
+        if static is None:
+            # Machine never produced a W32Probe sample (off all along);
+            # synthesise its static record from the spec so Fig. 6 can
+            # still normalise over the full roster.
+            static = StaticInfo(
+                machine_id=spec.machine_id,
+                hostname=spec.hostname,
+                lab=spec.lab,
+                cpu_name=spec.cpu.model,
+                cpu_mhz=spec.cpu.mhz,
+                os_name=spec.os_name,
+                ram_mb=spec.ram_mb,
+                swap_mb=spec.swap_mb,
+                disk_serial=spec.disk_serial,
+                disk_total_b=spec.disk_bytes,
+                mac=spec.mac,
+            )
+        meta.statics[spec.machine_id] = dataclasses.replace(
+            static, nbench_int=report["int"], nbench_fp=report["fp"]
+        )

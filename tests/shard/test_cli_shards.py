@@ -1,0 +1,48 @@
+"""``repro run --shards N``: routing, validation, output."""
+
+from repro.cli import main
+from repro.traces.store import TraceStore
+
+
+class TestRunShards:
+    def test_sharded_run_matches_sequential_csv(self, tmp_path, capsys):
+        seq = tmp_path / "seq.csv"
+        sh = tmp_path / "sh.csv"
+        assert main(["run", "--days", "1", "--seed", "4",
+                     "--out", str(seq)]) == 0
+        assert main(["run", "--days", "1", "--seed", "4", "--shards", "2",
+                     "--out", str(sh)]) == 0
+        assert sh.read_bytes() == seq.read_bytes()
+        out = capsys.readouterr().out
+        assert "response rate" in out
+
+    def test_sharded_run_exports_merged_snapshot(self, tmp_path):
+        out = tmp_path / "t.csv"
+        snap = tmp_path / "obs.jsonl"
+        assert main(["run", "--days", "1", "--seed", "4", "--shards", "2",
+                     "--out", str(out), "--obs-out", str(snap)]) == 0
+        from repro.obs import ObsSnapshot
+
+        merged = ObsSnapshot.read_jsonl(snap)
+        store = TraceStore.read_csv(out)
+        assert merged.counter_total("ddc.samples") == len(store)
+
+    def test_rejects_non_positive_shards(self, tmp_path, capsys):
+        rc = main(["run", "--days", "1", "--shards", "0",
+                   "--out", str(tmp_path / "t.csv")])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_rejects_shards_with_recovery(self, tmp_path, capsys):
+        rc = main(["run", "--days", "1", "--shards", "2",
+                   "--recover-dir", str(tmp_path / "run"),
+                   "--out", str(tmp_path / "t.csv")])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_rejects_shards_with_resume(self, tmp_path, capsys):
+        rc = main(["run", "--days", "1", "--shards", "2", "--resume",
+                   "--recover-dir", str(tmp_path / "run"),
+                   "--out", str(tmp_path / "t.csv")])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err

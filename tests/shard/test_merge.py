@@ -1,0 +1,238 @@
+"""Deterministic merge primitives: TraceStore, TraceMeta, ObsSnapshot."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import SnapshotFormatError, TraceFormatError
+from repro.obs.snapshot import ObsSnapshot
+from repro.traces.records import Sample, StaticInfo, TraceMeta
+from repro.traces.store import TraceStore
+
+
+def make_sample(machine_id, iteration, lab="L01", **overrides):
+    base = dict(
+        machine_id=machine_id,
+        hostname=f"{lab}-M{machine_id:02d}",
+        lab=lab,
+        iteration=iteration,
+        t=900.0 * iteration + 1.5 * machine_id,
+        boot_time=100.0,
+        uptime_s=3600.0,
+        cpu_idle_s=3500.0,
+        mem_load_pct=55.0,
+        swap_load_pct=25.0,
+        disk_total_b=20_000_000_000,
+        disk_free_b=6_000_000_000,
+        smart_cycles=900,
+        smart_poh_h=4100.5,
+        net_sent_b=123_456,
+        net_recv_b=654_321,
+        has_session=False,
+    )
+    base.update(overrides)
+    return Sample(**base)
+
+
+def make_meta(n_machines=2, **overrides):
+    base = dict(n_machines=n_machines, sample_period=900.0,
+                horizon=86400.0, iterations_scheduled=96, iterations_run=90)
+    base.update(overrides)
+    return TraceMeta(**base)
+
+
+def assert_samples_equal(got, want):
+    """Field equality with NaN-tolerant session_start (NaN != NaN)."""
+    got, want = list(got), list(want)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert math.isnan(g.session_start) == math.isnan(w.session_start)
+        if math.isnan(g.session_start):
+            g = dataclasses.replace(g, session_start=0.0)
+            w = dataclasses.replace(w, session_start=0.0)
+        assert g == w
+
+
+def make_static(machine_id, lab="L01"):
+    return StaticInfo(
+        machine_id=machine_id, hostname=f"{lab}-M{machine_id:02d}", lab=lab,
+        cpu_name="P3", cpu_mhz=1000.0, os_name="Windows XP", ram_mb=256,
+        swap_mb=384, disk_serial=f"SER{machine_id}", disk_total_b=2 * 10**10,
+        mac=f"00:00:00:00:00:{machine_id:02x}",
+    )
+
+
+class TestTraceMetaMerged:
+    def test_sums_counters_and_requires_agreement(self):
+        a = make_meta(n_machines=3, attempts=270, timeouts=100,
+                      samples_collected=170, shed=2, breaker_skipped=1)
+        b = make_meta(n_machines=2, attempts=180, timeouts=40,
+                      samples_collected=140, hedges=5, hedge_wins=2)
+        m = TraceMeta.merged([a, b])
+        assert m.n_machines == 5
+        assert m.attempts == 450
+        assert m.timeouts == 140
+        assert m.samples_collected == 310
+        assert m.shed == 2 and m.breaker_skipped == 1
+        assert m.hedges == 5 and m.hedge_wins == 2
+        assert m.iterations_run == 90
+        assert m.sample_period == 900.0
+
+    def test_rejects_disagreeing_schedule(self):
+        a = make_meta()
+        b = make_meta(iterations_run=89)
+        with pytest.raises(TraceFormatError, match="iterations_run"):
+            TraceMeta.merged([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceFormatError):
+            TraceMeta.merged([])
+
+    def test_statics_combine_but_must_not_overlap(self):
+        a = make_meta()
+        a.statics[0] = make_static(0)
+        b = make_meta()
+        b.statics[1] = make_static(1)
+        assert set(TraceMeta.merged([a, b]).statics) == {0, 1}
+        b.statics[0] = make_static(0)
+        with pytest.raises(TraceFormatError, match="overlap"):
+            TraceMeta.merged([a, b])
+
+
+class TestTraceStoreMerge:
+    def build_store(self, rows, meta=None):
+        store = TraceStore(meta)
+        for machine_id, iteration in rows:
+            store.add(make_sample(machine_id, iteration))
+        return store
+
+    def test_reorders_by_iteration_then_machine(self):
+        a = self.build_store([(0, 0), (1, 0), (0, 1), (1, 1)], make_meta())
+        b = self.build_store([(2, 0), (2, 1)], make_meta(n_machines=1))
+        merged = TraceStore.merge([a, b])
+        order = [(s.iteration, s.machine_id) for s in merged.samples()]
+        assert order == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        assert merged.meta.n_machines == 3
+
+    def test_single_store_merge_is_identity(self):
+        a = self.build_store([(0, 0), (1, 0), (0, 1)], make_meta())
+        merged = TraceStore.merge([a])
+        assert_samples_equal(merged.samples(), a.samples())
+
+    def test_rejects_zero_stores(self):
+        with pytest.raises(TraceFormatError, match="zero"):
+            TraceStore.merge([])
+
+    def test_rejects_overlapping_machines(self):
+        a = self.build_store([(0, 0)], make_meta(n_machines=1))
+        b = self.build_store([(0, 1)], make_meta(n_machines=1))
+        with pytest.raises(TraceFormatError, match="machine ids"):
+            TraceStore.merge([a, b])
+
+    def test_rejects_mixed_meta_presence(self):
+        a = self.build_store([(0, 0)], make_meta(n_machines=1))
+        b = self.build_store([(1, 0)], None)
+        with pytest.raises(TraceFormatError, match="metadata"):
+            TraceStore.merge([a, b])
+
+    def test_merged_store_round_trips_csv_and_jsonl(self, tmp_path):
+        """A merged store survives both interchange formats byte-for-byte."""
+        a = self.build_store([(0, 0), (0, 2)], make_meta(n_machines=1))
+        b = TraceStore(make_meta(n_machines=1))
+        b.add(make_sample(1, 0, has_session=True, username="u42",
+                          session_start=120.0))
+        b.add(make_sample(1, 1))
+        merged = TraceStore.merge([a, b])
+
+        csv_path = tmp_path / "merged.csv"
+        merged.write_csv(csv_path)
+        back = TraceStore.read_csv(csv_path)
+        assert_samples_equal(back.samples(), merged.samples())
+        csv_again = tmp_path / "again.csv"
+        back.write_csv(csv_again)
+        assert csv_again.read_bytes() == csv_path.read_bytes()
+
+        jsonl_path = tmp_path / "merged.jsonl"
+        merged.write_jsonl(jsonl_path)
+        back2 = TraceStore.read_jsonl(jsonl_path)
+        got = list(back2.samples())
+        want = list(merged.samples())
+        # NaN session_start defeats == on the one free-machine field
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert (g.machine_id, g.iteration, g.t) == (
+                w.machine_id, w.iteration, w.t)
+            assert math.isnan(g.session_start) == math.isnan(w.session_start)
+
+    def test_empty_stores_merge_to_empty(self):
+        merged = TraceStore.merge([TraceStore(make_meta()),
+                                   TraceStore(make_meta())])
+        assert len(merged) == 0
+        assert merged.meta.n_machines == 4
+
+
+class TestObsSnapshotMerge:
+    def counter_row(self, name, value, **labels):
+        return {"kind": "counter", "name": name,
+                "labels": {k: str(v) for k, v in labels.items()},
+                "value": value}
+
+    def gauge_row(self, name, value, **labels):
+        return {"kind": "gauge", "name": name,
+                "labels": {k: str(v) for k, v in labels.items()},
+                "value": value}
+
+    def hist_row(self, name, counts, total, **labels):
+        return {"kind": "histogram", "name": name,
+                "labels": {k: str(v) for k, v in labels.items()},
+                "edges": [1.0, 2.0], "counts": counts,
+                "count": sum(counts), "total": total,
+                "min": 0.5 if sum(counts) else None,
+                "max": 1.5 if sum(counts) else None}
+
+    def test_rejects_empty(self):
+        with pytest.raises(SnapshotFormatError):
+            ObsSnapshot.merge([])
+
+    def test_sum_max_and_first_policies(self):
+        a = ObsSnapshot(metrics=[
+            self.counter_row("ddc.samples", 10, lab="L01"),
+            self.counter_row("engine.events", 500),
+            self.gauge_row("experiment.phase_seconds", 2.0, phase="simulate"),
+        ])
+        b = ObsSnapshot(metrics=[
+            self.counter_row("ddc.samples", 7, lab="L01"),
+            self.counter_row("ddc.samples", 3, lab="L02"),
+            self.counter_row("engine.events", 500),
+            self.gauge_row("experiment.phase_seconds", 3.5, phase="simulate"),
+        ])
+        m = ObsSnapshot.merge(
+            [a, b], sum_metrics=frozenset({"ddc.samples"}),
+            max_gauges=frozenset({"experiment.phase_seconds"}),
+        )
+        assert m.counter_by_label("ddc.samples", "lab") == {
+            "L01": 17, "L02": 3}
+        # replicated metric: first shard's value, not the sum
+        assert m.counter_total("engine.events") == 500
+        assert m.gauge_value("experiment.phase_seconds",
+                             phase="simulate") == 3.5
+
+    def test_histogram_sum_merges_buckets_and_aggregates(self):
+        a = ObsSnapshot(metrics=[self.hist_row("ddc.lab_pass_seconds",
+                                               [2, 1], 3.5, lab="L01")])
+        b = ObsSnapshot(metrics=[self.hist_row("ddc.lab_pass_seconds",
+                                               [1, 4], 6.0, lab="L01")])
+        m = ObsSnapshot.merge(
+            [a, b], sum_metrics=frozenset({"ddc.lab_pass_seconds"}))
+        (row,) = m.histograms("ddc.lab_pass_seconds")
+        assert row["counts"] == [3, 5]
+        assert row["count"] == 8
+        assert row["total"] == 9.5
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = ObsSnapshot(metrics=[self.hist_row("h", [1, 1], 2.0, lab="L01")])
+        b = ObsSnapshot(metrics=[self.hist_row("h", [2, 2], 4.0, lab="L01")])
+        before = [dict(r, counts=list(r["counts"])) for r in a.metrics]
+        ObsSnapshot.merge([a, b], sum_metrics=frozenset({"h"}))
+        assert [dict(r, counts=list(r["counts"])) for r in a.metrics] == before

@@ -1,0 +1,65 @@
+"""ShardPlan: lab-aligned, disjoint, covering, deterministic, balanced."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.hardware import TABLE1_LABS
+from repro.shard.plan import ShardPlan
+
+N_MACHINES = sum(lab.n_machines for lab in TABLE1_LABS)
+
+
+class TestBuild:
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan.build(TABLE1_LABS, 1)
+        (spec,) = plan.specs
+        assert spec.all_labs
+        assert spec.labs == tuple(lab.name for lab in TABLE1_LABS)
+        assert spec.machine_ids == tuple(range(N_MACHINES))
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(TABLE1_LABS, 0)
+        with pytest.raises(ValueError):
+            ShardPlan.build(TABLE1_LABS, len(TABLE1_LABS) + 1)
+
+    def test_machine_ids_match_build_fleet_numbering(self):
+        """Owned ids are exactly the catalog-order ranges of owned labs."""
+        plan = ShardPlan.build(TABLE1_LABS, 3)
+        ranges = {}
+        offset = 0
+        for lab in TABLE1_LABS:
+            ranges[lab.name] = list(range(offset, offset + lab.n_machines))
+            offset += lab.n_machines
+        for spec in plan.specs:
+            expected = [i for name in spec.labs for i in ranges[name]]
+            assert list(spec.machine_ids) == expected
+
+
+@given(shards=st.integers(min_value=1, max_value=len(TABLE1_LABS)))
+@settings(max_examples=len(TABLE1_LABS), deadline=None)
+def test_partition_properties(shards):
+    """Every shard count yields a disjoint, covering, lab-aligned plan."""
+    plan = ShardPlan.build(TABLE1_LABS, shards)
+    assert plan.n_shards == shards
+    assert len(plan.specs) == shards
+    all_labs = [name for spec in plan.specs for name in spec.labs]
+    assert sorted(all_labs) == sorted(lab.name for lab in TABLE1_LABS)
+    all_ids = [i for spec in plan.specs for i in spec.machine_ids]
+    assert sorted(all_ids) == list(range(N_MACHINES))
+    # no shard is empty, and the LPT greedy keeps the split balanced:
+    # the heaviest shard carries at most the lightest plus one whole lab
+    sizes = [spec.n_machines for spec in plan.specs]
+    assert min(sizes) > 0
+    biggest_lab = max(lab.n_machines for lab in TABLE1_LABS)
+    assert max(sizes) - min(sizes) <= biggest_lab
+
+
+@given(shards=st.integers(min_value=1, max_value=len(TABLE1_LABS)))
+@settings(max_examples=len(TABLE1_LABS), deadline=None)
+def test_plan_is_deterministic(shards):
+    """The same catalog and shard count always yield the same plan."""
+    assert ShardPlan.build(TABLE1_LABS, shards) == ShardPlan.build(
+        TABLE1_LABS, shards
+    )
