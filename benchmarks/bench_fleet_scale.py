@@ -1,0 +1,182 @@
+"""Fleet-scale performance of the columnar probing kernel.
+
+Sweeps the fleet size through 169 (the paper's roster), 10k and 100k
+machines, timing one DDC probing pass under both kernels on identical
+fleet state, and writes a JSON report (``BENCH_fleet_scale.json`` at the
+repo root by default).
+
+What is measured
+----------------
+The columnar refactor vectorises the *probing pass* -- the per-iteration
+sweep the coordinator runs every ``sample_period`` -- while the
+behavioural simulation (session churn, power management, calendar) is
+shared by both kernels and already event-driven.  An end-to-end wall
+clock therefore understates the kernel's effect as the fleet grows: at
+10k machines the behavioural events cost ~6s/day under either kernel,
+while the probing passes cost ~41s/day per-object vs ~3s/day columnar.
+The headline metric is hence the **pass time**: both kernels are pointed
+at the same warmed-up fleet (same seed, same state, same powered set)
+and each pass variant is timed directly.  The >= 10x target from
+ISSUE/ROADMAP is asserted on that ratio at 10k machines.
+
+End-to-end day runs (build + behaviour + probing + export-ready store)
+are also recorded for fleet sizes up to 10k so the report keeps the
+honest whole-run numbers alongside the kernel-level ratio.
+
+Environment knobs
+-----------------
+- ``REPRO_FLEET_BENCH_MACHINES``: comma list of fleet sizes
+  (default ``169,10000,100000``).
+- ``REPRO_FLEET_BENCH_OUT``: JSON report path (default
+  ``BENCH_fleet_scale.json`` in the working directory).
+- ``REPRO_BENCH_SEED``: root seed as for the rest of the harness.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from benchmarks.conftest import bench_seed, show
+from repro.config import ExperimentConfig
+from repro.ddc.coordinator import DdcCoordinator
+from repro.ddc.postcollect import SamplePostCollector
+from repro.ddc.w32probe import W32Probe
+from repro.experiment import run_experiment
+from repro.machines.hardware import scaled_labs
+from repro.report.tables import Table
+from repro.sim.fleet import FleetSimulator
+from repro.sim.kernel import FleetColumns
+from repro.traces.records import TraceMeta
+from repro.traces.store import TraceStore
+
+#: Pass-level speedup required of the columnar kernel at 10k machines.
+SPEEDUP_TARGET = 10.0
+#: Fleet sizes measured by default (paper roster, 10k, 100k).
+DEFAULT_SWEEP = (169, 10_000, 100_000)
+#: The fleet size the speedup target is asserted at.
+TARGET_MACHINES = 10_000
+#: Largest fleet still given a full end-to-end day run (a 100k day is
+#: dominated by behavioural events and adds minutes, not information).
+MAX_E2E_MACHINES = 10_000
+#: Warm-up point for pass timing: noon of day one, when the powered set
+#: is a realistic weekday mix rather than the all-off initial state.
+WARM_SECONDS = 12 * 3600.0
+
+
+def _sweep():
+    raw = os.environ.get("REPRO_FLEET_BENCH_MACHINES", "")
+    if not raw.strip():
+        return DEFAULT_SWEEP
+    return tuple(int(tok) for tok in raw.replace(" ", "").split(",") if tok)
+
+
+def _build_warm_graph(n_machines):
+    """Build the probing graph at ``n_machines`` and run it to noon.
+
+    Returns ``(fleet, coordinator)`` with the coordinator *not* started:
+    passes are invoked directly so both kernels can be timed against the
+    exact same (frozen) fleet state.
+    """
+    cfg = ExperimentConfig(days=1, seed=bench_seed())
+    fleet = FleetSimulator(cfg, labs=scaled_labs(n_machines))
+    store = TraceStore(TraceMeta(
+        n_machines=len(fleet.machines),
+        sample_period=cfg.ddc.sample_period,
+        horizon=cfg.horizon,
+    ))
+    coordinator = DdcCoordinator(
+        fleet.machines,
+        fleet.sim,
+        cfg.ddc,
+        W32Probe(),
+        SamplePostCollector(store),
+        fleet.streams.stream("ddc"),
+        horizon=cfg.horizon,
+    )
+    fleet.start()
+    fleet.sim.run_until(WARM_SECONDS)
+    return fleet, coordinator
+
+
+def _time_passes(pass_fn, start, reps):
+    """Best-of-``reps`` wall time of one probing pass (seconds)."""
+    best = float("inf")
+    gc.collect()
+    for k in range(reps):
+        t0 = time.perf_counter()
+        pass_fn(k, start)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _e2e_day(n_machines):
+    """Full 1-day run (auto kernel) at ``n_machines``; wall s + samples."""
+    cfg = ExperimentConfig(days=1, seed=bench_seed())
+    gc.collect()
+    t0 = time.perf_counter()
+    result = run_experiment(cfg, collect_nbench=False,
+                            labs=scaled_labs(n_machines))
+    return round(time.perf_counter() - t0, 3), len(result.store)
+
+
+def test_fleet_scale():
+    sweep = _sweep()
+    rows = []
+    speedup_at_target = None
+    for n in sweep:
+        fleet, coordinator = _build_warm_graph(n)
+        now = fleet.sim.now
+        # Per-object first: the object pass reads machines directly and
+        # the columnar mirror snapshots state only when attached below.
+        reps = 3 if n > 1000 else 10
+        object_s = _time_passes(coordinator._run_pass, now, reps)
+        coordinator.enable_columnar(FleetColumns(fleet.machines))
+        columnar_s = _time_passes(coordinator._run_pass_columnar, now,
+                                  max(reps, 10))
+        speedup = object_s / columnar_s
+        row = {
+            "machines": n,
+            "powered": int(sum(m.powered for m in fleet.machines)),
+            "object_pass_seconds": round(object_s, 6),
+            "columnar_pass_seconds": round(columnar_s, 6),
+            "pass_speedup": round(speedup, 2),
+            "columnar_machines_per_second": round(n / columnar_s),
+        }
+        if n <= MAX_E2E_MACHINES:
+            wall, samples = _e2e_day(n)
+            row["e2e_day_wall_seconds"] = wall
+            row["e2e_day_samples"] = samples
+        rows.append(row)
+        if n == TARGET_MACHINES:
+            speedup_at_target = speedup
+
+    report = {
+        "seed": bench_seed(),
+        "cpu_count": os.cpu_count() or 1,
+        "warm_seconds": WARM_SECONDS,
+        "pass_speedup_target_at_10k_machines": SPEEDUP_TARGET,
+        "target_asserted": TARGET_MACHINES in sweep,
+        "runs": rows,
+    }
+    out = os.environ.get("REPRO_FLEET_BENCH_OUT", "BENCH_fleet_scale.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    table = Table(["machines", "object pass s", "columnar pass s",
+                   "speedup"], ndigits=4)
+    for row in rows:
+        table.add_row([row["machines"], row["object_pass_seconds"],
+                       row["columnar_pass_seconds"],
+                       f'{row["pass_speedup"]:.1f}x'])
+    show("fleet scale", table.render())
+
+    if speedup_at_target is not None:
+        assert speedup_at_target >= SPEEDUP_TARGET, (
+            f"columnar pass speedup {speedup_at_target:.1f}x at "
+            f"{TARGET_MACHINES} machines is below the "
+            f"{SPEEDUP_TARGET:.0f}x target"
+        )

@@ -3,16 +3,61 @@
 Guards the hot paths called out in DESIGN.md section 6: the discrete-
 event engine, a full fleet-day of simulation, and the columnar trace
 construction over hundreds of thousands of samples.
+
+Like ``bench_shard_scaling.py`` and ``bench_fleet_scale.py``, the
+module writes a machine-readable JSON report -- top-level ``days`` /
+``seed`` / ``cpu_count`` plus a ``runs`` list with one row per bench --
+so CI artefacts stay grep- and diff-friendly across the harness.
+``REPRO_SIM_BENCH_OUT`` overrides the output path (default
+``bench_simulation.json`` in the working directory).
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
+from benchmarks.conftest import bench_days, bench_seed
 from repro.config import ExperimentConfig
 from repro.experiment import run_experiment
 from repro.sim.engine import Simulator
 from repro.traces.columnar import ColumnarTrace
+
+#: Rows of the JSON report, appended by each bench as it completes.
+_ROWS = []
+
+
+def _min_seconds(benchmark):
+    """Best wall time pytest-benchmark measured, or ``None`` if disabled."""
+    try:
+        return float(benchmark.stats.stats.min)
+    except AttributeError:  # pragma: no cover - --benchmark-disable runs
+        return None
+
+
+def _record(bench, benchmark, **extra):
+    seconds = _min_seconds(benchmark)
+    row = {"bench": bench, **extra}
+    if seconds is not None:
+        row["wall_seconds"] = round(seconds, 6)
+    _ROWS.append(row)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    yield
+    report = {
+        "days": bench_days(),
+        "seed": bench_seed(),
+        "cpu_count": os.cpu_count() or 1,
+        "runs": _ROWS,
+    }
+    out = os.environ.get("REPRO_SIM_BENCH_OUT", "bench_simulation.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
 
 
 def test_engine_event_throughput(benchmark):
@@ -33,6 +78,7 @@ def test_engine_event_throughput(benchmark):
         return count
 
     assert benchmark(run) == 10_000
+    _record("engine_event_throughput", benchmark, events=10_000)
 
 
 def test_one_fleet_day(benchmark):
@@ -43,15 +89,18 @@ def test_one_fleet_day(benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert len(result.store) > 0
+    _record("one_fleet_day", benchmark, samples=len(result.store))
 
 
 def test_columnar_build(benchmark, paper_run):
     """Sorting + materialising the struct-of-arrays trace view."""
     trace = benchmark(ColumnarTrace, paper_run.store)
     assert len(trace) == len(paper_run.store)
+    _record("columnar_build", benchmark, samples=len(trace))
 
 
 def test_trace_pairing(benchmark, paper_trace):
     """The consecutive-pair scan underlying every pairwise estimator."""
     i, j = benchmark(paper_trace.consecutive_pairs)
     assert i.size > 0 and i.size == j.size
+    _record("trace_pairing", benchmark, pairs=int(i.size))

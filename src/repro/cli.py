@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
                        "processes and merge a byte-identical trace "
                        "(default 1: the classic sequential run; see "
                        "docs/sharding.md)")
+    p_run.add_argument("--machines", type=int, default=None, metavar="N",
+                       help="scale the fleet to N machines by cycling "
+                       "Table 1's lab mix (default: the paper's 169; "
+                       "see docs/columnar.md for 10k-100k runs)")
+    p_run.add_argument("--kernel", choices=("auto", "object", "columnar"),
+                       default="auto",
+                       help="probing-pass implementation: 'auto' picks "
+                       "the columnar kernel when eligible, 'object' "
+                       "forces the per-object path, 'columnar' fails "
+                       "loudly if ineligible (default auto)")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -163,13 +173,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "--resume; crash-safe journaling is per sequential process "
               "(run with --shards 1)", file=sys.stderr)
         return 2
+    if args.machines is not None and args.machines < 1:
+        print(f"error: --machines must be at least 1, got {args.machines}",
+              file=sys.stderr)
+        return 2
+    if args.machines is not None and args.resume:
+        print("error: --machines cannot be changed on --resume; the "
+              "resumed run keeps its checkpointed fleet", file=sys.stderr)
+        return 2
     policy = None
     if args.resilience:
         from repro.resilience import ResiliencePolicy
 
         policy = ResiliencePolicy(seed=args.seed)
     config = ExperimentConfig(days=args.days, seed=args.seed,
-                              shards=args.shards)
+                              shards=args.shards, kernel=args.kernel)
+    run_kwargs = {}
+    if args.machines is not None:
+        from repro.machines.hardware import scaled_labs
+
+        run_kwargs["labs"] = scaled_labs(args.machines)
     if args.resume:
         from repro.errors import RecoveryError
         from repro.recovery import RecoveryConfig
@@ -187,10 +210,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rcfg = RecoveryConfig(run_dir=args.recover_dir,
                               checkpoint_every=args.checkpoint_every)
         result = run_experiment(config, observer=observer, recovery=rcfg,
-                                resilience=policy)
+                                resilience=policy, **run_kwargs)
     else:
-        result = run_experiment(config, observer=observer,
-                                resilience=policy)
+        try:
+            result = run_experiment(config, observer=observer,
+                                    resilience=policy, **run_kwargs)
+        except ValueError as exc:
+            # e.g. kernel='columnar' on an ineligible configuration
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     out = pathlib.Path(args.out)
     if out.suffix == ".jsonl":
         result.store.write_jsonl(out)

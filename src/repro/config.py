@@ -272,12 +272,23 @@ class ExperimentConfig:
     #: merged trace is byte-identical to the sequential one (1 -- the
     #: default -- is the classic in-process run).  See docs/sharding.md.
     shards: int = 1
+    #: Probing-pass implementation: ``"auto"`` (columnar when the run is
+    #: eligible, per-object otherwise), ``"object"`` (always per-object),
+    #: or ``"columnar"`` (require the columnar kernel; an ineligible run
+    #: raises instead of silently falling back).  Both kernels produce
+    #: byte-identical traces; see docs/columnar.md.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ValueError("experiment length must be at least one day")
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
+        if self.kernel not in ("auto", "object", "columnar"):
+            raise ValueError(
+                f"kernel must be 'auto', 'object' or 'columnar', "
+                f"got {self.kernel!r}"
+            )
 
     @property
     def horizon(self) -> float:

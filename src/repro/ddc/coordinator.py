@@ -32,7 +32,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.config import DdcParams
-from repro.ddc.postcollect import PostCollectContext, PostCollector
+from repro.ddc.postcollect import (
+    PostCollectContext,
+    PostCollector,
+    SamplePostCollector,
+)
 from repro.ddc.probe import Probe
 from repro.ddc.remote import Credentials, RemoteExecutor, RemoteOutcome
 from repro.errors import AccessDenied, MachineUnreachable
@@ -204,6 +208,10 @@ class DdcCoordinator:
         self._hedges = 0
         self._hedge_wins = 0
         self.iteration_durations: List[float] = []
+        #: Columnar mirror (see :mod:`repro.sim.kernel`); installed by
+        #: :meth:`enable_columnar` when the configuration is eligible.
+        self._cols = None
+        self._registered: Optional[np.ndarray] = None
         self._started = False
         #: Recovery hook installed by :class:`repro.recovery.runtime
         #: .RecoveryRuntime` (journal cadence, checkpoints, crash points).
@@ -234,8 +242,12 @@ class DdcCoordinator:
                 self._c_iter_lost.inc()
         elif self.rng.random() < self.params.coordinator_availability:
             self.iterations_run += 1
-            run_pass = (self._run_pass if self.resilience is None
-                        else self._run_pass_resilient)
+            if self.resilience is not None:
+                run_pass = self._run_pass_resilient
+            elif self._cols is not None:
+                run_pass = self._run_pass_columnar
+            else:
+                run_pass = self._run_pass
             if obs is not None:
                 with obs.span("ddc.iteration", iteration=k) as span:
                     elapsed = run_pass(k, start)
@@ -422,6 +434,160 @@ class DdcCoordinator:
             self.access_denied += 1
             if li is not None:
                 li.access_denied.inc()
+
+    # -- columnar kernel (see repro.sim.kernel and docs/columnar.md) ----
+    def columnar_ineligibility(self) -> Optional[str]:
+        """Why this coordinator cannot use the columnar pass, or ``None``.
+
+        The columnar pass replicates the exact fault-free, hook-free,
+        unsharded probing loop; any feature that adds per-machine hooks
+        (faults, resilience, retries, observation, journaling, shard
+        shadowing, a custom probe or post-collector) keeps the per-object
+        path, whose output the columnar one is bit-identical to anyway.
+        """
+        from repro.ddc.w32probe import W32Probe
+
+        if self.owned_labs is not None:
+            return "sharded coordinator (owned_labs set)"
+        if self.faults is not None:
+            return "fault plan attached"
+        if self.resilience is not None:
+            return "resilience control plane attached"
+        if self._obs is not None:
+            return "observer attached"
+        if self.recovery is not None:
+            return "recovery runtime attached"
+        if self.params.retry_limit != 0:
+            return "retries enabled"
+        if type(self.probe) is not W32Probe:
+            return f"probe is {type(self.probe).__name__}, not W32Probe"
+        if type(self.post_collect) is not SamplePostCollector:
+            return "custom post-collecting code"
+        if self.post_collect.journal is not None:
+            return "sample journal attached"
+        return None
+
+    def enable_columnar(self, columns) -> None:
+        """Install a :class:`~repro.sim.kernel.FleetColumns` mirror and
+        switch iterations to :meth:`_run_pass_columnar`.
+
+        Raises :class:`ValueError` when the configuration is ineligible
+        (see :meth:`columnar_ineligibility`) or the mirror does not match
+        the roster.
+        """
+        reason = self.columnar_ineligibility()
+        if reason is not None:
+            raise ValueError(f"columnar kernel ineligible: {reason}")
+        if columns.n != len(self.machines):
+            raise ValueError(
+                f"columnar mirror covers {columns.n} machines, "
+                f"roster has {len(self.machines)}"
+            )
+        self._cols = columns
+        self._registered = np.zeros(columns.n, dtype=bool)
+        meta = self.post_collect.store.meta
+        if meta is not None and meta.statics:
+            for i, mid in enumerate(columns.machine_id.tolist()):
+                if mid in meta.statics:
+                    self._registered[i] = True
+        lo, hi = self.params.exec_latency
+        self._lat_lo = float(lo)
+        self._lat_hi = float(hi)
+
+    def _run_pass_columnar(self, k: int, start: float) -> float:
+        """Vectorised twin of :meth:`_run_pass`, bit-identical output.
+
+        The whole pass runs inside one engine event, so the mirror is a
+        frozen snapshot: the powered set cannot change mid-pass, the
+        latency draws collapse into one exact-size batch (consuming the
+        ``"ddc"`` stream draw-for-draw like the sequential loop), the
+        cursor chain becomes a cumulative sum, and every probe field is
+        one array expression replicating the W32Probe wire format plus
+        the post-collector's parse, including every rounding step.
+        """
+        cols = self._cols
+        n = cols.n
+        idx = np.flatnonzero(cols.powered)
+        n_on = int(idx.size)
+        p = self.params
+        # one batched draw == n_on sequential draws, in roster order
+        # (powered-off machines draw nothing, they cost off_timeout flat)
+        lat = self.rng.uniform(self._lat_lo, self._lat_hi, n_on)
+        elapsed = np.full(n, p.off_timeout)
+        elapsed[idx] = lat + self._shadow_cost
+        # cursor chain: float addition is non-associative, so replicate
+        # the sequential `cursor += elapsed` exactly with a prefix sum
+        cum = np.cumsum(np.concatenate(((start,), elapsed)))
+        self.attempts += n
+        self.timeouts += n - n_on
+        self.samples_collected += n_on
+        duration = float(cum[-1]) - start
+        if n_on == 0:
+            return duration
+        from repro.sim.kernel import round3
+
+        # each probe observes its machine at its actual execution instant
+        tau = cum[:-1][idx] + lat
+        dt = np.maximum(tau - cols.last_update[idx], 0.0)
+        # uptime rides GetTickCount: seconds -> ms -> seconds, then %.3f
+        uptime = round3((tau - cols.boot_time[idx]) * 1000.0 / 1000.0)
+        idle = np.minimum(
+            round3(cols.idle_acc[idx] + dt * (1.0 - cols.busy_frac[idx])),
+            uptime,
+        )
+        # GlobalMemoryStatus arithmetic: dwMemoryLoad rounds, the pagefile
+        # percentage is re-derived from the rounded available-bytes figure
+        tp = cols.total_page[idx]
+        avail = np.rint(tp * (1.0 - cols.swap_load[idx] / 100.0))
+        swap = np.where(
+            tp > 0.0,
+            np.rint(100.0 * (tp - avail) / np.where(tp > 0.0, tp, 1.0)),
+            0.0,
+        )
+        poh = np.trunc(
+            (cols.poh_base_s[idx] + (tau - cols.on_since[idx])) / 3600.0
+        )
+        has_sess = cols.has_session[idx]
+        idx_list = idx.tolist()
+        unames = cols.usernames
+        hostnames = cols.hostnames
+        labs = cols.labs
+        store = self.post_collect.store
+        store.extend_columns(
+            machine_id=cols.machine_id[idx],
+            iteration=np.full(n_on, k, dtype=np.int32),
+            t=cum[1:][idx],
+            boot_time=cols.boot_time_r3[idx],
+            uptime_s=uptime,
+            cpu_idle_s=idle,
+            mem_load_pct=np.rint(cols.mem_load[idx]),
+            swap_load_pct=swap,
+            disk_total_b=cols.disk_total[idx],
+            disk_free_b=cols.disk_total[idx] - cols.disk_used[idx],
+            smart_cycles=cols.cycles[idx],
+            smart_poh_h=poh,
+            net_sent_b=(cols.sent_acc[idx]
+                        + dt * cols.sent_bps[idx]).astype(np.int64),
+            net_recv_b=(cols.recv_acc[idx]
+                        + dt * cols.recv_bps[idx]).astype(np.int64),
+            has_session=has_sess,
+            session_start=np.where(
+                has_sess, cols.session_start_r3[idx], np.nan
+            ),
+            username=[u if h else ""
+                      for u, h in zip((unames[j] for j in idx_list),
+                                      has_sess.tolist())],
+            hostname=[hostnames[j] for j in idx_list],
+            lab=[labs[j] for j in idx_list],
+        )
+        meta = store.meta
+        if meta is not None:
+            fresh = idx[~self._registered[idx]]
+            if fresh.size:
+                for j in fresh.tolist():
+                    meta.statics[int(cols.machine_id[j])] = cols.static_info(j)
+                self._registered[fresh] = True
+        return duration
 
     # -- resilient variants (policy attached) --------------------------
     def _execute_with_retry_resilient(

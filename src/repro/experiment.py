@@ -222,6 +222,12 @@ def run_experiment(
     n_shards = cfg.shards if shards is None else shards
     if n_shards < 1:
         raise ValueError("shards must be at least 1")
+    if n_shards > 1 and cfg.kernel == "columnar":
+        raise ValueError(
+            "kernel='columnar' is incompatible with shards > 1: a shard "
+            "coordinator must shadow foreign machines on the per-object "
+            "path; use kernel='auto' (shards fall back transparently)"
+        )
     if n_shards == 1:
         plan = ShardPlan.build(labs, 1)
         task = ShardTask(

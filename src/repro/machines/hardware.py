@@ -26,6 +26,7 @@ __all__ = [
     "NETWORK_MBPS",
     "build_fleet",
     "fleet_totals",
+    "scaled_labs",
 ]
 
 #: Operating system common to the whole fleet (paper section 4.1).
@@ -223,6 +224,51 @@ def build_fleet(labs: Tuple[LabSpec, ...] = TABLE1_LABS) -> List[MachineSpec]:
             )
             mid += 1
     return fleet
+
+
+def scaled_labs(n_machines: int) -> Tuple[LabSpec, ...]:
+    """A lab catalog of exactly ``n_machines``, cycling Table 1's mix.
+
+    Scaling for what-if and benchmark runs (``repro run --machines N``):
+    Table 1's 11 labs (169 machines) are replicated whole, cycle by
+    cycle, with the trailing partial lab truncated to land exactly on
+    ``n_machines``.  Replicated labs get unique names (``L01``, then
+    ``L12`` for cycle 2's copy of L01, ...) so hostnames -- and thus the
+    per-hostname random streams -- stay fleet-unique.
+
+    >>> sum(lab.n_machines for lab in scaled_labs(10_000))
+    10000
+    >>> scaled_labs(169) == TABLE1_LABS
+    True
+    """
+    import dataclasses
+
+    if isinstance(n_machines, bool) or not isinstance(n_machines, int):
+        raise ValueError(
+            f"machine count must be an integer, got {n_machines!r}"
+        )
+    if n_machines <= 0:
+        raise ValueError(
+            f"machine count must be positive, got {n_machines}"
+        )
+    if n_machines == 169:
+        return TABLE1_LABS
+    labs: List[LabSpec] = []
+    remaining = n_machines
+    cycle = 0
+    while remaining > 0:
+        for lab in TABLE1_LABS:
+            name = lab.name if cycle == 0 else f"L{cycle * 11 + int(lab.name[1:]):02d}"
+            if remaining <= lab.n_machines:
+                labs.append(dataclasses.replace(
+                    lab, name=name, n_machines=remaining
+                ))
+                remaining = 0
+                break
+            labs.append(dataclasses.replace(lab, name=name))
+            remaining -= lab.n_machines
+        cycle += 1
+    return tuple(labs)
 
 
 def fleet_totals(fleet: List[MachineSpec]) -> Dict[str, float]:

@@ -135,9 +135,49 @@ class SimMachine:
         self._base_disk_used = int(base_disk_used_bytes)
         self._temp_disk_used = 0
         self._session: Optional[InteractiveSession] = None
+        # optional columnar mirror (see repro.sim.kernel.FleetColumns)
+        self._cols = None
+        self._ci = -1
         # ground truth, for validating analyses against reality
         self.boot_log: List[BootRecord] = []
         self.session_log: List[SessionRecord] = []
+
+    # ------------------------------------------------------------------
+    # columnar mirror
+    # ------------------------------------------------------------------
+    def attach_columns(self, cols, index: int) -> None:
+        """Attach a :class:`~repro.sim.kernel.FleetColumns` mirror.
+
+        Snapshots the machine's full dynamic state into the arrays at
+        roster position ``index``; from then on every mutator writes
+        through, so the mirror is exact between events.
+        """
+        self._cols = cols
+        self._ci = i = int(index)
+        c = self._c
+        bt = self._boot_time
+        cols.powered[i] = self._powered
+        cols.boot_time[i] = bt if bt is not None else 0.0
+        cols.boot_time_r3[i] = float(f"{bt:.3f}") if bt is not None else 0.0
+        cols.last_update[i] = c.last_update
+        cols.idle_acc[i] = c.idle_acc
+        cols.busy_frac[i] = c.busy_frac
+        cols.sent_acc[i] = c.sent_acc
+        cols.recv_acc[i] = c.recv_acc
+        cols.sent_bps[i] = c.sent_bps
+        cols.recv_bps[i] = c.recv_bps
+        cols.mem_load[i] = self._mem_load
+        cols.swap_load[i] = self._swap_load
+        cols.disk_used[i] = self._base_disk_used + self._temp_disk_used
+        disk = self.disk
+        cols.cycles[i] = disk._power_cycles
+        cols.poh_base_s[i] = disk._power_on_seconds
+        since = disk._powered_since
+        cols.on_since[i] = since if since is not None else 0.0
+        s = self._session
+        cols.has_session[i] = s is not None
+        cols.session_start_r3[i] = float(f"{s.start:.3f}") if s is not None else 0.0
+        cols.usernames[i] = s.username if s is not None else ""
 
     # ------------------------------------------------------------------
     # power lifecycle
@@ -165,6 +205,25 @@ class SimMachine:
         self._swap_load = 0.0
         self._temp_disk_used = 0
         self.disk.power_on(now)
+        cols = self._cols
+        if cols is not None:
+            i = self._ci
+            t = self._boot_time
+            cols.powered[i] = True
+            cols.boot_time[i] = t
+            cols.boot_time_r3[i] = float(f"{t:.3f}")
+            cols.last_update[i] = t
+            cols.idle_acc[i] = 0.0
+            cols.busy_frac[i] = 0.0
+            cols.sent_acc[i] = 0.0
+            cols.recv_acc[i] = 0.0
+            cols.sent_bps[i] = 0.0
+            cols.recv_bps[i] = 0.0
+            cols.mem_load[i] = 0.0
+            cols.swap_load[i] = 0.0
+            cols.disk_used[i] = self._base_disk_used
+            cols.cycles[i] = self.disk._power_cycles
+            cols.on_since[i] = t
 
     def shutdown(self, now: float) -> None:
         """Power the machine off, closing any open interactive session.
@@ -185,6 +244,12 @@ class SimMachine:
         self._powered = False
         self._boot_time = None
         self._temp_disk_used = 0
+        cols = self._cols
+        if cols is not None:
+            i = self._ci
+            cols.powered[i] = False
+            cols.poh_base_s[i] = self.disk._power_on_seconds
+            cols.disk_used[i] = self._base_disk_used
 
     def uptime(self, now: float) -> float:
         """Seconds since boot (machine must be on)."""
@@ -210,6 +275,13 @@ class SimMachine:
             c.sent_acc += dt * c.sent_bps
             c.recv_acc += dt * c.recv_bps
             c.last_update = now
+            cols = self._cols
+            if cols is not None:
+                i = self._ci
+                cols.idle_acc[i] = c.idle_acc
+                cols.sent_acc[i] = c.sent_acc
+                cols.recv_acc[i] = c.recv_acc
+                cols.last_update[i] = now
 
     def set_cpu_busy(self, now: float, busy_frac: float) -> None:
         """Change the CPU busy fraction effective from ``now`` onwards."""
@@ -218,6 +290,8 @@ class SimMachine:
             raise ValueError(f"busy fraction must be in [0, 1], got {busy_frac}")
         self._advance(now)
         self._c.busy_frac = float(busy_frac)
+        if self._cols is not None:
+            self._cols.busy_frac[self._ci] = self._c.busy_frac
 
     @property
     def cpu_busy(self) -> float:
@@ -239,6 +313,10 @@ class SimMachine:
         self._advance(now)
         self._c.sent_bps = float(sent_bps)
         self._c.recv_bps = float(recv_bps)
+        if self._cols is not None:
+            i = self._ci
+            self._cols.sent_bps[i] = self._c.sent_bps
+            self._cols.recv_bps[i] = self._c.recv_bps
 
     def total_sent_bytes(self, now: float) -> float:
         """Total bytes sent since boot (NIC counter, resets on reboot)."""
@@ -262,6 +340,10 @@ class SimMachine:
             raise ValueError("memory/swap load must be percentages in [0, 100]")
         self._mem_load = float(mem_pct)
         self._swap_load = float(swap_pct)
+        if self._cols is not None:
+            i = self._ci
+            self._cols.mem_load[i] = self._mem_load
+            self._cols.swap_load[i] = self._swap_load
 
     @property
     def memory_load(self) -> float:
@@ -282,6 +364,10 @@ class SimMachine:
         if self._base_disk_used + bytes_used > self.spec.disk_bytes:
             raise MachineStateError("disk usage would exceed capacity")
         self._temp_disk_used = int(bytes_used)
+        if self._cols is not None:
+            self._cols.disk_used[self._ci] = (
+                self._base_disk_used + self._temp_disk_used
+            )
 
     @property
     def disk_used_bytes(self) -> int:
@@ -312,6 +398,12 @@ class SimMachine:
         if not username:
             raise ValueError("username must be non-empty")
         self._session = InteractiveSession(username, float(now), forgotten)
+        cols = self._cols
+        if cols is not None:
+            i = self._ci
+            cols.has_session[i] = True
+            cols.session_start_r3[i] = float(f"{self._session.start:.3f}")
+            cols.usernames[i] = username
 
     def mark_forgotten(self) -> None:
         """Flag the live session as abandoned (ground truth only)."""
@@ -326,6 +418,8 @@ class SimMachine:
             raise MachineStateError(f"{self.spec.hostname} has no session")
         self._close_session(now)
         self._temp_disk_used = 0
+        if self._cols is not None:
+            self._cols.disk_used[self._ci] = self._base_disk_used
 
     def _close_session(self, now: float) -> None:
         assert self._session is not None
@@ -334,6 +428,8 @@ class SimMachine:
             raise MachineStateError("session end precedes its start")
         self.session_log.append(SessionRecord(s.username, s.start, float(now), s.forgotten))
         self._session = None
+        if self._cols is not None:
+            self._cols.has_session[self._ci] = False
 
     # ------------------------------------------------------------------
     # helpers

@@ -134,6 +134,8 @@ def run_shard(
         if runtime is not None:
             runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
                          config=cfg, faults=task.faults, observer=observer)
+        _resolve_kernel(cfg, coordinator, fleet,
+                        custom_fleet=fleet_factory is not None)
     with maybe_phase(obs, "simulate"):
         fleet.start()
         coordinator.start()
@@ -157,6 +159,40 @@ def run_shard(
     return ShardOutcome(shard_index=shard.index, store=store,
                         faults=task.faults, recovery=info, fleet=fleet,
                         coordinator=coordinator, observer=observer)
+
+
+def _resolve_kernel(
+    cfg: ExperimentConfig,
+    coordinator: DdcCoordinator,
+    fleet: FleetSimulator,
+    *,
+    custom_fleet: bool,
+) -> None:
+    """Pick the probing-pass kernel per ``cfg.kernel`` (docs/columnar.md).
+
+    ``"auto"`` enables the columnar pass exactly when the coordinator
+    reports itself eligible and the fleet is the stock one; ``"object"``
+    never enables it; ``"columnar"`` raises when the run is ineligible
+    instead of silently falling back.  Called after ``runtime.bind`` so
+    an attached recovery runtime is visible to the eligibility check.
+    """
+    if cfg.kernel == "object":
+        return
+    if custom_fleet:
+        # A user-built fleet may carry machine stand-ins that don't
+        # support the write-through mirror; stay on the object path.
+        reason: Optional[str] = "custom fleet factory"
+    else:
+        reason = coordinator.columnar_ineligibility()
+    if reason is None:
+        from repro.sim.kernel import FleetColumns
+
+        coordinator.enable_columnar(FleetColumns(fleet.machines))
+    elif cfg.kernel == "columnar":
+        raise ValueError(
+            f"kernel='columnar' requested but the run is ineligible: "
+            f"{reason}"
+        )
 
 
 def _run_shard_task(task: ShardTask) -> ShardOutcome:

@@ -100,6 +100,9 @@ class BehaviorModel:
     def __init__(self, params: BehaviorParams, calendar: AcademicCalendar):
         self.params = params
         self.calendar = calendar
+        # np.log (not math.log) so the precomputed constant is the exact
+        # double the previous per-call expression produced.
+        self._log_session_median = float(np.log(params.session_median))
 
     # ------------------------------------------------------------------
     def machine_popularity(
@@ -115,7 +118,7 @@ class BehaviorModel:
         average stays ~0.5.
         """
         machine_mult = float(rng.lognormal(-0.02, 0.20))  # mean 1.0
-        return float(np.clip(lab_multiplier * machine_mult, 0.05, 4.0))
+        return float(min(max(lab_multiplier * machine_mult, 0.05), 4.0))
 
     def lab_demand_multiplier(self, rng: np.random.Generator) -> float:
         """Draw a lab-level demand multiplier (mean 1.0)."""
@@ -227,8 +230,8 @@ class BehaviorModel:
     def _session_duration(self, rng: np.random.Generator) -> float:
         """Log-normal session duration, clipped to credible bounds."""
         p = self.params
-        d = float(rng.lognormal(np.log(p.session_median), p.session_sigma))
-        return float(np.clip(d, p.session_min, p.session_max))
+        d = float(rng.lognormal(self._log_session_median, p.session_sigma))
+        return float(min(max(d, p.session_min), p.session_max))
 
     # ------------------------------------------------------------------
     def expected_walkins_per_day(self, weekday: int) -> float:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ScheduleError, SimulationError
@@ -44,17 +44,12 @@ class Event:
     name: str
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    callback: Optional[Callable[..., None]] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    name: str = field(compare=False, default="")
-
-    @property
-    def cancelled(self) -> bool:
-        return self.callback is None
+# Heap entries are plain lists ``[time, seq, callback, args, name]``.
+# Heap ordering compares ``time`` then ``seq``; ``seq`` is unique per
+# entry so the comparison never reaches the callback.  Lists beat a
+# ``@dataclass(order=True)`` here because list comparison runs in C and
+# ``__lt__`` is the single hottest call of a large run's sift loop.
+_TIME, _SEQ, _CALLBACK, _ARGS, _NAME = range(5)
 
 
 class EventHandle:
@@ -66,23 +61,23 @@ class EventHandle:
 
     __slots__ = ("_entry",)
 
-    def __init__(self, entry: _HeapEntry):
+    def __init__(self, entry: list):
         self._entry = entry
 
     @property
     def time(self) -> float:
         """Scheduled firing time of the event."""
-        return self._entry.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
-        return self._entry.cancelled
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._entry.callback = None
-        self._entry.args = ()
+        self._entry[_CALLBACK] = None
+        self._entry[_ARGS] = ()
 
 
 class Simulator:
@@ -119,7 +114,7 @@ class Simulator:
         if not math.isfinite(start):
             raise ScheduleError(f"start time must be finite, got {start!r}")
         self._now = float(start)
-        self._heap: list[_HeapEntry] = []
+        self._heap: list[list] = []
         self._seq = itertools.count()
         self._events_fired = 0
         self._running = False
@@ -178,7 +173,7 @@ class Simulator:
             raise ScheduleError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        entry = _HeapEntry(float(time), next(self._seq), callback, args, name)
+        entry = [float(time), next(self._seq), callback, args, name]
         heapq.heappush(self._heap, entry)
         if self._obs is not None:
             self._g_heap.max(len(self._heap))
@@ -207,23 +202,25 @@ class Simulator:
         silently discarded.
         """
         obs = self._obs
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 if obs is not None:
                     self._c_tombstones.inc()
                 continue
-            if entry.time < self._now:  # pragma: no cover - defensive
+            time = entry[_TIME]
+            if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("heap yielded an event from the past")
-            self._now = entry.time
-            callback, args = entry.callback, entry.args
+            self._now = time
+            args = entry[_ARGS]
             # Clear before invoking so re-entrant cancels are harmless.
-            entry.callback = None
-            entry.args = ()
-            assert callback is not None
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
             callback(*args)
             self._events_fired += 1
-            event = Event(entry.time, entry.seq, entry.name)
+            event = Event(time, entry[_SEQ], entry[_NAME])
             if obs is not None:
                 self._c_fired.inc()
                 obs.record_event(event)
@@ -232,11 +229,12 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending live event, or ``None`` if none remain."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
             if self._obs is not None:
                 self._c_tombstones.inc()
-        return self._heap[0].time if self._heap else None
+        return heap[0][_TIME] if heap else None
 
     def run_until(self, end: float) -> int:
         """Run all events with ``time <= end`` and set the clock to ``end``.
@@ -252,6 +250,29 @@ class Simulator:
             raise SimulationError("Simulator.run_until is not re-entrant")
         self._running = True
         fired = 0
+        if self._obs is None:
+            # Uninstrumented fast loop: no Event records, no per-step
+            # bookkeeping beyond the fired counter.  Identical semantics
+            # to the observed loop below, minus the hooks.
+            heap = self._heap
+            heappop = heapq.heappop
+            try:
+                while heap and heap[0][_TIME] <= end:
+                    entry = heappop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        continue
+                    self._now = entry[_TIME]
+                    args = entry[_ARGS]
+                    entry[_CALLBACK] = None
+                    entry[_ARGS] = ()
+                    callback(*args)
+                    fired += 1
+            finally:
+                self._events_fired += fired
+                self._running = False
+            self._now = float(end)
+            return fired
         try:
             while True:
                 nxt = self.peek()

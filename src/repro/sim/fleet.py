@@ -159,8 +159,9 @@ class MachineAgent:
         m.set_temp_disk_used(min(wl.temp_disk_bytes, self.workload.temp_quota(m.spec)))
         mem, swap = self.workload.memory_loads(m.spec, self.personality, wl)
         m.set_memory_load(now, mem, swap)
-        m.set_cpu_busy(now, self.workload.redraw_busy(wl, self.rng))
-        m.set_net_rates(now, *self.workload.net_rates(self.rng, occupied=True))
+        busy, sent, recv = self.workload.activity_levels(wl, self.rng, occupied=True)
+        m.set_cpu_busy(now, busy)
+        m.set_net_rates(now, sent, recv)
         self._activity_gen += 1
         gen = self._activity_gen
         self.sim.schedule(
@@ -178,8 +179,11 @@ class MachineAgent:
         if not m.powered or m.session is None or self._session_wl is None:
             return
         now = self.sim.now
-        m.set_cpu_busy(now, self.workload.redraw_busy(self._session_wl, self.rng))
-        m.set_net_rates(now, *self.workload.net_rates(self.rng, occupied=True))
+        busy, sent, recv = self.workload.activity_levels(
+            self._session_wl, self.rng, occupied=True
+        )
+        m.set_cpu_busy(now, busy)
+        m.set_net_rates(now, sent, recv)
         self.sim.schedule(
             now + self.workload.params.activity_redraw_period,
             self._redraw_activity,

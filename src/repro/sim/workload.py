@@ -83,6 +83,21 @@ class WorkloadModel:
 
     def __init__(self, params: WorkloadParams):
         self.params = params
+        # Hot-path draw constants, precomputed with the same numpy ops the
+        # inline expressions used so every value stays bit-identical.
+        self._log_interactive_busy = float(np.log(params.interactive_busy_median))
+        shift = 0.5 * params.net_sigma ** 2
+        self._net_mu = {
+            True: np.array([
+                float(np.log(params.active_net_bps[0]) - shift),
+                float(np.log(params.active_net_bps[1]) - shift),
+            ]),
+            False: np.array([
+                float(np.log(params.idle_net_bps[0]) - shift),
+                float(np.log(params.idle_net_bps[1]) - shift),
+            ]),
+        }
+        self._log_busy_mu: dict = {}
 
     # ------------------------------------------------------------------
     # per-machine personality
@@ -99,12 +114,12 @@ class WorkloadModel:
             keys = sorted(p.os_mem_frac)
             fracs = [p.os_mem_frac[k] for k in keys]
             base_frac = float(np.interp(spec.ram_mb, keys, fracs))
-        os_frac = float(np.clip(rng.normal(base_frac, p.os_mem_frac_sigma), 0.25, 0.92))
-        swap_base = float(np.clip(rng.normal(p.swap_base_mean, p.swap_base_sigma), 0.05, 0.6))
+        os_frac = float(min(max(rng.normal(base_frac, p.os_mem_frac_sigma), 0.25), 0.92))
+        swap_base = float(min(max(rng.normal(p.swap_base_mean, p.swap_base_sigma), 0.05), 0.6))
         used_gb = p.disk_base_gb + p.disk_frac * spec.disk_gb + rng.normal(0.0, p.disk_sigma_gb)
-        used_gb = float(np.clip(used_gb, 2.0, 0.9 * spec.disk_gb))
-        busy = float(np.clip(
-            rng.normal(p.background_busy_mean, p.background_busy_sigma), 0.0003, 0.03
+        used_gb = float(min(max(used_gb, 2.0), 0.9 * spec.disk_gb))
+        busy = float(min(max(
+            rng.normal(p.background_busy_mean, p.background_busy_sigma), 0.0003), 0.03
         ))
         return MachinePersonality(
             os_mem_frac=os_frac,
@@ -122,17 +137,17 @@ class WorkloadModel:
         """Draw the demands of a new interactive session."""
         p = self.params
         if heavy:
-            busy = float(np.clip(
-                rng.normal(p.heavy_class_busy_mean, p.heavy_class_busy_sigma), 0.2, 0.95
+            busy = float(min(max(
+                rng.normal(p.heavy_class_busy_mean, p.heavy_class_busy_sigma), 0.2), 0.95
             ))
         else:
-            busy = float(np.clip(
-                rng.lognormal(np.log(p.interactive_busy_median), p.interactive_busy_sigma),
-                0.005,
+            busy = float(min(max(
+                rng.lognormal(self._log_interactive_busy, p.interactive_busy_sigma),
+                0.005),
                 0.60,
             ))
-        apps = float(np.clip(
-            rng.normal(p.apps_mem_frac_mean, p.apps_mem_frac_sigma), 0.03, 0.45
+        apps = float(min(max(
+            rng.normal(p.apps_mem_frac_mean, p.apps_mem_frac_sigma), 0.03), 0.45
         ))
         quota = self.temp_quota(spec)
         temp = int(rng.uniform(0.05, 1.0) * quota)
@@ -161,9 +176,42 @@ class WorkloadModel:
         else:
             lo, hi = 0.003, 0.70
             sigma = 0.55
-        return float(np.clip(
-            rng.lognormal(np.log(max(session.busy_mean, 1e-3)), sigma), lo, hi
-        ))
+        mu = self._busy_mu(session.busy_mean)
+        return float(min(max(rng.lognormal(mu, sigma), lo), hi))
+
+    def _busy_mu(self, busy_mean: float) -> float:
+        """Memoised ``log(max(busy_mean, 1e-3))`` (one entry per session)."""
+        mu = self._log_busy_mu.get(busy_mean)
+        if mu is None:
+            mu = float(np.log(max(busy_mean, 1e-3)))
+            self._log_busy_mu[busy_mean] = mu
+        return mu
+
+    def activity_levels(
+        self,
+        session: SessionWorkload,
+        rng: np.random.Generator,
+        *,
+        occupied: bool = True,
+    ) -> Tuple[float, float, float]:
+        """``(cpu_busy, sent_bps, recv_bps)`` in one batched draw.
+
+        Draw-for-draw identical to :meth:`redraw_busy` followed by
+        :meth:`net_rates` -- a batched ``Generator`` draw of length N
+        consumes exactly the same bit stream as N sequential scalar draws
+        (pinned by ``tests/test_random.py``) -- but costs one RNG call
+        instead of three on the intra-session redraw hot path.
+        """
+        p = self.params
+        if session.heavy:
+            lo, hi, sigma = 0.15, 0.95, 0.35
+        else:
+            lo, hi, sigma = 0.003, 0.70, 0.55
+        net_mu = self._net_mu[occupied]
+        mu = (self._busy_mu(session.busy_mean), net_mu[0], net_mu[1])
+        vals = rng.lognormal(mu, (sigma, p.net_sigma, p.net_sigma))
+        busy = float(min(max(vals[0], lo), hi))
+        return busy, float(vals[1]), float(vals[2])
 
     def memory_loads(
         self,
@@ -188,7 +236,7 @@ class WorkloadModel:
         # Spilled pages land in the pagefile, scaled by RAM/pagefile ratio.
         if spec.swap_bytes > 0:
             swap_frac += overflow * (spec.ram_bytes / spec.swap_bytes)
-        return 100.0 * mem_frac, 100.0 * float(np.clip(swap_frac, 0.0, 1.0))
+        return 100.0 * mem_frac, 100.0 * float(min(max(swap_frac, 0.0), 1.0))
 
     def net_rates(
         self, rng: np.random.Generator, *, occupied: bool
@@ -200,9 +248,5 @@ class WorkloadModel:
         ``lognormal(mu, s)`` is ``exp(mu + s^2/2)``, so we shift ``mu`` to
         hit the target mean.
         """
-        p = self.params
-        sent_mean, recv_mean = p.active_net_bps if occupied else p.idle_net_bps
-        shift = 0.5 * p.net_sigma ** 2
-        sent = float(rng.lognormal(np.log(sent_mean) - shift, p.net_sigma))
-        recv = float(rng.lognormal(np.log(recv_mean) - shift, p.net_sigma))
-        return sent, recv
+        vals = rng.lognormal(self._net_mu[occupied], self.params.net_sigma)
+        return float(vals[0]), float(vals[1])

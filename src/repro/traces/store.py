@@ -111,6 +111,67 @@ class TraceStore:
         for s in samples:
             self.add(s)
 
+    #: (CSV field, attribute, numpy dtype) for every numeric buffer, and
+    #: (CSV field, attribute) for the string buffers -- the bulk-append
+    #: counterpart of :data:`CSV_FIELDS`.
+    _COLUMN_NUMERIC = (
+        ("machine_id", "_machine_id", "i4"),
+        ("iteration", "_iteration", "i4"),
+        ("t", "_t", "f8"),
+        ("boot_time", "_boot_time", "f8"),
+        ("uptime_s", "_uptime", "f8"),
+        ("cpu_idle_s", "_idle", "f8"),
+        ("mem_load_pct", "_mem", "f8"),
+        ("swap_load_pct", "_swap", "f8"),
+        ("disk_total_b", "_disk_total", "i8"),
+        ("disk_free_b", "_disk_free", "i8"),
+        ("smart_cycles", "_cycles", "i8"),
+        ("smart_poh_h", "_poh", "f8"),
+        ("net_sent_b", "_sent", "i8"),
+        ("net_recv_b", "_recv", "i8"),
+        ("has_session", "_has_session", "i1"),
+        ("session_start", "_session_start", "f8"),
+    )
+    _COLUMN_STRINGS = (
+        ("username", "_usernames"),
+        ("hostname", "_hostnames"),
+        ("lab", "_labs"),
+    )
+
+    def extend_columns(self, **columns) -> None:
+        """Bulk-append one equal-length column per CSV field.
+
+        The columnar DDC pass appends a whole iteration at once instead
+        of materialising per-row :class:`Sample` objects.  Rows land in
+        positional order -- exactly what the same values fed through
+        sequential :meth:`add` calls would produce.  Numeric columns go
+        through the buffer's exact dtype (integer casts truncate toward
+        zero, matching ``int()``); string columns are list-extended.
+        """
+        import numpy as np
+
+        n: int | None = None
+        for field, attr, dtype in self._COLUMN_NUMERIC:
+            col = np.ascontiguousarray(columns.pop(field), dtype=dtype)
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise TraceFormatError(
+                    f"column {field!r} has length {len(col)}, expected {n}"
+                )
+            getattr(self, attr).frombytes(col.tobytes())
+        for field, attr in self._COLUMN_STRINGS:
+            vals = columns.pop(field)
+            if len(vals) != n:
+                raise TraceFormatError(
+                    f"column {field!r} has length {len(vals)}, expected {n}"
+                )
+            getattr(self, attr).extend(vals)
+        if columns:
+            raise TraceFormatError(
+                f"unknown trace columns {sorted(columns)!r}"
+            )
+
     def __len__(self) -> int:
         return len(self._t)
 

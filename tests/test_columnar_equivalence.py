@@ -1,0 +1,169 @@
+"""Golden-trace equivalence of the columnar probing kernel.
+
+The contract from docs/columnar.md: a run with ``kernel="columnar"``
+produces **byte-identical** exported traces and an equal
+:class:`~repro.traces.records.TraceMeta` to the per-object path -- and
+``kernel="auto"`` (the default) silently falls back to the object pass
+whenever a run carries hooks the vectorised pass does not replicate
+(faults, resilience, observers, retries, recovery, shards).
+
+Three configurations are pinned here, mirroring the shard-equivalence
+suite: the plain paper roster, the fault+resilience config of
+``tests/shard/test_equivalence.py``, and shard counts {1, 2}.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiment import run_experiment
+from repro.faults.scenarios import paper_like_plan
+from repro.obs.observer import Observer
+from repro.resilience.policy import ResiliencePolicy
+
+#: TraceMeta accounting fields that must agree across kernels.
+META_FIELDS = ("n_machines", "attempts", "timeouts", "access_denied",
+               "samples_collected", "iterations_scheduled", "iterations_run")
+
+
+def csv_bytes(store, path):
+    store.write_csv(path)
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def object_run(tmp_path_factory):
+    """The per-object reference run (days=1, the paper's 169 machines)."""
+    cfg = ExperimentConfig(days=1, seed=11, kernel="object")
+    result = run_experiment(cfg)
+    path = tmp_path_factory.mktemp("obj") / "trace.csv"
+    return cfg, result, csv_bytes(result.store, path)
+
+
+@pytest.fixture(scope="module")
+def columnar_run(object_run, tmp_path_factory):
+    cfg = object_run[0].replace(kernel="columnar")
+    result = run_experiment(cfg)
+    path = tmp_path_factory.mktemp("col") / "trace.csv"
+    return result, csv_bytes(result.store, path)
+
+
+class TestPlainEquivalence:
+    def test_columnar_kernel_really_engaged(self, columnar_run):
+        result, _ = columnar_run
+        assert result.coordinator._cols is not None
+
+    def test_csv_byte_identical(self, object_run, columnar_run):
+        assert columnar_run[1] == object_run[2]
+
+    def test_meta_equal(self, object_run, columnar_run):
+        obj_meta = object_run[1].meta
+        col_meta = columnar_run[0].meta
+        for name in META_FIELDS:
+            assert getattr(col_meta, name) == getattr(obj_meta, name), name
+        assert col_meta.statics == obj_meta.statics
+
+    def test_iteration_schedule_identical(self, object_run, columnar_run):
+        # Pass durations feed the next iteration's scheduling; they must
+        # match draw for draw or later samples would drift in time.
+        obj = object_run[1].coordinator.iteration_durations
+        col = columnar_run[0].coordinator.iteration_durations
+        assert col == obj
+
+    def test_auto_picks_columnar_on_plain_runs(self, object_run, tmp_path):
+        cfg = object_run[0].replace(kernel="auto")
+        result = run_experiment(cfg)
+        assert result.coordinator._cols is not None
+        assert csv_bytes(result.store, tmp_path / "auto.csv") == object_run[2]
+
+
+class TestFaultResilienceEquivalence:
+    """Hooked runs are columnar-ineligible; auto must fall back exactly."""
+
+    def make(self):
+        cfg = ExperimentConfig(days=1, seed=17)
+        cfg = cfg.replace(ddc=dataclasses.replace(
+            cfg.ddc, resilience=ResiliencePolicy(), retry_limit=2))
+        return cfg, paper_like_plan(cfg.horizon, labs=("L03",), seed=99)
+
+    def test_auto_equals_object_under_faults(self, tmp_path):
+        cfg, plan = self.make()
+        auto = run_experiment(cfg, faults=plan, strict_postcollect=False,
+                              observer=Observer())
+        assert auto.coordinator._cols is None  # fell back
+        assert auto.meta.retries > 0
+
+        cfg2, plan2 = self.make()
+        obj = run_experiment(cfg2.replace(kernel="object"), faults=plan2,
+                             strict_postcollect=False, observer=Observer())
+        assert (csv_bytes(auto.store, tmp_path / "auto.csv")
+                == csv_bytes(obj.store, tmp_path / "obj.csv"))
+        for name in META_FIELDS + ("shed", "breaker_skipped", "retries"):
+            assert getattr(auto.meta, name) == getattr(obj.meta, name), name
+
+    def test_requesting_columnar_raises_with_reason(self):
+        cfg, plan = self.make()
+        with pytest.raises(ValueError, match="ineligible"):
+            run_experiment(cfg.replace(kernel="columnar"), faults=plan,
+                           strict_postcollect=False)
+
+    def test_ineligibility_reasons_are_reported(self, object_run):
+        # The object run's coordinator is hook-free, hence eligible; each
+        # hook toggled on it must surface a human-readable reason, and
+        # enable_columnar must refuse while any is present.
+        from repro.sim.kernel import FleetColumns
+
+        coordinator = object_run[1].coordinator
+        assert coordinator.columnar_ineligibility() is None
+
+        for attr, value, fragment in (
+            ("owned_labs", frozenset({"L01"}), "sharded"),
+            ("faults", object(), "fault plan"),
+            ("resilience", ResiliencePolicy(), "resilience"),
+        ):
+            saved = getattr(coordinator, attr)
+            setattr(coordinator, attr, value)
+            try:
+                reason = coordinator.columnar_ineligibility()
+                assert reason is not None and fragment in reason, attr
+                with pytest.raises(ValueError, match="ineligible"):
+                    coordinator.enable_columnar(
+                        FleetColumns(coordinator.machines))
+            finally:
+                setattr(coordinator, attr, saved)
+
+        saved = coordinator.params
+        coordinator.params = dataclasses.replace(saved, retry_limit=2)
+        try:
+            assert "retries" in coordinator.columnar_ineligibility()
+        finally:
+            coordinator.params = saved
+        assert coordinator.columnar_ineligibility() is None
+
+    def test_mirror_size_mismatch_rejected(self, object_run):
+        from repro.sim.kernel import FleetColumns
+
+        coordinator = object_run[1].coordinator
+        with pytest.raises(ValueError, match="roster"):
+            coordinator.enable_columnar(
+                FleetColumns(coordinator.machines[:5]))
+
+
+class TestShardEquivalence:
+    def test_columnar_equals_two_shard_merge(self, object_run, tmp_path):
+        cfg, _, obj_csv = object_run
+        sharded = run_experiment(cfg.replace(kernel="auto"), shards=2)
+        assert csv_bytes(sharded.store, tmp_path / "sh2.csv") == obj_csv
+
+    def test_columnar_kernel_rejects_shards(self, object_run):
+        cfg = object_run[0]
+        with pytest.raises(ValueError, match="shards"):
+            run_experiment(cfg.replace(kernel="columnar"), shards=2)
+
+    def test_observer_run_falls_back(self, object_run, tmp_path):
+        cfg, _, obj_csv = object_run
+        result = run_experiment(cfg.replace(kernel="auto"),
+                                observer=Observer())
+        assert result.coordinator._cols is None
+        assert csv_bytes(result.store, tmp_path / "o.csv") == obj_csv
