@@ -35,11 +35,10 @@ Environment knobs
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 
-from benchmarks.conftest import bench_seed, show
+from benchmarks.conftest import bench_seed, show, write_bench_report
 from repro.config import ExperimentConfig
 from repro.ddc.coordinator import DdcCoordinator
 from repro.ddc.postcollect import SamplePostCollector
@@ -161,10 +160,8 @@ def test_fleet_scale():
         "target_asserted": TARGET_MACHINES in sweep,
         "runs": rows,
     }
-    out = os.environ.get("REPRO_FLEET_BENCH_OUT", "BENCH_fleet_scale.json")
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_report("fleet_scale", report,
+                       env_var="REPRO_FLEET_BENCH_OUT")
 
     table = Table(["machines", "object pass s", "columnar pass s",
                    "speedup"], ndigits=4)

@@ -1,0 +1,208 @@
+"""Live-serving overhead on the simulation hot path.
+
+Times the same journaled experiment (``REPRO_LIVE_BENCH_DAYS`` days,
+169 machines, unpaced) three ways:
+
+- **journaled** -- :class:`repro.live.driver.LiveDriver` alone: the
+  simulation plus write-ahead journaling, nothing tailing it (this is
+  what ``repro run --recover-dir`` pays);
+- **pipeline** -- driver plus the :class:`~repro.live.ingest
+  .LiveIngestor` tailing the journal into rollups, no HTTP service;
+- **serving** -- the full :class:`repro.live.app.LiveApp` with the
+  query service up and ``REPRO_LIVE_BENCH_READERS`` concurrent clients
+  polling ``/stats``, ``/labs``, ``/health`` and ``/subscribe`` every
+  ``READER_PERIOD`` seconds (dashboard-style cadence, not a busy-loop
+  load generator -- saturating clients measure the host's core count,
+  not the server).
+
+The measured quantity is the **driver's own wall clock** (simulation
+start to seal), so each rung isolates what the next layer costs the hot
+path.  The asserted budget from the PR acceptance criteria is the
+**server's** overhead -- serving vs pipeline -- at **10%** (plus a
+small absolute slack for scheduler jitter).  The ingest rung is
+recorded alongside so the full cost picture lands in the artifact; on
+multi-core hosts it is largely absorbed by a second core, while on a
+single-core container it shows up as genuine time-slicing (the
+reference single-core measurement is ~10%).
+
+Environment knobs: ``REPRO_LIVE_BENCH_DAYS`` (default 4),
+``REPRO_LIVE_BENCH_READERS`` (default 8), ``REPRO_LIVE_BENCH_OUT``
+(default ``BENCH_live_serving.json``), ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+import urllib.request
+
+from benchmarks.conftest import bench_seed, show, write_bench_report
+from repro.live.app import LiveApp
+from repro.live.config import LiveConfig
+from repro.live.driver import LiveDriver
+from repro.live.ingest import LiveIngestor
+from repro.live.rollup import LiveRollups
+from repro.report.tables import Table
+
+#: Maximum tolerated serving/pipeline driver wall-clock ratio.
+OVERHEAD_BUDGET = 1.10
+#: Absolute slack (seconds) so short runs tolerate scheduler jitter.
+NOISE_SLACK = 0.5
+#: Timed repetitions per configuration (minimum taken).
+ROUNDS = 2
+#: Seconds between one reader's requests (dashboard polling cadence).
+READER_PERIOD = 0.25
+
+
+def _bench_days() -> int:
+    return int(os.environ.get("REPRO_LIVE_BENCH_DAYS", "4"))
+
+
+def _bench_readers() -> int:
+    return int(os.environ.get("REPRO_LIVE_BENCH_READERS", "8"))
+
+
+def _config(tmp_path, tag: str) -> LiveConfig:
+    return LiveConfig(
+        run_dir=tmp_path / tag,
+        days=_bench_days(),
+        seed=bench_seed(),
+        rate=None,  # unpaced: measure the hot path, not the pacing sleeps
+        port=0,
+    )
+
+
+def _driver_wall(driver: LiveDriver) -> float:
+    assert driver.wall_started is not None and driver.wall_finished is not None
+    return driver.wall_finished - driver.wall_started
+
+
+def _journaled_run(tmp_path, rep: int):
+    driver = LiveDriver(_config(tmp_path, f"journaled{rep}"))
+    gc.collect()
+    driver.start()
+    assert driver.join(600.0) and driver.state == "terminal", driver.error
+    return len(driver.store), _driver_wall(driver)
+
+
+def _pipeline_run(tmp_path, rep: int):
+    driver = LiveDriver(_config(tmp_path, f"pipeline{rep}"))
+    rollups = LiveRollups(driver.sample_period)
+    ingestor = LiveIngestor(driver.journal_dir, rollups,
+                            source_done=lambda: driver.done)
+    gc.collect()
+    driver.start()
+    ingestor.start()
+    assert driver.join(600.0) and driver.state == "terminal", driver.error
+    assert ingestor.join(60.0) and ingestor.drained
+    return len(driver.store), _driver_wall(driver), rollups.records_ingested
+
+
+def _reader(base: str, done: threading.Event, counts: dict) -> None:
+    paths = ["/stats", "/labs", "/health", "/subscribe?timeout=0.2"]
+    i = 0
+    while not done.is_set():
+        try:
+            with urllib.request.urlopen(base + paths[i % len(paths)],
+                                        timeout=30) as resp:
+                resp.read()
+                if resp.status >= 500:
+                    counts["5xx"] += 1
+        except OSError:
+            pass
+        counts["requests"] += 1
+        i += 1
+        done.wait(READER_PERIOD)
+
+
+def _serving_run(tmp_path, rep: int):
+    app = LiveApp(_config(tmp_path, f"serving{rep}"))
+    gc.collect()
+    app.start()
+    done = threading.Event()
+    counts = {"requests": 0, "5xx": 0}
+    readers = [
+        threading.Thread(target=_reader, args=(app.url, done, counts),
+                         daemon=True)
+        for _ in range(_bench_readers())
+    ]
+    for r in readers:
+        r.start()
+    assert app.wait(600.0), app.driver.state
+    wall = _driver_wall(app.driver)
+    done.set()
+    for r in readers:
+        r.join(10.0)
+    assert app.driver.state == "terminal", app.driver.error
+    assert counts["5xx"] == 0, f"{counts['5xx']} 5xx during bench"
+    samples = len(app.driver.store)
+    ingested = app.rollups.records_ingested
+    app.server.stop()
+    return samples, wall, counts["requests"], ingested
+
+
+def test_live_serving_overhead(tmp_path):
+    # warm-up so the first timed config doesn't pay import/allocator cost
+    warm = LiveDriver(LiveConfig(run_dir=tmp_path / "warm", days=1,
+                                 seed=bench_seed(), rate=None, port=0))
+    warm.start()
+    assert warm.join(120.0)
+
+    journaled_runs = [_journaled_run(tmp_path, i) for i in range(ROUNDS)]
+    n_base = journaled_runs[0][0]
+    journaled = min(t for _, t in journaled_runs)
+
+    pipeline_runs = [_pipeline_run(tmp_path, i) for i in range(ROUNDS)]
+    n_pipe, _, pipe_ingested = pipeline_runs[0]
+    pipeline = min(t for _, t, _ in pipeline_runs)
+
+    serve_runs = [_serving_run(tmp_path, i) for i in range(ROUNDS)]
+    n_serve, _, requests, ingested = serve_runs[0]
+    serving = min(t for _, t, _, _ in serve_runs)
+
+    # identical simulated work on every rung (same seed, same horizon)
+    assert n_pipe == n_base and n_serve == n_base
+    assert requests > 0 and ingested == pipe_ingested > 0
+
+    server_overhead = (serving - pipeline) / pipeline
+    table = Table(["configuration", "driver wall s", "overhead"], ndigits=2)
+    table.add_row(["journaled driver alone", journaled, ""])
+    table.add_row(["+ ingestor (pipeline)", pipeline,
+                   f"{(pipeline - journaled) / journaled:+.1%}"])
+    table.add_row([f"+ server, {_bench_readers()} readers", serving,
+                   f"{server_overhead:+.1%}"])
+    show("live serving overhead", table.render())
+
+    write_bench_report("live_serving", {
+        "days": _bench_days(),
+        "seed": bench_seed(),
+        "cpu_count": os.cpu_count() or 1,
+        "readers": _bench_readers(),
+        "reader_period_seconds": READER_PERIOD,
+        "server_overhead_target": OVERHEAD_BUDGET,
+        "noise_slack_seconds": NOISE_SLACK,
+        "target_asserted": True,
+        "runs": [
+            {"configuration": "journaled",
+             "driver_wall_seconds": round(journaled, 3),
+             "samples": n_base},
+            {"configuration": "pipeline",
+             "driver_wall_seconds": round(pipeline, 3),
+             "samples": n_pipe,
+             "records_ingested": pipe_ingested,
+             "ingest_overhead": round((pipeline - journaled) / journaled, 4)},
+            {"configuration": "serving",
+             "driver_wall_seconds": round(serving, 3),
+             "samples": n_serve,
+             "reader_requests": requests,
+             "records_ingested": ingested,
+             "server_overhead": round(server_overhead, 4)},
+        ],
+    }, env_var="REPRO_LIVE_BENCH_OUT")
+
+    assert serving <= pipeline * OVERHEAD_BUDGET + NOISE_SLACK, (
+        f"serving run {serving:.2f}s exceeds {OVERHEAD_BUDGET:.0%} of "
+        f"the no-server pipeline {pipeline:.2f}s"
+    )

@@ -30,9 +30,10 @@ fully instrumented 37.1s (**+5.6%**).
 from __future__ import annotations
 
 import gc
+import os
 import time
 
-from benchmarks.conftest import bench_days, bench_seed, show
+from benchmarks.conftest import bench_days, bench_seed, show, write_bench_report
 from repro.config import ExperimentConfig
 from repro.experiment import run_experiment
 from repro.obs import NullObserver, Observer
@@ -90,6 +91,25 @@ def test_obs_overhead_within_budget():
                           ("fully instrumented", inst)):
         table.add_row([name, seconds, f"{(seconds - base) / base:+.1%}"])
     show("observability overhead", table.render())
+
+    write_bench_report("obs_overhead", {
+        "days": bench_days(),
+        "seed": bench_seed(),
+        "cpu_count": os.cpu_count() or 1,
+        "overhead_target": OVERHEAD_BUDGET,
+        "noise_slack_seconds": NOISE_SLACK,
+        "target_asserted": True,
+        "runs": [
+            {"configuration": "baseline", "wall_seconds": round(base, 3),
+             "samples": n_base},
+            {"configuration": "null_observer", "wall_seconds": round(null, 3),
+             "samples": n_null,
+             "overhead": round((null - base) / base, 4)},
+            {"configuration": "instrumented", "wall_seconds": round(inst, 3),
+             "samples": n_inst, "events_fired": fired,
+             "overhead": round((inst - base) / base, 4)},
+        ],
+    }, env_var="REPRO_OBS_BENCH_OUT")
 
     assert inst <= base * OVERHEAD_BUDGET + NOISE_SLACK, (
         f"instrumented run {inst:.2f}s exceeds {OVERHEAD_BUDGET:.0%} of "

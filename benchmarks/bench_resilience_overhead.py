@@ -33,9 +33,10 @@ jitter.
 from __future__ import annotations
 
 import gc
+import os
 import time
 
-from benchmarks.conftest import bench_days, bench_seed, show
+from benchmarks.conftest import bench_days, bench_seed, show, write_bench_report
 from repro.config import ExperimentConfig
 from repro.experiment import run_experiment
 from repro.report.tables import Table
@@ -104,6 +105,24 @@ def test_resilience_overhead_within_budget():
                           ("default ResiliencePolicy", on)):
         table.add_row([name, seconds, f"{(seconds - base) / base:+.1%}"])
     show("resilience control-plane overhead", table.render())
+
+    write_bench_report("resilience_overhead", {
+        "days": bench_days(),
+        "seed": bench_seed(),
+        "cpu_count": os.cpu_count() or 1,
+        "overhead_target": OVERHEAD_BUDGET,
+        "noise_slack_seconds": NOISE_SLACK,
+        "target_asserted": True,
+        "runs": [
+            {"configuration": "baseline", "wall_seconds": round(base, 3),
+             "samples": n_base},
+            {"configuration": "inert_policy", "wall_seconds": round(inert, 3),
+             "samples": n_inert,
+             "overhead": round((inert - base) / base, 4)},
+            {"configuration": "default_policy", "wall_seconds": round(on, 3),
+             "overhead": round((on - base) / base, 4)},
+        ],
+    }, env_var="REPRO_RESILIENCE_BENCH_OUT")
 
     assert inert <= base * OVERHEAD_BUDGET + NOISE_SLACK, (
         f"inert-policy run {inert:.2f}s exceeds {OVERHEAD_BUDGET:.0%} of "

@@ -21,17 +21,22 @@ materialise.  Reference measurement on an unloaded 8-core host at
 
 Environment knobs: ``REPRO_BENCH_DAYS``/``REPRO_BENCH_SEED`` as for the
 rest of the harness, ``REPRO_SHARD_BENCH_OUT`` for the JSON report path
-(default ``shard_scaling.json`` in the working directory).
+(default ``BENCH_shard_scaling.json`` in the working directory, the
+shared ``BENCH_*.json`` schema).
 """
 
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 
-from benchmarks.conftest import bench_days, bench_seed, show
+from benchmarks.conftest import (
+    bench_days,
+    bench_seed,
+    show,
+    write_bench_report,
+)
 from repro.config import paper_config
 from repro.experiment import run_experiment
 from repro.report.tables import Table
@@ -80,10 +85,8 @@ def test_shard_scaling(tmp_path):
         "target_asserted": cpus >= max(SHARD_COUNTS),
         "runs": rows,
     }
-    out = os.environ.get("REPRO_SHARD_BENCH_OUT", "shard_scaling.json")
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_report("shard_scaling", report,
+                       env_var="REPRO_SHARD_BENCH_OUT")
 
     table = Table(["shards", "wall s", "speedup"], ndigits=2)
     for row in rows:

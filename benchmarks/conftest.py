@@ -14,6 +14,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -59,3 +60,43 @@ def paper_report(paper_run):
 def show(title: str, text: str) -> None:
     """Print a bench's comparison table (visible with ``pytest -s``)."""
     print(f"\n{text}\n")
+
+
+#: Keys every ``BENCH_*.json`` perf artifact must carry (the shared
+#: schema: provenance, host, whether the perf target was actually
+#: asserted on this host, and the per-configuration measurements).
+BENCH_REQUIRED_KEYS = frozenset(
+    {"seed", "cpu_count", "target_asserted", "runs"}
+)
+
+
+def write_bench_report(name: str, report: dict, *,
+                       env_var: str | None = None) -> str:
+    """Write a perf artifact in the shared ``BENCH_<name>.json`` schema.
+
+    Every overhead/scaling bench funnels its JSON report through here so
+    the artifacts stay machine-comparable across PRs: the report must
+    carry :data:`BENCH_REQUIRED_KEYS` (plus at least one bench-specific
+    ``*_target`` key), ``runs`` must be a list of flat row dicts, and
+    the output lands in ``BENCH_<name>.json`` in the working directory
+    unless ``env_var`` (e.g. ``REPRO_FLEET_BENCH_OUT``) overrides it.
+    Returns the path written.
+    """
+    missing = BENCH_REQUIRED_KEYS - report.keys()
+    if missing:
+        raise ValueError(
+            f"bench report {name!r} is missing required keys: "
+            f"{sorted(missing)}"
+        )
+    if not any(k.endswith("_target") or "_target_" in k for k in report):
+        raise ValueError(
+            f"bench report {name!r} must name its perf target "
+            "(a '*_target' key)"
+        )
+    if not isinstance(report["runs"], list):
+        raise ValueError(f"bench report {name!r}: 'runs' must be a list")
+    out = os.environ.get(env_var or "", "") or f"BENCH_{name}.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return out

@@ -28,6 +28,12 @@ Commands
     scenario with a policy attached and print breaker / hedge / shed
     accounting, or ``--differential`` for the policy-on vs policy-off
     comparison across the whole scenario catalog.
+``live``
+    Streaming campus mode: run the experiment paced against the wall
+    clock (``--rate 60x``, ``--rate max``) while a threaded query
+    service serves running rollups (``/stats``, ``/labs/<name>``,
+    ``/machines/<id>``, ``/health``, ``/subscribe``); or replay a
+    finished journal (``--replay DIR``) into the same rollups.
 
 Every command accepts ``--days`` and ``--seed``; defaults reproduce the
 paper (77 days, seed 2005) where that makes sense and use short runs
@@ -130,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
                        "--recover-dir'")
     p_rec.add_argument("--json", action="store_true",
                        help="emit a JSON digest instead of tables")
+
+    p_live = sub.add_parser("live", help="streaming campus mode with a "
+                            "concurrent query service")
+    add_common(p_live, 2)
+    p_live.add_argument("--run-dir", default="live-run", metavar="DIR",
+                        help="run directory; the journal lands in "
+                        "DIR/journal (default live-run)")
+    p_live.add_argument("--rate", default=None, metavar="RATE",
+                        help="wall-clock pacing: simulated seconds per "
+                        "wall second ('60x', '900', or 'max' for "
+                        "unpaced; default 60x)")
+    p_live.add_argument("--host", default="127.0.0.1",
+                        help="query-service listen address "
+                        "(default 127.0.0.1)")
+    p_live.add_argument("--port", type=int, default=None, metavar="PORT",
+                        help="query-service listen port (default 8765 "
+                        "for live runs; 0 binds an ephemeral port; "
+                        "omitted with --replay means no server)")
+    p_live.add_argument("--machines", type=int, default=None, metavar="N",
+                        help="scale the fleet to N machines by cycling "
+                        "Table 1's lab mix (default: the paper's 169)")
+    p_live.add_argument("--replay", default=None, metavar="JOURNAL",
+                        help="replay a finished run's journal directory "
+                        "into the rollups instead of simulating "
+                        "(incompatible with --rate)")
+    p_live.add_argument("--rollups-out", default=None, metavar="JSON",
+                        help="write the final rollup snapshot to this "
+                        "JSON file when the run (or replay) finishes")
 
     p_res = sub.add_parser("resilience",
                            help="inspect the adaptive control plane")
@@ -418,6 +452,127 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.live.config import DEFAULT_PORT, LiveConfig, parse_rate
+
+    if args.replay is not None and args.rate is not None:
+        print("error: --replay replays a finished journal; it cannot be "
+              "paced, so --rate is not accepted with it", file=sys.stderr)
+        return 2
+    if args.port is not None and not 0 <= args.port <= 65535:
+        print(f"error: --port must be in [0, 65535], got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.machines is not None and args.machines < 1:
+        print(f"error: --machines must be at least 1, got {args.machines}",
+              file=sys.stderr)
+        return 2
+    if args.replay is not None and args.machines is not None:
+        print("error: --machines cannot be combined with --replay; the "
+              "fleet is whatever the journal recorded", file=sys.stderr)
+        return 2
+    try:
+        rate = parse_rate(args.rate) if args.rate is not None else 60.0
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        return _live_replay(args)
+
+    from repro.live.app import LiveApp
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    config = LiveConfig(run_dir=args.run_dir, days=args.days, seed=args.seed,
+                        machines=args.machines, rate=rate, host=args.host,
+                        port=port)
+    try:
+        app = LiveApp(config)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    app.start()
+    rate_txt = "max" if rate is None else f"{rate:g}x"
+    print(f"live: serving {app.url} -- {args.days}-day run at {rate_txt}, "
+          f"journal in {app.driver.journal_dir}")
+    try:
+        while not app.wait(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("live: stopping (journal will be sealed)...", file=sys.stderr)
+    finally:
+        app.shutdown()
+    if app.driver.error is not None:
+        print(f"error: live run failed: {app.driver.error!r}",
+              file=sys.stderr)
+        return 1
+    snap = app.rollups.snapshot()
+    if args.rollups_out:
+        with open(args.rollups_out, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"rollups -> {args.rollups_out}")
+    fleet = snap["fleet"] or {}
+    rr = fleet.get("response_rate")
+    print(f"live: {app.driver.state} at t={app.driver.sim_now:.0f}s -- "
+          f"{snap['counts']['samples']} samples"
+          + (f", response rate {100 * rr:.1f}%" if rr is not None else ""))
+    return 0
+
+
+def _live_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import LiveError
+    from repro.live.replay import replay_rollups
+
+    journal = pathlib.Path(args.replay)
+    if not journal.is_dir():
+        print(f"error: no such journal directory {args.replay!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        rollups = replay_rollups(journal)
+    except LiveError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snap = rollups.snapshot()
+    if args.rollups_out:
+        with open(args.rollups_out, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"rollups -> {args.rollups_out}")
+    fleet = snap["fleet"] or {}
+    rr = fleet.get("response_rate")
+    print(f"replay: {snap['counts']['samples']} samples over "
+          f"{snap['iterations']['run']} iterations"
+          + (f", response rate {100 * rr:.1f}%" if rr is not None else ""))
+    if args.port is not None:
+        from repro.live.server import LiveServer
+
+        try:
+            server = LiveServer(rollups, host=args.host, port=args.port)
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        server.start()
+        print(f"replay: serving {server.url} (ctrl-C to stop)")
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -428,6 +583,7 @@ _COMMANDS = {
     "obs": _cmd_obs,
     "recovery": _cmd_recovery,
     "resilience": _cmd_resilience,
+    "live": _cmd_live,
 }
 
 

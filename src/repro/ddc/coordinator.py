@@ -235,6 +235,7 @@ class DdcCoordinator:
     def _iteration(self, k: int) -> None:
         start = self.sim.now
         obs = self._obs
+        ran = False
         self.iterations_scheduled += 1
         if self.faults is not None and self.faults.coordinator_down(start, k):
             # injected outage: the iteration is lost entirely
@@ -242,6 +243,7 @@ class DdcCoordinator:
                 self._c_iter_lost.inc()
         elif self.rng.random() < self.params.coordinator_availability:
             self.iterations_run += 1
+            ran = True
             if self.resilience is not None:
                 run_pass = self._run_pass_resilient
             elif self._cols is not None:
@@ -265,7 +267,7 @@ class DdcCoordinator:
         if self.recovery is not None:
             # After the next iteration is on the heap, so a checkpoint
             # taken here revives into a run that keeps iterating.
-            self.recovery.on_iteration_end(k, start)
+            self.recovery.on_iteration_end(k, start, ran=ran)
 
     def _lab(self, lab: str) -> _LabInstruments:
         """Per-lab instruments, created on first encounter."""
@@ -740,6 +742,27 @@ class DdcCoordinator:
         return latency + self._shadow_cost
 
     # ------------------------------------------------------------------
+    def progress(self) -> dict:
+        """Point-in-time snapshot of the collection counters.
+
+        Served by the live query service's ``/health`` endpoint while
+        the driver thread is advancing the simulation.  Each value is a
+        single attribute read of a Python int (atomic under the GIL), so
+        the snapshot is safe to take from another thread; values from
+        different counters may straddle one in-flight iteration, which
+        is fine for monitoring.
+        """
+        return {
+            "iterations_scheduled": self.iterations_scheduled,
+            "iterations_run": self.iterations_run,
+            "attempts": self.attempts,
+            "samples_collected": self.samples_collected,
+            "timeouts": self.timeouts,
+            "access_denied": self.access_denied,
+            "parse_failures": self.parse_failures,
+            "response_rate": self.response_rate,
+        }
+
     def finalize_meta(self, meta: TraceMeta) -> TraceMeta:
         """Copy the accounting counters into a trace's metadata."""
         meta.iterations_scheduled = self.iterations_scheduled

@@ -33,6 +33,7 @@ __all__ = [
     "CheckpointError",
     "ResumeDivergence",
     "InjectedCrash",
+    "LiveError",
 ]
 
 
@@ -177,4 +178,15 @@ class InjectedCrash(ReproError):
     Raised by the crash-injection harness at a configured kill point to
     emulate the coordinator process dying; never raised in production
     runs.
+    """
+
+
+class LiveError(ReproError):
+    """An error in the :mod:`repro.live` streaming subsystem.
+
+    Covers driver lifecycle violations (starting a driver twice,
+    querying rollups of a journal with no iterations) and replay
+    inputs that are not journals.  Network-level failures (e.g. the
+    listen port already bound) surface as :class:`OSError` from the
+    stdlib server, not as :class:`LiveError`.
     """

@@ -1,0 +1,43 @@
+"""``repro.live`` -- streaming campus mode with a concurrent query service.
+
+The paper's DDC collected samples in 15-minute passes and analysed them
+offline; this package turns the reproduction into a *served* system
+while keeping every determinism guarantee:
+
+- :mod:`repro.live.driver` -- a **free-running driver** advancing the
+  existing :class:`~repro.sim.engine.Simulator` /
+  :class:`~repro.ddc.coordinator.DdcCoordinator` graph against a
+  configurable wall-clock ratio (``--rate 60x``, ``--rate max``),
+  streaming every collected sample through the recovery journal;
+- :mod:`repro.live.ingest` -- a **streaming ingestor** tailing journal
+  segments (follow-mode, no full-segment loads) into
+  :class:`~repro.live.rollup.LiveRollups`, incrementally-updated
+  per-fleet/per-lab/per-machine running analogues of Table 2 and
+  Figs 2--6;
+- :mod:`repro.live.server` -- a **concurrent query service** (stdlib
+  threaded HTTP) exposing ``/stats``, ``/labs/<name>``,
+  ``/machines/<id>``, ``/health``, ``/metricz`` and a long-poll / SSE
+  ``/subscribe`` feed, safe under many simultaneous readers;
+- :mod:`repro.live.replay` -- the **replay guarantee**: feeding a
+  finished run's journal back through the same rollups produces output
+  equal (to :data:`~repro.live.rollup.ROUND_DECIMALS` rounding) to the
+  batch :mod:`repro.analysis` results, pinned by a differential test.
+
+Entry points: ``repro live`` on the command line,
+:class:`~repro.live.app.LiveApp` programmatically, and
+``python -m repro.live.smoke`` for the CI end-to-end check.
+"""
+
+from repro.live.config import LiveConfig, parse_rate
+from repro.live.rollup import ROUND_DECIMALS, LiveRollups
+from repro.live.replay import batch_snapshot, infer_sample_period, replay_snapshot
+
+__all__ = [
+    "LiveConfig",
+    "LiveRollups",
+    "ROUND_DECIMALS",
+    "batch_snapshot",
+    "infer_sample_period",
+    "parse_rate",
+    "replay_snapshot",
+]

@@ -1,0 +1,89 @@
+"""Composition root of a live run: driver + ingestor + query service.
+
+:class:`LiveApp` wires the three moving parts together in a
+failure-ordered way: the server binds its port **first** (so a port
+conflict dies before anything touches the run directory), the driver
+builds the simulation graph second, and the ingestor tails the driver's
+journal last.  ``start()`` then sets all three threads running.
+
+>>> from repro.live import LiveConfig
+>>> from repro.live.app import LiveApp
+>>> app = LiveApp(LiveConfig(run_dir="/tmp/demo", days=1, rate=None, port=0))
+... # doctest: +SKIP
+>>> app.start(); app.wait(); app.shutdown()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ExperimentConfig
+from repro.live.config import LiveConfig
+from repro.live.driver import LiveDriver
+from repro.live.ingest import LiveIngestor
+from repro.live.rollup import LiveRollups
+from repro.live.server import LiveServer
+
+__all__ = ["LiveApp"]
+
+
+class LiveApp:
+    """One live run: bind, simulate, ingest, serve."""
+
+    def __init__(self, config: LiveConfig):
+        self.config = config
+        period = ExperimentConfig(
+            days=config.days, seed=config.seed
+        ).ddc.sample_period
+        self.rollups = LiveRollups(period)
+        # Bind before building the graph: an occupied port must fail
+        # fast, before the run directory is created.
+        self.server = LiveServer(
+            self.rollups, host=config.host, port=config.port
+        )
+        try:
+            self.driver = LiveDriver(config)
+        except BaseException:
+            self.server.stop()
+            raise
+        self.ingestor = LiveIngestor(
+            self.driver.journal_dir,
+            self.rollups,
+            source_done=lambda: self.driver.done,
+        )
+        self.server.attach(driver=self.driver, ingestor=self.ingestor)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start(self) -> None:
+        self.driver.start()
+        self.ingestor.start()
+        self.server.start()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run is over *and* fully ingested.
+
+        Returns True when both the driver and the ingestor finished
+        (the ingestor exits only after draining the sealed journal).
+        With a timeout, returns False if either is still going.
+        """
+        if not self.driver.join(timeout):
+            return False
+        return self.ingestor.join(timeout)
+
+    def shutdown(self) -> None:
+        """Stop everything, politely: driver first, then drain, then serve."""
+        self.driver.stop()
+        self.driver.join()
+        # Let the ingestor finish draining the sealed journal on its
+        # own (source_done fires now that the driver is done).
+        if not self.ingestor.join(10.0):
+            self.ingestor.stop()
+            self.ingestor.join(1.0)
+        self.server.stop()
+
+    def raise_on_failure(self) -> None:
+        if self.driver.error is not None:
+            raise self.driver.error

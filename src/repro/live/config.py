@@ -1,0 +1,93 @@
+"""Configuration of the live streaming mode."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["LiveConfig", "parse_rate", "DEFAULT_PORT"]
+
+#: Default listen port of the query service.
+DEFAULT_PORT = 8765
+
+
+def parse_rate(text: str) -> Optional[float]:
+    """Parse a ``--rate`` flag value.
+
+    ``"max"`` (any case) means unpaced -- the driver advances the
+    simulation as fast as it can -- and returns ``None``.  Otherwise the
+    value is a sim-seconds-per-wall-second ratio, with an optional
+    trailing ``x``: ``"60x"`` and ``"60"`` both mean one wall second
+    covers one simulated minute.
+
+    Raises
+    ------
+    ValueError
+        On unparseable input or a non-positive / non-finite ratio.
+    """
+    token = text.strip().lower()
+    if token == "max":
+        return None
+    if token.endswith("x"):
+        token = token[:-1]
+    try:
+        rate = float(token)
+    except ValueError:
+        raise ValueError(
+            f"invalid rate {text!r}: expected a number, 'Nx' or 'max'"
+        ) from None
+    if not math.isfinite(rate) or rate <= 0:
+        raise ValueError(f"rate must be positive and finite, got {text!r}")
+    return rate
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Knobs of one live run (driver + ingestor + query service).
+
+    Parameters
+    ----------
+    days / seed / machines:
+        The simulated campaign, as for ``repro run``.  ``machines=None``
+        uses the paper's Table-1 roster (169 machines);  any other value
+        scales the lab mix via
+        :func:`repro.machines.hardware.scaled_labs`.
+    rate:
+        Wall-clock pacing in simulated seconds per wall second
+        (``None`` = unpaced, as fast as the simulator goes).
+    host / port:
+        Query-service listen address.  Port 0 binds an ephemeral port
+        (tests); the bound port is reported by the server.
+    run_dir:
+        Run directory; the journal lands in ``<run_dir>/journal/``.
+    checkpoint_every / segment_records / fsync:
+        Forwarded to :class:`~repro.recovery.runtime.RecoveryConfig`.
+        Live runs default to ``fsync=False``: the journal's write-ahead
+        flush is what the ingestor needs, and the serving path should
+        not stall on disk syncs.
+    """
+
+    run_dir: Union[str, Path]
+    days: int = 2
+    seed: int = 2005
+    machines: Optional[int] = None
+    rate: Optional[float] = 60.0
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    checkpoint_every: int = 96
+    segment_records: int = 4096
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+        if self.rate is not None and not (
+            math.isfinite(self.rate) and self.rate > 0
+        ):
+            raise ValueError("rate must be positive and finite (or None)")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.machines is not None and self.machines <= 0:
+            raise ValueError("machines must be positive")

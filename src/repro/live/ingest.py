@@ -1,0 +1,96 @@
+"""Streaming ingestor: tail the journal into live rollups.
+
+:class:`LiveIngestor` runs a background thread that polls a
+:class:`~repro.recovery.journal.JournalTailReader` and feeds every new
+record into :class:`~repro.live.rollup.LiveRollups`.  It never loads a
+full segment: the tail reader resumes from a byte offset, so each poll
+reads only what the driver appended since the last one.
+
+Termination is a drain, not a cutoff: once the source reports done
+(the driver sealed the journal through ``RecoveryRuntime.finish``, which
+happens *before* the driver's state turns terminal), the ingestor keeps
+polling until a poll returns nothing -- at that point every flushed
+record, including the final seal, has been consumed.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.live.rollup import LiveRollups
+from repro.recovery.journal import JournalTailReader
+
+__all__ = ["LiveIngestor"]
+
+
+class LiveIngestor:
+    """Tail ``journal_dir`` into ``rollups`` on a background thread.
+
+    Parameters
+    ----------
+    journal_dir:
+        The live run's journal directory (may not exist yet when the
+        ingestor starts; the tail reader waits for the first segment).
+    rollups:
+        Shared accumulator the query service reads from.
+    source_done:
+        Zero-argument callable returning True once the journal writer
+        has finished (sealed) -- typically ``driver.done``.  ``None``
+        means the source never finishes on its own and only
+        :meth:`stop` ends the thread.
+    poll_interval:
+        Sleep between empty polls, seconds.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Union[str, Path],
+        rollups: LiveRollups,
+        *,
+        source_done: Optional[Callable[[], bool]] = None,
+        poll_interval: float = 0.05,
+    ):
+        self.rollups = rollups
+        self.reader = JournalTailReader(journal_dir)
+        self.poll_interval = poll_interval
+        self._source_done = source_done
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="live-ingest", daemon=True
+        )
+        self.polls: int = 0
+        self.drained: bool = False
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Ask the thread to exit after its current poll."""
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        if self._thread.ident is not None:
+            self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    @property
+    def records_ingested(self) -> int:
+        return self.rollups.records_ingested
+
+    def _run(self) -> None:
+        while True:
+            self.polls += 1
+            records = self.reader.poll()
+            if records:
+                self.rollups.ingest_records(records)
+                continue
+            if self._stop.is_set():
+                break
+            if self._source_done is not None and self._source_done():
+                # Writer sealed before reporting done, and this poll
+                # came after that and found nothing: fully drained.
+                self.drained = True
+                break
+            self._stop.wait(self.poll_interval)

@@ -1,0 +1,320 @@
+"""Concurrent query service over the live rollups.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (one daemon thread
+per connection) serving JSON views of :class:`LiveRollups`:
+
+====================  ==================================================
+``/stats``            Fleet snapshot (``?machines=1`` to inline the
+                      per-machine table).
+``/labs``             All per-lab rollups.
+``/labs/<name>``      One lab (404 on unknown names).
+``/machines/<id>``    One machine (400 on non-integer ids, 404 unknown).
+``/health``           Driver / ingestor liveness and progress.
+``/metricz``          The server's own request metrics.
+``/subscribe``        Long-poll for the next iteration marker
+                      (``?since=K&timeout=S``); ``?mode=sse`` streams
+                      Server-Sent Events instead, one per iteration.
+====================  ==================================================
+
+Every read takes the rollups lock only long enough to copy a snapshot,
+so many concurrent readers never stall ingestion.  Request latencies
+land in a ``live.request_seconds`` histogram
+(:data:`~repro.obs.metrics.REQUEST_BUCKETS`) per route.
+
+The server binds in the constructor: a port conflict surfaces
+immediately as :class:`OSError` (``EADDRINUSE``), before any simulation
+state exists -- the CLI turns that into a clean exit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.live.rollup import LiveRollups
+from repro.obs.metrics import REQUEST_BUCKETS, MetricsRegistry
+
+__all__ = ["LiveServer"]
+
+#: Routes that get their own metric labels; anything else is "other".
+_ROUTES = (
+    "stats", "labs", "lab", "machine", "health", "metricz", "subscribe",
+    "other",
+)
+
+#: Longest single long-poll / SSE wait the server grants, seconds.
+_MAX_WAIT = 30.0
+
+
+class LiveServer:
+    """Bind, serve and stop the query service.
+
+    ``driver`` and ``ingestor`` are optional (absent in replay serving);
+    ``/health`` reports whatever is attached.  Pass ``port=0`` for an
+    ephemeral port and read :attr:`port` for the bound one.
+    """
+
+    def __init__(
+        self,
+        rollups: LiveRollups,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        driver=None,
+        ingestor=None,
+    ):
+        self.rollups = rollups
+        self.driver = driver
+        self.ingestor = ingestor
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._requests = {
+            r: self.metrics.counter("live.requests", route=r) for r in _ROUTES
+        }
+        self._errors = {
+            r: self.metrics.counter("live.errors", route=r) for r in _ROUTES
+        }
+        self._latency = {
+            r: self.metrics.histogram(
+                "live.request_seconds", REQUEST_BUCKETS, route=r
+            )
+            for r in _ROUTES
+        }
+        handler = type(
+            "LiveRequestHandler", (_Handler,), {"ctx": self}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="live-server",
+            daemon=True,
+        )
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def attach(self, *, driver=None, ingestor=None) -> None:
+        """Late-bind the driver/ingestor (they need the bound server)."""
+        if driver is not None:
+            self.driver = driver
+        if ingestor is not None:
+            self.ingestor = ingestor
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing (handler threads record through these)
+    # ------------------------------------------------------------------
+
+    def _record(self, route: str, status: int, seconds: float) -> None:
+        with self._metrics_lock:
+            self._requests[route].inc()
+            if status >= 500:
+                self._errors[route].inc()
+            self._latency[route].observe(seconds)
+
+    def health(self) -> dict:
+        """The ``/health`` body; also handy programmatically."""
+        out: dict = {"ok": True, "mode": "live" if self.driver else "replay"}
+        if self.driver is not None:
+            out["driver"] = self.driver.progress()
+            out["terminal"] = self.driver.done
+            if self.driver.error is not None:
+                out["ok"] = False
+                out["error"] = repr(self.driver.error)
+        else:
+            out["terminal"] = True
+        if self.ingestor is not None:
+            reader = self.ingestor.reader
+            out["ingest"] = {
+                "records_ingested": self.ingestor.records_ingested,
+                "segments_finished": reader.segments_finished,
+                "seals_verified": reader.seals_verified,
+                "anomalies": [
+                    {
+                        "reason": a.reason,
+                        "segment": a.segment,
+                        "line": a.line,
+                    }
+                    for a in reader.anomalies
+                ],
+                "drained": self.ingestor.drained,
+            }
+        return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-connection handler; ``ctx`` is the owning :class:`LiveServer`."""
+
+    server_version = "repro-live/1"
+    protocol_version = "HTTP/1.1"
+    ctx: LiveServer = None  # type: ignore[assignment]
+
+    # Silence the default stderr access log: with 100+ concurrent
+    # readers it becomes the bottleneck (and noise) of the smoke run.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802  (stdlib handler contract)
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
+        route = "other"
+        status = 500
+        try:
+            route, status = self._dispatch(parts, query)
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away; not a server error
+        except Exception as exc:  # pragma: no cover - defensive
+            status = self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        finally:
+            self.ctx._record(route, status, time.perf_counter() - started)
+
+    def _dispatch(self, parts, query) -> tuple:
+        rollups = self.ctx.rollups
+        if not parts:
+            return "other", self._send_json(
+                200,
+                {
+                    "service": "repro-live",
+                    "endpoints": [
+                        "/stats", "/labs", "/labs/<name>",
+                        "/machines/<id>", "/health", "/metricz",
+                        "/subscribe",
+                    ],
+                },
+            )
+        head = parts[0]
+        if head == "stats" and len(parts) == 1:
+            include = query.get("machines", ["0"])[-1] not in ("0", "false")
+            return "stats", self._send_json(
+                200, rollups.snapshot(include_machines=include)
+            )
+        if head == "labs":
+            if len(parts) == 1:
+                snap = rollups.snapshot(include_machines=False)
+                return "labs", self._send_json(200, {"labs": snap["labs"]})
+            if len(parts) == 2:
+                body = rollups.lab_snapshot(parts[1])
+                if body is None:
+                    return "lab", self._send_json(
+                        404, {"error": f"unknown lab {parts[1]!r}"}
+                    )
+                return "lab", self._send_json(200, body)
+        if head == "machines" and len(parts) == 2:
+            try:
+                mid = int(parts[1])
+            except ValueError:
+                return "machine", self._send_json(
+                    400, {"error": f"machine id must be an integer, "
+                                   f"got {parts[1]!r}"}
+                )
+            body = rollups.machine_snapshot(mid)
+            if body is None:
+                return "machine", self._send_json(
+                    404, {"error": f"unknown machine {mid}"}
+                )
+            return "machine", self._send_json(200, body)
+        if head == "health" and len(parts) == 1:
+            body = self.ctx.health()
+            return "health", self._send_json(200 if body["ok"] else 503, body)
+        if head == "metricz" and len(parts) == 1:
+            with self.ctx._metrics_lock:
+                rows = self.ctx.metrics.rows()
+            return "metricz", self._send_json(200, {"metrics": rows})
+        if head == "subscribe" and len(parts) == 1:
+            return "subscribe", self._subscribe(query)
+        return "other", self._send_json(
+            404, {"error": f"no such endpoint: /{'/'.join(parts)}"}
+        )
+
+    # ------------------------------------------------------------------
+    # Subscription feed
+    # ------------------------------------------------------------------
+
+    def _subscribe(self, query) -> int:
+        rollups = self.ctx.rollups
+        try:
+            since = int(query["since"][-1]) if "since" in query else None
+            timeout = float(query.get("timeout", [str(_MAX_WAIT)])[-1])
+        except ValueError:
+            return self._send_json(
+                400, {"error": "since must be an integer, timeout a number"}
+            )
+        timeout = max(0.0, min(timeout, _MAX_WAIT))
+        if query.get("mode", [""])[-1] == "sse":
+            return self._subscribe_sse(since, timeout)
+        k = rollups.wait_for_iteration(since, timeout)
+        return self._send_json(
+            200,
+            {
+                "iteration": k,
+                "timed_out": k is None,
+                "terminal": self._terminal(),
+            },
+        )
+
+    def _subscribe_sse(self, since: Optional[int], timeout: float) -> int:
+        """Stream one SSE event per new iteration until terminal."""
+        rollups = self.ctx.rollups
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        # SSE is an unbounded stream; close delimits it under HTTP/1.1.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        cursor = since
+        while True:
+            k = rollups.wait_for_iteration(cursor, min(timeout, 1.0))
+            if k is not None:
+                cursor = k
+                snap = rollups.snapshot(include_machines=False)
+                payload = {
+                    "iteration": k,
+                    "sim_time": snap["iterations"]["sim_time"],
+                    "samples": snap["counts"]["samples"],
+                }
+                data = json.dumps(payload, separators=(",", ":"))
+                self.wfile.write(f"data: {data}\n\n".encode("utf-8"))
+                self.wfile.flush()
+            elif self._terminal():
+                self.wfile.write(b"event: terminal\ndata: {}\n\n")
+                self.wfile.flush()
+                self.close_connection = True
+                return 200
+
+    def _terminal(self) -> bool:
+        driver = self.ctx.driver
+        return True if driver is None else driver.done
+
+    def _send_json(self, status: int, body: dict) -> int:
+        raw = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+        return status

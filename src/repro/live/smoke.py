@@ -1,0 +1,220 @@
+"""CI smoke for the live subsystem: ``python -m repro.live.smoke``.
+
+Runs a short campaign at maximum rate with the query service up, while
+N reader threads (default 100) hammer every endpoint concurrently.
+Asserts, in order:
+
+1. **no 5xx** was served and ingestion never stalled;
+2. the **live** snapshot equals a cold **replay** of the journal;
+3. the replay equals the **batch** :mod:`repro.analysis` results
+   (the PR's replay guarantee, exact to analysis rounding).
+
+Artifacts (``--work-dir``): ``rollups_live.json``,
+``rollups_replay.json``, ``rollups_batch.json``, ``summary.json``.
+Exit status 0 on success, 1 on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.live.app import LiveApp
+from repro.live.config import LiveConfig
+from repro.live.replay import batch_snapshot, replay_snapshot
+
+__all__ = ["main"]
+
+#: Give up if the run has not reached terminal after this many seconds.
+_RUN_TIMEOUT = 600.0
+
+
+class _Reader(threading.Thread):
+    """One querying client: loops over the endpoints until told to stop."""
+
+    def __init__(self, index: int, base: str, done: threading.Event):
+        super().__init__(name=f"smoke-reader-{index}", daemon=True)
+        self.base = base
+        self.done = done
+        self.index = index
+        self.requests = 0
+        self.server_errors = 0
+        self.transport_errors = 0
+        self.statuses: dict = {}
+
+    def run(self) -> None:
+        paths = [
+            "/stats",
+            "/labs",
+            f"/machines/{self.index}",
+            "/health",
+            "/stats?machines=1",
+            "/subscribe?timeout=0.2",
+        ]
+        i = 0
+        while not self.done.is_set():
+            path = paths[i % len(paths)]
+            i += 1
+            self.requests += 1
+            try:
+                with urllib.request.urlopen(
+                    self.base + path, timeout=30
+                ) as resp:
+                    resp.read()
+                    status = resp.status
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            except OSError:
+                # Connect/read hiccups (e.g. server shutting down as the
+                # stop flag propagates) are transport noise, not a 5xx.
+                self.transport_errors += 1
+                continue
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status >= 500:
+                self.server_errors += 1
+
+
+def _fetch_json(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _dump(path: Path, obj: dict) -> None:
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _diff_keys(a: dict, b: dict, prefix: str = "") -> list:
+    """First few paths where two snapshot dicts differ (for diagnostics)."""
+    diffs = []
+    for key in sorted(set(a) | set(b)):
+        pa, pb = a.get(key), b.get(key)
+        where = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(pa, dict) and isinstance(pb, dict):
+            diffs.extend(_diff_keys(pa, pb, where))
+        elif pa != pb:
+            diffs.append(f"{where}: {pa!r} != {pb!r}")
+        if len(diffs) >= 20:
+            break
+    return diffs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live.smoke",
+        description="end-to-end live-mode smoke (CI gate)",
+    )
+    parser.add_argument("--days", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--machines", type=int, default=None)
+    parser.add_argument("--readers", type=int, default=100)
+    parser.add_argument("--work-dir", required=True)
+    args = parser.parse_args(argv)
+
+    work = Path(args.work_dir)
+    work.mkdir(parents=True, exist_ok=True)
+    config = LiveConfig(
+        run_dir=work / "run",
+        days=args.days,
+        seed=args.seed,
+        machines=args.machines,
+        rate=None,  # max rate
+        port=0,  # ephemeral
+    )
+    app = LiveApp(config)
+    app.start()
+    base = app.url
+    print(f"live-smoke: serving {base}, {args.readers} readers, "
+          f"{args.days}-day run at max rate")
+
+    done = threading.Event()
+    readers = [_Reader(i, base, done) for i in range(args.readers)]
+    for r in readers:
+        r.start()
+
+    deadline = time.monotonic() + _RUN_TIMEOUT
+    terminal = False
+    while time.monotonic() < deadline:
+        health = _fetch_json(base + "/health")
+        if health.get("terminal"):
+            terminal = True
+            break
+        time.sleep(0.25)
+    app.wait(timeout=max(0.0, deadline - time.monotonic()))
+    done.set()
+    for r in readers:
+        r.join(10.0)
+
+    failures = []
+    if not terminal:
+        failures.append(f"run did not reach terminal in {_RUN_TIMEOUT}s")
+    app.raise_on_failure()
+
+    health = _fetch_json(base + "/health")
+    total_requests = sum(r.requests for r in readers)
+    server_errors = sum(r.server_errors for r in readers)
+    statuses: dict = {}
+    for r in readers:
+        for code, n in r.statuses.items():
+            statuses[str(code)] = statuses.get(str(code), 0) + n
+    if server_errors:
+        failures.append(f"{server_errors} 5xx responses out of "
+                        f"{total_requests} requests")
+    ingest = health.get("ingest", {})
+    if not ingest.get("drained"):
+        failures.append("ingestor did not drain the sealed journal")
+    if ingest.get("records_ingested", 0) == 0:
+        failures.append("ingestion stalled: zero records ingested")
+    if ingest.get("anomalies"):
+        failures.append(f"tail anomalies: {ingest['anomalies']}")
+
+    live_snap = app.rollups.snapshot()
+    app.server.stop()
+    replay_snap = replay_snapshot(app.driver.journal_dir)
+    batch_snap = batch_snapshot(app.driver.journal_dir)
+    _dump(work / "rollups_live.json", live_snap)
+    _dump(work / "rollups_replay.json", replay_snap)
+    _dump(work / "rollups_batch.json", batch_snap)
+    if live_snap != replay_snap:
+        failures.append("live snapshot != journal replay: "
+                        + "; ".join(_diff_keys(live_snap, replay_snap)[:5]))
+    if replay_snap != batch_snap:
+        failures.append("journal replay != batch analysis: "
+                        + "; ".join(_diff_keys(replay_snap, batch_snap)[:5]))
+
+    summary = {
+        "ok": not failures,
+        "failures": failures,
+        "readers": args.readers,
+        "requests": total_requests,
+        "statuses": statuses,
+        "server_errors": server_errors,
+        "transport_errors": sum(r.transport_errors for r in readers),
+        "records_ingested": ingest.get("records_ingested"),
+        "segments_finished": ingest.get("segments_finished"),
+        "seals_verified": ingest.get("seals_verified"),
+        "samples": live_snap["counts"]["samples"],
+        "iterations_run": live_snap["iterations"]["run"],
+        "driver": health.get("driver"),
+    }
+    _dump(work / "summary.json", summary)
+    if failures:
+        for f in failures:
+            print(f"live-smoke: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"live-smoke: OK -- {total_requests} requests over "
+          f"{args.readers} readers, 0 server errors, "
+          f"{ingest.get('records_ingested')} records ingested, "
+          f"replay == batch")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ __all__ = [
     "geometric_buckets",
     "LATENCY_BUCKETS",
     "DURATION_BUCKETS",
+    "REQUEST_BUCKETS",
 ]
 
 #: ``(name, ((label, value), ...))`` -- the registry key of one instrument.
@@ -60,6 +61,10 @@ def geometric_buckets(lo: float, hi: float, n: int) -> Tuple[float, ...]:
 LATENCY_BUCKETS = geometric_buckets(0.05, 12.8, 9)
 #: Edges for iteration / lab-pass durations (seconds).
 DURATION_BUCKETS = geometric_buckets(0.5, 512.0, 11)
+#: Edges for live query-service request handling (wall seconds): local
+#: in-memory snapshots should land well under a millisecond, but the
+#: range extends to seconds so long-poll subscription waits still bucket.
+REQUEST_BUCKETS = geometric_buckets(0.0002, 3.2768, 15)
 
 
 class Counter:

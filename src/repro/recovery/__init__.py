@@ -43,8 +43,10 @@ from repro.recovery.crashtest import (
 from repro.recovery.journal import (
     JOURNAL_VERSION,
     JournalScan,
+    JournalTailReader,
     JournalWriter,
     Quarantine,
+    TailAnomaly,
     scan_journal,
 )
 from repro.recovery.runtime import (
@@ -63,9 +65,11 @@ __all__ = [
     "Checkpoint",
     "CrashSpec",
     "JournalScan",
+    "JournalTailReader",
     "JournalWriter",
     "KillAtIteration",
     "Quarantine",
+    "TailAnomaly",
     "RecoveryConfig",
     "RecoveryInfo",
     "RecoveryRuntime",

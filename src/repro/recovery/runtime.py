@@ -266,8 +266,13 @@ class RecoveryRuntime:
                 and self._iter_samples >= self.crash.sample_index):
             self._die(torn=True)
 
-    def on_iteration_end(self, k: int, t: float) -> None:
-        """Close iteration ``k``: journal marker, verify, maybe checkpoint."""
+    def on_iteration_end(self, k: int, t: float, *, ran: bool = True) -> None:
+        """Close iteration ``k``: journal marker, verify, maybe checkpoint.
+
+        ``ran`` is forwarded into the iteration marker so journal-only
+        consumers (live replay) can reproduce the coordinator's
+        ``iterations_run`` count.
+        """
         digest = format(
             zlib.crc32("".join(self._iter_crcs).encode("ascii")) & 0xFFFFFFFF,
             "08x",
@@ -278,11 +283,12 @@ class RecoveryRuntime:
         if crashing and self.crash.point == "mid_seal":
             # Journal the iteration marker, then die half-way through a
             # forced segment seal: the footer line is torn.
-            self.journal.iteration_end(k, t, self._iter_samples, digest)
+            self.journal.iteration_end(k, t, self._iter_samples, digest,
+                                       ran=ran)
             self.info.records_journaled += 1
             self.journal.tear('{"crc":"00000000","body":{"kind":"seal"')
             self._die(torn=False)
-        self.journal.iteration_end(k, t, self._iter_samples, digest)
+        self.journal.iteration_end(k, t, self._iter_samples, digest, ran=ran)
         self.info.records_journaled += 1
         if self.journal.segments_sealed > self.info.segments_sealed:
             newly = self.journal.segments_sealed - self.info.segments_sealed

@@ -118,6 +118,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_fired = 0
         self._running = False
+        self._stop_requested = False
         self._obs = observer if observer is not None and observer.enabled else None
         if self._obs is not None:
             metrics = self._obs.metrics
@@ -131,6 +132,7 @@ class Simulator:
         # must accept a fresh run_until call.
         state = self.__dict__.copy()
         state["_running"] = False
+        state["_stop_requested"] = False
         return state
 
     # ------------------------------------------------------------------
@@ -194,6 +196,24 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run_until` / :meth:`run` to return early.
+
+        Safe to call from another thread (the flag is a single attribute
+        store).  The running loop honours the request at the next event
+        boundary: no callback is interrupted mid-flight, the clock stays
+        at the last fired event instead of jumping to ``end``, and the
+        flag is cleared before the loop returns, so the simulation can be
+        resumed with another ``run_until`` call.  The live driver uses
+        this to interrupt long chunks promptly on shutdown.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether a stop request is pending (unconsumed)."""
+        return self._stop_requested
+
     def step(self) -> Optional[Event]:
         """Execute the next pending event, advancing the clock to it.
 
@@ -240,7 +260,9 @@ class Simulator:
         """Run all events with ``time <= end`` and set the clock to ``end``.
 
         Returns the number of events fired.  ``end`` may not precede the
-        current clock.
+        current clock.  If :meth:`request_stop` fires mid-run the loop
+        returns at the next event boundary with the clock left at the
+        last fired event (not ``end``).
         """
         if end < self._now:
             raise ScheduleError(
@@ -249,6 +271,7 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run_until is not re-entrant")
         self._running = True
+        stopped = False
         fired = 0
         if self._obs is None:
             # Uninstrumented fast loop: no Event records, no per-step
@@ -258,6 +281,9 @@ class Simulator:
             heappop = heapq.heappop
             try:
                 while heap and heap[0][_TIME] <= end:
+                    if self._stop_requested:
+                        stopped = True
+                        break
                     entry = heappop(heap)
                     callback = entry[_CALLBACK]
                     if callback is None:
@@ -271,10 +297,15 @@ class Simulator:
             finally:
                 self._events_fired += fired
                 self._running = False
-            self._now = float(end)
+                self._stop_requested = False
+            if not stopped:
+                self._now = float(end)
             return fired
         try:
             while True:
+                if self._stop_requested:
+                    stopped = True
+                    break
                 nxt = self.peek()
                 if nxt is None or nxt > end:
                     break
@@ -282,7 +313,9 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
-        self._now = float(end)
+            self._stop_requested = False
+        if not stopped:
+            self._now = float(end)
         return fired
 
     def run(self) -> int:
@@ -292,8 +325,9 @@ class Simulator:
         self._running = True
         fired = 0
         try:
-            while self.step() is not None:
+            while not self._stop_requested and self.step() is not None:
                 fired += 1
         finally:
             self._running = False
+            self._stop_requested = False
         return fired

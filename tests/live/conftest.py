@@ -1,0 +1,48 @@
+"""Shared fixtures for the live-subsystem tests.
+
+``finished_run`` executes one small journaled campaign through the
+real :class:`~repro.live.driver.LiveDriver` (unpaced, no server) and
+hands every test the same sealed journal -- the expensive part is paid
+once per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.live.config import LiveConfig
+from repro.live.driver import LiveDriver
+
+#: Small but non-trivial campaign: 1 day, a 12-machine two-lab mix.
+RUN_DAYS = 1
+RUN_SEED = 11
+RUN_MACHINES = 12
+
+
+@dataclass
+class FinishedRun:
+    driver: LiveDriver
+    journal_dir: Path
+
+
+@pytest.fixture(scope="session")
+def finished_run(tmp_path_factory) -> FinishedRun:
+    """A sealed live-run journal plus the driver that produced it."""
+    run_dir = tmp_path_factory.mktemp("live-run")
+    driver = LiveDriver(LiveConfig(
+        run_dir=run_dir,
+        days=RUN_DAYS,
+        seed=RUN_SEED,
+        machines=RUN_MACHINES,
+        rate=None,
+        port=0,
+    ))
+    driver.start()
+    assert driver.join(300.0), "driver did not finish"
+    if driver.error is not None:
+        raise driver.error
+    assert driver.state == "terminal"
+    return FinishedRun(driver=driver, journal_dir=driver.journal_dir)

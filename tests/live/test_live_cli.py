@@ -1,0 +1,86 @@
+"""``repro live`` flag validation and end-to-end command behaviour."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.live.replay import replay_snapshot
+
+
+class TestValidation:
+    def test_bad_rate_exits_2(self, capsys):
+        assert main(["live", "--rate", "fast"]) == 2
+        assert "rate" in capsys.readouterr().err
+
+    def test_zero_rate_exits_2(self, capsys):
+        assert main(["live", "--rate", "0x"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_replay_with_rate_conflicts(self, tmp_path, capsys):
+        assert main(["live", "--replay", str(tmp_path),
+                     "--rate", "60x"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+    def test_replay_with_machines_conflicts(self, tmp_path, capsys):
+        assert main(["live", "--replay", str(tmp_path),
+                     "--machines", "12"]) == 2
+        assert "--machines" in capsys.readouterr().err
+
+    def test_port_out_of_range(self, capsys):
+        assert main(["live", "--port", "70000"]) == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_machines_must_be_positive(self, capsys):
+        assert main(["live", "--machines", "0"]) == 2
+        assert "--machines" in capsys.readouterr().err
+
+    def test_replay_missing_journal(self, tmp_path, capsys):
+        assert main(["live", "--replay", str(tmp_path / "nope")]) == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_replay_empty_journal(self, tmp_path, capsys):
+        assert main(["live", "--replay", str(tmp_path)]) == 2
+        assert "no journal records" in capsys.readouterr().err
+
+    def test_occupied_port_fails_cleanly(self, tmp_path, capsys):
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main(["live", "--run-dir", str(tmp_path / "run"),
+                       "--port", str(port)])
+        assert rc == 2
+        assert "cannot bind" in capsys.readouterr().err
+        # failing to bind must not leave a half-created run directory
+        assert not (tmp_path / "run").exists()
+
+
+class TestCommands:
+    def test_replay_writes_rollups(self, finished_run, tmp_path, capsys):
+        out = tmp_path / "rollups.json"
+        rc = main(["live", "--replay", str(finished_run.journal_dir),
+                   "--rollups-out", str(out)])
+        assert rc == 0
+        assert "replay:" in capsys.readouterr().out
+        written = json.loads(out.read_text())
+        assert written == replay_snapshot(finished_run.journal_dir)
+
+    def test_live_run_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "rollups.json"
+        rc = main(["live", "--run-dir", str(tmp_path / "run"),
+                   "--days", "1", "--seed", "3", "--machines", "6",
+                   "--rate", "max", "--port", "0",
+                   "--rollups-out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "live: serving http://" in text
+        assert "terminal" in text
+        written = json.loads(out.read_text())
+        assert written["counts"]["samples"] > 0
+        # the CLI's own rollups match an offline replay of its journal
+        journal = tmp_path / "run" / "journal"
+        assert written == replay_snapshot(journal)
