@@ -90,8 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shards", type=int, default=1, metavar="N",
                        help="collect the run as N lab-aligned worker "
                        "processes and merge a byte-identical trace "
-                       "(default 1: the classic sequential run; see "
-                       "docs/sharding.md)")
+                       "(default 1: the classic sequential run; with "
+                       "--recover-dir the run becomes a supervised "
+                       "campaign with per-shard crash recovery; see "
+                       "docs/sharding.md and docs/shard_recovery.md)")
+    p_run.add_argument("--supervise", action="store_true",
+                       help="run sharded workers under the supervisor "
+                       "control plane (heartbeats, liveness deadlines, "
+                       "bounded restart) even without --recover-dir; "
+                       "implied when --shards > 1 and --recover-dir are "
+                       "combined")
     p_run.add_argument("--machines", type=int, default=None, metavar="N",
                        help="scale the fleet to N machines by cycling "
                        "Table 1's lab mix (default: the paper's 169; "
@@ -202,11 +210,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: --shards must be at least 1, got {args.shards}",
               file=sys.stderr)
         return 2
-    if args.shards > 1 and (args.resume or args.recover_dir):
-        print("error: --shards cannot be combined with --recover-dir/"
-              "--resume; crash-safe journaling is per sequential process "
-              "(run with --shards 1)", file=sys.stderr)
-        return 2
+    resume_shards = None
+    if args.resume:
+        # Validate the recovery directory up front, before anything is
+        # created on disk: a missing or foreign directory must fail
+        # with a usage error, not half-build a run.
+        from repro.recovery import CampaignManifest, is_campaign_dir
+
+        rd = pathlib.Path(args.recover_dir)
+        if not rd.is_dir():
+            print(f"error: --resume: no such recovery directory "
+                  f"{args.recover_dir!r}", file=sys.stderr)
+            return 2
+        campaign = is_campaign_dir(rd)
+        sequential = (rd / "journal").is_dir() or (rd / "checkpoints").is_dir()
+        # An existing-but-empty directory is a valid sequential cold
+        # restart; a directory holding unrelated files is not a run dir.
+        if not campaign and not sequential and any(rd.iterdir()):
+            print(f"error: --resume: {args.recover_dir!r} holds neither a "
+                  "campaign manifest nor a journal/checkpoint tree; it is "
+                  "not a recovery run directory", file=sys.stderr)
+            return 2
+        if args.shards > 1 and not campaign:
+            print(f"error: --resume --shards {args.shards}: "
+                  f"{args.recover_dir!r} holds a sequential run, not a "
+                  "sharded campaign; resume it with --shards 1",
+                  file=sys.stderr)
+            return 2
+        if campaign:
+            from repro.errors import RecoveryError
+
+            try:
+                resume_shards = CampaignManifest.load(rd).n_shards
+            except RecoveryError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.shards > 1 and args.shards != resume_shards:
+                print(f"error: --resume --shards {args.shards}: the "
+                      f"campaign in {args.recover_dir!r} was collected "
+                      f"with {resume_shards} shards", file=sys.stderr)
+                return 2
     if args.machines is not None and args.machines < 1:
         print(f"error: --machines must be at least 1, got {args.machines}",
               file=sys.stderr)
@@ -220,35 +263,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.resilience import ResiliencePolicy
 
         policy = ResiliencePolicy(seed=args.seed)
-    config = ExperimentConfig(days=args.days, seed=args.seed,
-                              shards=args.shards, kernel=args.kernel)
+    # Resuming a campaign adopts its shard count: the checkpointed
+    # config has shards=N baked in, and the digest check would reject
+    # a config rebuilt with the default.
+    config = ExperimentConfig(
+        days=args.days, seed=args.seed,
+        shards=args.shards if resume_shards is None else resume_shards,
+        kernel=args.kernel,
+    )
+    supervise = True if args.supervise else None
     run_kwargs = {}
     if args.machines is not None:
         from repro.machines.hardware import scaled_labs
 
         run_kwargs["labs"] = scaled_labs(args.machines)
     if args.resume:
-        from repro.errors import RecoveryError
+        from repro.errors import RecoveryError, ShardWorkerError
         from repro.recovery import RecoveryConfig
 
         rcfg = RecoveryConfig(run_dir=args.recover_dir,
                               checkpoint_every=args.checkpoint_every)
         try:
-            result = run_experiment(config, resume_from=rcfg)
+            result = run_experiment(config, resume_from=rcfg,
+                                    supervise=supervise)
+        except ShardWorkerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         except RecoveryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     elif args.recover_dir:
+        from repro.errors import RecoveryError, ShardWorkerError
         from repro.recovery import RecoveryConfig
 
         rcfg = RecoveryConfig(run_dir=args.recover_dir,
                               checkpoint_every=args.checkpoint_every)
-        result = run_experiment(config, observer=observer, recovery=rcfg,
-                                resilience=policy, **run_kwargs)
+        try:
+            result = run_experiment(config, observer=observer, recovery=rcfg,
+                                    resilience=policy, supervise=supervise,
+                                    **run_kwargs)
+        except ShardWorkerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except RecoveryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
+        from repro.errors import ShardWorkerError
+
         try:
             result = run_experiment(config, observer=observer,
-                                    resilience=policy, **run_kwargs)
+                                    resilience=policy, supervise=supervise,
+                                    **run_kwargs)
+        except ShardWorkerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         except ValueError as exc:
             # e.g. kernel='columnar' on an ineligible configuration
             print(f"error: {exc}", file=sys.stderr)
@@ -298,6 +367,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if info.quarantine_entries:
             print(f"quarantined {len(info.quarantine_entries)} damaged "
                   f"artefacts (see {info.run_dir / 'quarantine'})")
+    camp = result.campaign
+    if camp is not None:
+        line = (f"campaign: {camp.n_shards} shards supervised, "
+                f"{camp.total_restarts} restarts")
+        if camp.run_dir is not None:
+            line += f", manifest in {camp.run_dir}"
+        print(line)
     return 0
 
 

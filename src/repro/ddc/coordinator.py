@@ -216,12 +216,19 @@ class DdcCoordinator:
         #: Recovery hook installed by :class:`repro.recovery.runtime
         #: .RecoveryRuntime` (journal cadence, checkpoints, crash points).
         self.recovery: Optional["RecoveryRuntime"] = None
+        #: Supervision hook: ``callable(iteration, t, ran)`` invoked at
+        #: the very end of every scheduled iteration, after the recovery
+        #: hook -- so a heartbeat reports only durable progress.  A
+        #: supervised shard worker installs its control endpoint here.
+        self.heartbeat = None
 
     def __getstate__(self) -> dict:
-        # The recovery runtime owns open journal handles and is rebuilt
-        # from scratch by the resume path; checkpoints exclude it.
+        # The recovery runtime owns open journal handles, the heartbeat
+        # hook owns multiprocessing queues; both are rebuilt around the
+        # revived graph by the resume path, so checkpoints exclude them.
         state = self.__dict__.copy()
         state["recovery"] = None
+        state["heartbeat"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -268,6 +275,11 @@ class DdcCoordinator:
             # After the next iteration is on the heap, so a checkpoint
             # taken here revives into a run that keeps iterating.
             self.recovery.on_iteration_end(k, start, ran=ran)
+        # getattr: a coordinator revived from a pre-heartbeat checkpoint
+        # has no such attribute in its pickled __dict__.
+        heartbeat = getattr(self, "heartbeat", None)
+        if heartbeat is not None:
+            heartbeat(k, start, ran)
 
     def _lab(self, lab: str) -> _LabInstruments:
         """Per-lab instruments, created on first encounter."""

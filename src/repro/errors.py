@@ -33,6 +33,8 @@ __all__ = [
     "CheckpointError",
     "ResumeDivergence",
     "InjectedCrash",
+    "ShardWorkerError",
+    "CampaignStopped",
     "LiveError",
 ]
 
@@ -179,6 +181,54 @@ class InjectedCrash(ReproError):
     emulate the coordinator process dying; never raised in production
     runs.
     """
+
+
+class ShardWorkerError(ReproError):
+    """A shard worker process died and could not be brought back.
+
+    Replaces the executor's opaque ``BrokenProcessPool`` with the
+    identity of the failed shard: which shard it was, the last heartbeat
+    the supervisor saw (``None`` on the unsupervised pool path, which
+    has no heartbeat channel), the last iteration the worker reported
+    complete, and how many supervised restarts were burned before
+    giving up.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        shard_index: int | None = None,
+        last_heartbeat: float | None = None,
+        last_iteration: int | None = None,
+        restarts: int = 0,
+    ):
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.last_heartbeat = last_heartbeat
+        self.last_iteration = last_iteration
+        self.restarts = restarts
+
+
+class CampaignStopped(ReproError):
+    """A supervised shard campaign was stopped by a steering command.
+
+    Raised by the supervisor after every worker has acknowledged STOP at
+    an iteration boundary.  With recovery enabled the campaign's run
+    directory is durable and ``resume_from=`` continues it; without
+    recovery the partial results are discarded.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        run_dir=None,
+        last_iterations: dict | None = None,
+    ):
+        super().__init__(message)
+        self.run_dir = run_dir
+        self.last_iterations = dict(last_iterations or {})
 
 
 class LiveError(ReproError):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -27,15 +28,27 @@ from typing import Optional, Sequence, Union
 
 from repro.config import ExperimentConfig, paper_config
 from repro.ddc.coordinator import DdcCoordinator
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ShardWorkerError
 from repro.faults.plan import FAULT_CATEGORIES, FaultPlan
 from repro.obs.observer import Observer, maybe_phase
 from repro.obs.snapshot import ObsSnapshot
 from repro.machines.hardware import TABLE1_LABS, LabSpec
-from repro.recovery.runtime import RecoveryConfig, RecoveryInfo, RecoveryRuntime
+from repro.recovery.manifest import (
+    CampaignManifest,
+    is_campaign_dir,
+    load_campaign_state,
+    write_campaign_state,
+)
+from repro.recovery.runtime import (
+    RecoveryConfig,
+    RecoveryInfo,
+    RecoveryRuntime,
+    fresh_runtime,
+)
 from repro.resilience.policy import ResiliencePolicy
 from repro.shard.merge import merge_outcomes
 from repro.shard.plan import ShardPlan
+from repro.shard.supervisor import CampaignReport, Supervisor, SupervisorPolicy
 from repro.shard.worker import (
     ShardTask,
     _run_shard_task,
@@ -81,6 +94,10 @@ class MonitoringResult:
     obs_snapshot:
         Merged per-shard observability snapshot (sharded, instrumented
         runs only; single-shard runs snapshot their live ``observer``).
+    campaign:
+        :class:`~repro.shard.supervisor.CampaignReport` of a supervised
+        sharded run: per-shard health states, restart counts,
+        heartbeats and recovery summaries (``None`` otherwise).
     """
 
     config: ExperimentConfig
@@ -91,6 +108,7 @@ class MonitoringResult:
     observer: Optional[Observer] = None
     recovery: Optional[RecoveryInfo] = None
     obs_snapshot: Optional[ObsSnapshot] = None
+    campaign: Optional[CampaignReport] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
@@ -118,6 +136,7 @@ def run_experiment(
     resume_from: Optional[Union[str, Path, RecoveryConfig]] = None,
     resilience: Optional[ResiliencePolicy] = None,
     shards: Optional[int] = None,
+    supervise: Union[bool, SupervisorPolicy, None] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -165,6 +184,11 @@ def run_experiment(
         ``recovery``; per-run arguments (``labs``, ``faults``,
         ``fleet_factory``, ``observer``) come from the checkpoint, and a
         ``config`` passed here must digest-match the checkpointed one.
+        A directory holding a campaign manifest (a ``shards>1`` run
+        collected with ``recovery=``) resumes the *whole campaign*:
+        every shard continues from its own checkpoint under supervision
+        and the merged result is byte-identical to the uninterrupted
+        run (``docs/shard_recovery.md``).
     resilience:
         Convenience for attaching a
         :class:`~repro.resilience.ResiliencePolicy` without rebuilding
@@ -179,12 +203,25 @@ def run_experiment(
         routes through the same :mod:`repro.shard` plan/worker/merge
         pipeline: ``shards=1`` runs the single all-labs shard in-process
         (the classic sequential run, byte for byte), ``shards>1`` fans
-        the plan out over a :class:`~concurrent.futures
-        .ProcessPoolExecutor` and merges a trace byte-identical to the
-        sequential one.  Incompatible with ``recovery``/``resume_from``
-        (per-shard journaling is rejected loudly, never silently
-        different) and with ``fleet_factory`` (workers rebuild fleets
-        from the config in their own processes).
+        the plan out over worker processes and merges a trace
+        byte-identical to the sequential one.  Combined with
+        ``recovery`` the fan-out becomes a supervised *campaign*: each
+        shard journals and checkpoints into its own
+        ``<run_dir>/shard-<k>/`` namespace under a shared campaign
+        manifest, a dead worker restarts from its *own* checkpoint while
+        healthy shards keep running, and ``resume_from=<run_dir>``
+        resumes the whole campaign.  Incompatible with
+        ``fleet_factory`` (workers rebuild fleets from the config in
+        their own processes).
+    supervise:
+        Run ``shards>1`` workers under the :class:`repro.shard
+        .supervisor.Supervisor` control plane -- heartbeats, liveness
+        deadlines, bounded restart-with-backoff, PAUSE/RESUME/STOP
+        steering -- instead of a bare process pool.  Pass ``True`` for
+        the default :class:`~repro.shard.supervisor.SupervisorPolicy`
+        or a policy instance to tune deadlines and restart budgets.
+        Implied (and required) whenever ``recovery`` or a campaign
+        ``resume_from`` is combined with ``shards>1``.
     """
     if resume_from is not None:
         if recovery is not None:
@@ -197,12 +234,22 @@ def run_experiment(
                 "resilience= cannot be changed on resume; the policy and "
                 "its control-plane state come from the checkpoint"
             )
+        rcfg = (resume_from if isinstance(resume_from, RecoveryConfig)
+                else RecoveryConfig(run_dir=resume_from))
+        if is_campaign_dir(rcfg.run_dir):
+            return _resume_campaign(
+                rcfg, config,
+                requested_shards=shards,
+                observer=observer,
+                supervise=supervise,
+            )
         if (shards is not None and shards > 1) or (
                 config is not None and config.shards > 1):
             raise CheckpointError(
-                "a crashed run cannot be resumed as a sharded run: the "
-                "journal and checkpoints describe one sequential "
-                "process; resume with shards=1"
+                f"{rcfg.run_dir} holds no campaign manifest: the journal "
+                "and checkpoints describe one sequential process; resume "
+                "it with shards=1 (only a run collected with shards>1 "
+                "and recovery= resumes as a sharded campaign)"
             )
         return _resume_experiment(
             resume_from,
@@ -235,19 +282,13 @@ def run_experiment(
             collect_nbench=collect_nbench,
             strict_postcollect=strict_postcollect, faults=faults,
         )
-        runtime = _fresh_runtime(recovery) if recovery is not None else None
+        runtime = fresh_runtime(recovery) if recovery is not None else None
         outcome = run_shard(task, observer=observer,
                             fleet_factory=fleet_factory, runtime=runtime)
         return MonitoringResult(config=cfg, fleet=outcome.fleet,
                                 coordinator=outcome.coordinator,
                                 store=outcome.store, faults=faults,
                                 observer=observer, recovery=outcome.recovery)
-    if recovery is not None:
-        raise CheckpointError(
-            "crash-safe recovery journals one sequential process; a "
-            "sharded run cannot share its run directory -- run with "
-            "shards=1, or give each shard count its own fresh run"
-        )
     if fleet_factory is not None:
         raise ValueError(
             "fleet_factory is not supported with shards > 1: worker "
@@ -262,24 +303,181 @@ def run_experiment(
                   instrument=instrument)
         for spec in plan.specs
     ]
+    if recovery is not None:
+        return _run_campaign(
+            cfg, plan, tasks,
+            recovery=recovery, labs=labs, faults=faults,
+            collect_nbench=collect_nbench,
+            strict_postcollect=strict_postcollect,
+            instrument=instrument, observer=observer, supervise=supervise,
+        )
+    if supervise:
+        return _run_supervised(cfg, tasks, recovery=None, manifest=None,
+                               observer=observer, supervise=supervise)
     with ProcessPoolExecutor(max_workers=n_shards) as pool:
-        outcomes = list(pool.map(_run_shard_task, tasks))
+        futures = [pool.submit(_run_shard_task, task) for task in tasks]
+        outcomes = []
+        for task, future in zip(tasks, futures):
+            try:
+                outcomes.append(future.result())
+            except BrokenProcessPool as exc:
+                raise ShardWorkerError(
+                    f"shard {task.shard.index} worker died in the process "
+                    "pool (no heartbeat channel, no restart budget); run "
+                    "with supervise=True (CLI: --supervise) for liveness "
+                    "tracking and bounded restart, or add recovery= for "
+                    "per-shard checkpointed restart",
+                    shard_index=task.shard.index,
+                ) from exc
     store, merged_faults, snapshot = merge_outcomes(outcomes)
     return MonitoringResult(config=cfg, fleet=None, coordinator=None,
                             store=store, faults=merged_faults,
                             observer=None, obs_snapshot=snapshot)
 
 
-def _fresh_runtime(recovery: RecoveryConfig) -> RecoveryRuntime:
-    """Recovery runtime for a brand-new run; refuses a used run dir."""
+def _run_supervised(
+    cfg: ExperimentConfig,
+    tasks: Sequence[ShardTask],
+    *,
+    recovery: Optional[RecoveryConfig],
+    manifest: Optional[CampaignManifest],
+    observer: Optional[Observer],
+    supervise: Union[bool, SupervisorPolicy, None],
+) -> MonitoringResult:
+    """Fan shard tasks out under the supervisor and merge the outcomes."""
+    policy = supervise if isinstance(supervise, SupervisorPolicy) else None
+    sup = Supervisor(
+        tasks, policy=policy, observer=observer, manifest=manifest,
+        run_dir=recovery.run_dir if recovery is not None else None,
+    )
+    outcomes = sup.run()
+    store, merged_faults, snapshot = merge_outcomes(outcomes)
+    if manifest is not None and recovery is not None:
+        manifest.state = "merged"
+        manifest.refresh_watermark()
+        manifest.write(recovery.run_dir)
+    return MonitoringResult(config=cfg, fleet=None, coordinator=None,
+                            store=store, faults=merged_faults,
+                            observer=None, obs_snapshot=snapshot,
+                            campaign=sup.report())
+
+
+def _run_campaign(
+    cfg: ExperimentConfig,
+    plan: ShardPlan,
+    tasks: Sequence[ShardTask],
+    *,
+    recovery: RecoveryConfig,
+    labs: Sequence[LabSpec],
+    faults: Optional[FaultPlan],
+    collect_nbench: bool,
+    strict_postcollect: bool,
+    instrument: bool,
+    observer: Optional[Observer],
+    supervise: Union[bool, SupervisorPolicy, None],
+) -> MonitoringResult:
+    """Fresh recovery-enabled sharded run: a supervised campaign.
+
+    Lays the campaign directory out as ``manifest.json`` +
+    ``campaign.pkl`` + one ``shard-<k>/`` recovery namespace per shard
+    and runs the workers under the supervisor; a dead worker restarts
+    from its own checkpoints while the others keep running.
+    """
+    from repro.recovery.checkpoint import config_digest
+
+    if recovery.crash_shard is not None \
+            and recovery.crash_shard >= len(plan.specs):
+        raise ValueError(
+            f"crash_shard={recovery.crash_shard} is out of range for "
+            f"{len(plan.specs)} shards"
+        )
+    if is_campaign_dir(recovery.run_dir):
+        raise CheckpointError(
+            f"{recovery.run_dir} already holds a campaign manifest; pass "
+            "resume_from= to continue that campaign, or choose a fresh "
+            "directory"
+        )
     if (any(recovery.journal_dir.glob("segment-*.jsonl"))
             or any(recovery.checkpoint_dir.glob("ckpt-*.ckpt"))):
         raise CheckpointError(
-            f"{recovery.run_dir} already holds a run's journal or "
-            "checkpoints; pass resume_from= to continue it, or choose a "
-            "fresh directory"
+            f"{recovery.run_dir} already holds a sequential run's journal "
+            "or checkpoints; a campaign cannot share its directory -- "
+            "resume it with shards=1, or choose a fresh directory"
         )
-    return RecoveryRuntime(recovery)
+    manifest = CampaignManifest.fresh(
+        recovery.run_dir, config_digest=config_digest(cfg), plan=plan
+    )
+    manifest.write(recovery.run_dir)
+    # The fault plan is pickled pristine: workers mutate their own
+    # unpickled copies, never this one.
+    write_campaign_state(
+        recovery.run_dir, config=cfg, labs=labs, faults=faults,
+        collect_nbench=collect_nbench,
+        strict_postcollect=strict_postcollect, instrument=instrument,
+    )
+    tasks = [
+        dataclasses.replace(t, recovery=recovery.for_shard(t.shard.index))
+        for t in tasks
+    ]
+    return _run_supervised(cfg, tasks, recovery=recovery, manifest=manifest,
+                           observer=observer, supervise=supervise)
+
+
+def _resume_campaign(
+    rcfg: RecoveryConfig,
+    config: Optional[ExperimentConfig],
+    *,
+    requested_shards: Optional[int],
+    observer: Optional[Observer],
+    supervise: Union[bool, SupervisorPolicy, None],
+) -> MonitoringResult:
+    """Resume a whole campaign: every shard from its own checkpoint.
+
+    Shards that already sealed their journal replay the checkpointed
+    tail under digest verification and regenerate their trace; shards
+    that crashed mid-run continue from their last checkpoint.  The
+    merged result is byte-identical to the uninterrupted run.
+    """
+    from repro.recovery.checkpoint import config_digest
+
+    manifest = CampaignManifest.load(rcfg.run_dir)
+    state = load_campaign_state(rcfg.run_dir)
+    if config is not None and config_digest(config) != manifest.config_digest:
+        raise CheckpointError(
+            f"configuration mismatch: resume was given a config whose "
+            f"digest {config_digest(config)[:12]}... differs from the "
+            f"campaign manifest's {manifest.config_digest[:12]}...; "
+            "resuming it would silently diverge"
+        )
+    if requested_shards is not None and requested_shards > 1 \
+            and requested_shards != manifest.n_shards:
+        raise CheckpointError(
+            f"the campaign was collected with {manifest.n_shards} shards "
+            f"and cannot be resumed with {requested_shards}: the shard "
+            "plan (and every journal) is partitioned per shard"
+        )
+    cfg: ExperimentConfig = state["config"]
+    plan = ShardPlan.build(state["labs"], manifest.n_shards)
+    manifest.verify_plan(plan)
+    # Reset the advisory status columns for the new generation; durable
+    # progress (last_iteration) is kept.
+    manifest.state = "running"
+    for status in manifest.shards.values():
+        status.state = "pending"
+        status.completed = False
+        status.restarts = 0
+    tasks = [
+        ShardTask(
+            config=cfg, shard=spec, labs=state["labs"],
+            collect_nbench=state["collect_nbench"],
+            strict_postcollect=state["strict_postcollect"],
+            faults=state["faults"], instrument=state["instrument"],
+            recovery=rcfg.for_shard(spec.index), resume=True,
+        )
+        for spec in plan.specs
+    ]
+    return _run_supervised(cfg, tasks, recovery=rcfg, manifest=manifest,
+                           observer=observer, supervise=supervise)
 
 
 def _finish_experiment(

@@ -20,6 +20,13 @@ hook-free, and produce bitwise-identical traces to pre-observability
 builds.  See ``docs/observability.md`` for the metric catalogue.
 """
 
+from repro.obs.health import (
+    WORKER_STATES,
+    record_worker_heartbeat,
+    record_worker_restart,
+    record_worker_state,
+    worker_state_code,
+)
 from repro.obs.metrics import (
     Counter,
     DURATION_BUCKETS,
@@ -49,4 +56,9 @@ __all__ = [
     "Span",
     "SpanRecord",
     "SpanRecorder",
+    "WORKER_STATES",
+    "record_worker_heartbeat",
+    "record_worker_restart",
+    "record_worker_state",
+    "worker_state_code",
 ]

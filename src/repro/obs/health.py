@@ -1,0 +1,105 @@
+"""Worker-health vocabulary and metric exports for supervised shards.
+
+The shard supervisor (:mod:`repro.shard.supervisor`) tracks one health
+state per worker process and mirrors it into the campaign's
+:class:`~repro.obs.metrics.MetricsRegistry` so an exported snapshot is
+self-describing:
+
+- ``shard.worker_state{shard=k}`` gauge -- the state's ordinal in
+  :data:`WORKER_STATES` (stable, so dashboards can threshold on it);
+- ``shard.heartbeats{shard=k}`` counter -- heartbeats received;
+- ``shard.restarts{shard=k}`` counter -- supervised restarts burned;
+- ``shard.last_iteration{shard=k}`` gauge -- last iteration the worker
+  reported complete.
+
+States
+------
+``STARTING``
+    Process launched, no heartbeat yet.
+``RUNNING``
+    Heartbeats arriving within the liveness deadline.
+``DEGRADED``
+    Last heartbeat is older than ``degraded_after`` -- the worker may
+    be stuck in a long iteration or dying; no action yet.
+``PAUSED``
+    The worker acknowledged a PAUSE steering command at an iteration
+    boundary and is idling (still heartbeating).
+``DEAD``
+    Liveness deadline blown or the process exited without delivering
+    an outcome; the supervisor schedules a restart (or gives up).
+``STOPPED``
+    The worker acknowledged STOP and exited cleanly mid-run.
+``DONE``
+    The worker delivered its shard outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "STARTING",
+    "RUNNING",
+    "DEGRADED",
+    "PAUSED",
+    "DEAD",
+    "STOPPED",
+    "DONE",
+    "WORKER_STATES",
+    "worker_state_code",
+    "record_worker_state",
+    "record_worker_heartbeat",
+    "record_worker_restart",
+]
+
+STARTING = "starting"
+RUNNING = "running"
+DEGRADED = "degraded"
+PAUSED = "paused"
+DEAD = "dead"
+STOPPED = "stopped"
+DONE = "done"
+
+#: All states, in ordinal order (the gauge encoding).
+WORKER_STATES = (STARTING, RUNNING, DEGRADED, PAUSED, DEAD, STOPPED, DONE)
+
+_STATE_CODES = {name: code for code, name in enumerate(WORKER_STATES)}
+
+
+def worker_state_code(state: str) -> int:
+    """Stable ordinal of a worker state (for the gauge encoding)."""
+    try:
+        return _STATE_CODES[state]
+    except KeyError:
+        raise ValueError(
+            f"unknown worker state {state!r}; expected one of "
+            f"{WORKER_STATES}"
+        ) from None
+
+
+def record_worker_state(metrics: Optional[MetricsRegistry], shard: int,
+                        state: str) -> None:
+    """Mirror a worker's health state into the campaign metrics."""
+    code = worker_state_code(state)  # validate even when unobserved
+    if metrics is None:
+        return
+    metrics.gauge("shard.worker_state", shard=str(shard)).set(code)
+
+
+def record_worker_heartbeat(metrics: Optional[MetricsRegistry], shard: int,
+                            iteration: int) -> None:
+    """Count a heartbeat and advance the shard's iteration gauge."""
+    if metrics is None:
+        return
+    metrics.counter("shard.heartbeats", shard=str(shard)).inc()
+    metrics.gauge("shard.last_iteration", shard=str(shard)).set(iteration)
+
+
+def record_worker_restart(metrics: Optional[MetricsRegistry],
+                          shard: int) -> None:
+    """Count one supervised restart of a shard worker."""
+    if metrics is None:
+        return
+    metrics.counter("shard.restarts", shard=str(shard)).inc()

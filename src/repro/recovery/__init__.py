@@ -49,12 +49,22 @@ from repro.recovery.journal import (
     TailAnomaly,
     scan_journal,
 )
+from repro.recovery.manifest import (
+    CampaignManifest,
+    ShardStatus,
+    is_campaign_dir,
+    journal_digest,
+    load_campaign_state,
+    write_campaign_state,
+)
 from repro.recovery.runtime import (
     CRASH_POINTS,
     CrashSpec,
     RecoveryConfig,
     RecoveryInfo,
     RecoveryRuntime,
+    fresh_runtime,
+    shard_dir,
 )
 
 __all__ = [
@@ -62,6 +72,7 @@ __all__ = [
     "JOURNAL_VERSION",
     "ALL_KILL_POINTS",
     "CRASH_POINTS",
+    "CampaignManifest",
     "Checkpoint",
     "CrashSpec",
     "JournalScan",
@@ -69,15 +80,22 @@ __all__ = [
     "JournalWriter",
     "KillAtIteration",
     "Quarantine",
+    "ShardStatus",
     "TailAnomaly",
     "RecoveryConfig",
     "RecoveryInfo",
     "RecoveryRuntime",
     "config_digest",
     "crash_and_resume",
+    "fresh_runtime",
+    "is_campaign_dir",
+    "journal_digest",
+    "load_campaign_state",
     "load_latest_checkpoint",
     "result_fingerprint",
     "scan_journal",
+    "shard_dir",
     "verify_crash_resume",
+    "write_campaign_state",
     "write_checkpoint",
 ]

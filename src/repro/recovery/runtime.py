@@ -55,8 +55,10 @@ __all__ = [
     "RecoveryConfig",
     "RecoveryInfo",
     "RecoveryRuntime",
+    "fresh_runtime",
     "sample_to_json_dict",
     "sample_from_json_dict",
+    "shard_dir",
 ]
 
 #: Kill points the crash-injection harness understands.  The
@@ -116,6 +118,11 @@ class RecoveryConfig:
         divergence is only counted.
     crash_at:
         Optional injected kill point (tests / smoke only).
+    crash_shard:
+        In a sharded campaign, the shard whose worker ``crash_at``
+        kills (default shard 0).  :meth:`for_shard` keeps the kill
+        switch only in the targeted shard's derived config, so chaos
+        tests take down exactly one worker.
     """
 
     run_dir: Union[str, Path]
@@ -124,12 +131,15 @@ class RecoveryConfig:
     fsync: bool = True
     strict_replay: bool = True
     crash_at: Optional[CrashSpec] = None
+    crash_shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
         if self.segment_records <= 0:
             raise ValueError("segment_records must be positive")
+        if self.crash_shard is not None and self.crash_shard < 0:
+            raise ValueError("crash_shard must be non-negative")
 
     @property
     def journal_dir(self) -> Path:
@@ -138,6 +148,46 @@ class RecoveryConfig:
     @property
     def checkpoint_dir(self) -> Path:
         return Path(self.run_dir) / "checkpoints"
+
+    def for_shard(self, index: int) -> "RecoveryConfig":
+        """This campaign's config namespaced to shard ``index``.
+
+        The shard owns ``<run_dir>/shard-<index>/`` -- its private
+        ``journal/`` + ``checkpoints/`` + ``quarantine/`` tree, laid out
+        exactly like a sequential run directory, so every existing
+        journal/checkpoint tool works on it unchanged.  An injected
+        ``crash_at`` survives only into the targeted shard's config
+        (``crash_shard``, default 0): killing one worker must leave the
+        other shards' runtimes untouched.
+        """
+        import dataclasses as _dc
+
+        victim = 0 if self.crash_shard is None else self.crash_shard
+        return _dc.replace(
+            self,
+            run_dir=shard_dir(self.run_dir, index),
+            crash_at=self.crash_at if index == victim else None,
+            crash_shard=None,
+        )
+
+
+def shard_dir(run_dir: Union[str, Path], index: int) -> Path:
+    """A shard's namespaced run directory inside a campaign root."""
+    return Path(run_dir) / f"shard-{index}"
+
+
+def fresh_runtime(config: RecoveryConfig) -> RecoveryRuntime:
+    """Recovery runtime for a brand-new run; refuses a used run dir."""
+    from repro.errors import CheckpointError
+
+    if (any(config.journal_dir.glob("segment-*.jsonl"))
+            or any(config.checkpoint_dir.glob("ckpt-*.ckpt"))):
+        raise CheckpointError(
+            f"{config.run_dir} already holds a run's journal or "
+            "checkpoints; pass resume_from= to continue it, or choose a "
+            "fresh directory"
+        )
+    return RecoveryRuntime(config)
 
 
 @dataclass

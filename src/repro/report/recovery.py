@@ -2,7 +2,10 @@
 
 Renders what the crash-safe persistence layer left behind in a run
 directory: the checkpoint ladder, the journal segment chain and the
-quarantine ledger.  Everything here is **read-only** -- unlike the
+quarantine ledger.  A directory holding a campaign manifest (a sharded
+supervised run, see ``docs/shard_recovery.md``) is reported as a
+campaign: the manifest's per-shard status table plus one nested
+per-shard status each.  Everything here is **read-only** -- unlike the
 resume path (:func:`repro.recovery.journal.scan_journal`), a status
 report never moves damaged artefacts into quarantine; it only describes
 them, so inspecting a crashed run does not alter the evidence the
@@ -18,10 +21,11 @@ from typing import Dict, List, Optional, Union
 
 from repro.errors import JournalError
 from repro.recovery.journal import Quarantine, decode_line
-from repro.recovery.runtime import RecoveryConfig
+from repro.recovery.manifest import CampaignManifest, is_campaign_dir
+from repro.recovery.runtime import RecoveryConfig, shard_dir
 from repro.report.tables import Table
 
-__all__ = ["recovery_status", "render_recovery_report"]
+__all__ = ["campaign_status", "recovery_status", "render_recovery_report"]
 
 
 def _checkpoint_rows(ckpt_dir: Path) -> List[dict]:
@@ -93,8 +97,34 @@ def _segment_rows(journal_dir: Path) -> List[dict]:
     return rows
 
 
+def campaign_status(run_dir: Union[str, Path]) -> dict:
+    """Machine-readable status of a campaign directory.
+
+    The manifest's own view (shard states, restarts, merge watermark)
+    plus a nested :func:`recovery_status` per shard directory, rebuilt
+    from the shards' journals and checkpoints -- the durable truth the
+    manifest only mirrors.
+    """
+    manifest = CampaignManifest.load(run_dir)
+    shards = {}
+    for index in sorted(manifest.shards):
+        shards[index] = recovery_status(shard_dir(run_dir, index))
+    return {
+        "run_dir": str(run_dir),
+        "campaign": manifest.to_dict(),
+        "shards": {str(k): v for k, v in shards.items()},
+        "resumable": all(s["resumable"] for s in shards.values()),
+    }
+
+
 def recovery_status(run_dir: Union[str, Path]) -> dict:
-    """Machine-readable status of a recovery run directory."""
+    """Machine-readable status of a recovery run directory.
+
+    Dispatches to :func:`campaign_status` when ``run_dir`` holds a
+    campaign manifest.
+    """
+    if is_campaign_dir(run_dir):
+        return campaign_status(run_dir)
     rcfg = RecoveryConfig(run_dir=run_dir)
     checkpoints = _checkpoint_rows(rcfg.checkpoint_dir)
     segments = _segment_rows(rcfg.journal_dir)
@@ -114,8 +144,46 @@ def recovery_status(run_dir: Union[str, Path]) -> dict:
     }
 
 
+def _render_campaign_report(run_dir: Union[str, Path]) -> str:
+    """Fixed-width status report of a campaign directory."""
+    status = campaign_status(run_dir)
+    manifest = status["campaign"]
+    head = f"campaign status: {status['run_dir']}"
+    parts = [head, "=" * len(head),
+             f"state {manifest['state']}, {manifest['n_shards']} shards, "
+             f"merge watermark {manifest['merge_watermark']}, "
+             f"config digest {manifest['config_digest'][:12]}..."]
+    table = Table(["shard", "labs", "machines", "state", "restarts",
+                   "last iter", "resumable", "journal digest"])
+    for row in manifest["plan"]:
+        index = row["index"]
+        shard = manifest["shards"][str(index)]
+        nested = status["shards"][str(index)]
+        table.add_row([
+            index, ",".join(row["labs"]), row["n_machines"],
+            shard["state"], shard["restarts"], shard["last_iteration"],
+            "yes" if nested["resumable"] else "NO",
+            shard["journal_digest"] or "-",
+        ])
+    parts += ["", table.render(), ""]
+    if status["resumable"]:
+        parts.append("every shard is resumable; 'repro run --resume "
+                     f"--recover-dir {status['run_dir']}' continues the "
+                     "campaign")
+    else:
+        parts.append("some shards have nothing to resume from; a resume "
+                     "would cold-restart them against their journals")
+    return "\n".join(parts)
+
+
 def render_recovery_report(run_dir: Union[str, Path]) -> str:
-    """Fixed-width status report of a recovery run directory."""
+    """Fixed-width status report of a recovery run directory.
+
+    Campaign directories render the manifest's per-shard table instead
+    of a single checkpoint/journal listing.
+    """
+    if is_campaign_dir(run_dir):
+        return _render_campaign_report(run_dir)
     status = recovery_status(run_dir)
     parts = [f"recovery status: {status['run_dir']}"]
     parts.append("=" * len(parts[0]))

@@ -9,7 +9,12 @@ trace byte-identical to the sequential run:
 - :mod:`repro.shard.worker` runs one shard: a full fleet replica whose
   DDC coordinator materialises probes only for the shard's own labs;
 - :mod:`repro.shard.merge` recombines the per-shard stores, metas and
-  observability snapshots deterministically.
+  observability snapshots deterministically;
+- :mod:`repro.shard.supervisor` runs the workers under explicit
+  supervision -- heartbeats, liveness deadlines, bounded
+  restart-with-backoff from per-shard checkpoints, PAUSE/RESUME/STOP
+  steering -- turning the fan-out into a fault-tolerant campaign
+  control plane (``docs/shard_recovery.md``).
 
 ``repro.experiment.run_experiment`` routes every run -- including the
 sequential ``shards=1`` case -- through this plan/worker/merge pipeline;
@@ -18,13 +23,31 @@ see ``docs/sharding.md`` for the determinism argument.
 
 from repro.shard.merge import merge_outcomes
 from repro.shard.plan import ShardPlan, ShardSpec
-from repro.shard.worker import ShardOutcome, ShardTask, run_shard
+from repro.shard.supervisor import (
+    CampaignReport,
+    Supervisor,
+    SupervisorPolicy,
+    WorkerControl,
+)
+from repro.shard.worker import (
+    ShardOutcome,
+    ShardTask,
+    execute_shard_task,
+    resume_shard,
+    run_shard,
+)
 
 __all__ = [
+    "CampaignReport",
     "ShardPlan",
     "ShardSpec",
     "ShardTask",
     "ShardOutcome",
-    "run_shard",
+    "Supervisor",
+    "SupervisorPolicy",
+    "WorkerControl",
+    "execute_shard_task",
     "merge_outcomes",
+    "resume_shard",
+    "run_shard",
 ]

@@ -1,0 +1,685 @@
+"""Supervised shard workers: the fault-tolerant campaign control plane.
+
+The plain fan-out path (``ProcessPoolExecutor``) treats a dying worker
+as a fatal, campaign-wide event.  This module replaces it -- for
+recovery-enabled and explicitly supervised runs -- with a control plane
+modelled on the discipline the paper's operators applied by hand over
+77 days, and on how multi-site platforms (Grid'5000) survive per-site
+failures:
+
+- every worker is a :class:`multiprocessing.Process` launched by the
+  :class:`Supervisor`, not an anonymous pool slot;
+- workers send ``hello`` / ``heartbeat`` / ``outcome`` / ``error``
+  events over a **per-generation pipe** (a killed worker can only ever
+  tear its own channel -- one shared fan-in queue would let a worker
+  dying mid-write wedge the write lock every other producer needs);
+  the supervisor stamps receive times and applies **liveness
+  deadlines** (``degraded_after``, ``dead_after``);
+- a dead worker is restarted with bounded multiplicative backoff
+  (:meth:`SupervisorPolicy.restart_delay` -- the same
+  ``min(cap, base * multiplier**n)`` discipline as the resilience
+  layer's breaker cooldowns), resuming **from its own shard-namespaced
+  checkpoint** (``RecoveryConfig.for_shard``) while healthy shards keep
+  running; without recovery the shard re-runs from scratch, which the
+  deterministic simulation makes merge-equivalent;
+- worker health (:mod:`repro.obs.health` vocabulary) is exported
+  through ``repro.obs`` metrics and mirrored into the campaign
+  manifest;
+- PAUSE / RESUME / STOP steering commands are delivered over per-worker
+  queues and honoured at iteration boundaries -- STOP rides the
+  engine's cooperative :meth:`~repro.sim.engine.Simulator.request_stop`
+  so a stopping worker still seals its journal.
+
+``docs/shard_recovery.md`` walks through the composed guarantees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import queue
+import sys
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import CampaignStopped, ShardWorkerError
+from repro.obs import health
+from repro.obs.observer import Observer
+from repro.recovery.manifest import CampaignManifest, journal_digest
+from repro.recovery.runtime import RecoveryInfo
+from repro.shard.worker import ShardOutcome, ShardTask, execute_shard_task
+
+__all__ = [
+    "PAUSE",
+    "RESUME",
+    "STOP",
+    "SupervisorPolicy",
+    "WorkerControl",
+    "CampaignReport",
+    "Supervisor",
+]
+
+#: Steering commands (sent to workers, applied at iteration boundaries).
+PAUSE = "pause"
+RESUME = "resume"
+STOP = "stop"
+
+#: Worker-side poll cadence while paused (seconds); each poll also
+#: re-heartbeats so an idling worker never trips the liveness deadline.
+_PAUSE_POLL = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Supervision knobs: heartbeat cadence, deadlines, restart budget.
+
+    Parameters
+    ----------
+    heartbeat_every:
+        Send a heartbeat every N completed iterations (1 = every
+        iteration; the paper's 15-minute cadence makes even 1 cheap).
+    degraded_after / dead_after:
+        Wall-clock seconds without a heartbeat before a worker is
+        marked DEGRADED (observability only) respectively DEAD
+        (terminated and restarted).  Deadlines are measured on the
+        supervisor's clock from event *receive* times.
+    max_restarts:
+        Restarts allowed per shard before the campaign fails with
+        :class:`~repro.errors.ShardWorkerError`.
+    backoff_base / backoff_multiplier / backoff_cap:
+        Restart n waits ``min(cap, base * multiplier**(n-1))`` seconds
+        -- the resilience breaker's capped multiplicative cooldown
+        discipline applied to process restarts.
+    poll_interval:
+        Supervisor event-loop tick (seconds).
+    exit_grace:
+        Seconds to keep draining the event queue after a worker's exit
+        code appears before declaring the outcome lost: a finished
+        worker's outcome may still be in the pipe when it exits.
+    """
+
+    heartbeat_every: int = 1
+    degraded_after: float = 5.0
+    dead_after: float = 30.0
+    max_restarts: int = 2
+    backoff_base: float = 0.25
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 5.0
+    poll_interval: float = 0.05
+    exit_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be at least 1")
+        if self.degraded_after <= 0 or self.dead_after <= 0:
+            raise ValueError("liveness deadlines must be positive")
+        if self.dead_after < self.degraded_after:
+            raise ValueError("dead_after must be >= degraded_after")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.exit_grace < 0:
+            raise ValueError("exit_grace must be non-negative")
+
+    def restart_delay(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError("restart attempts are 1-based")
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_multiplier ** (attempt - 1))
+
+
+class WorkerControl:
+    """Worker-side supervision endpoint (lives in the child process).
+
+    Installed as the coordinator's ``heartbeat`` hook, so it runs at
+    the end of every scheduled iteration -- after the recovery hook,
+    meaning a heartbeat only ever reports *durable* progress.  Emits
+    heartbeats on the shared event queue and applies steering commands:
+    PAUSE idles right here (still heartbeating), RESUME leaves the idle
+    loop, STOP asks the simulator to stop cooperatively at the event
+    boundary.
+    """
+
+    def __init__(self, shard_index: int, events, commands, *,
+                 heartbeat_every: int = 1):
+        self.shard_index = shard_index
+        self._events = events
+        self._commands = commands
+        self.heartbeat_every = max(1, heartbeat_every)
+        self.last_iteration = -1
+        self.paused = False
+        self.stopped = False
+        self._sim = None
+
+    def bind(self, sim) -> None:
+        """Attach the simulator STOP will be delivered to."""
+        self._sim = sim
+
+    # -- the coordinator hook ------------------------------------------
+    def on_iteration(self, k: int, t: float, ran: bool) -> None:
+        self.last_iteration = k
+        if k % self.heartbeat_every == 0:
+            self._events.put(("heartbeat", self.shard_index, k, t))
+        self._apply_pending()
+        while self.paused and not self.stopped:
+            self._idle_once()
+
+    # -- command plumbing ----------------------------------------------
+    def _apply_pending(self) -> None:
+        while True:
+            try:
+                cmd = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            self._apply(cmd)
+
+    def _idle_once(self) -> None:
+        try:
+            cmd = self._commands.get(timeout=_PAUSE_POLL)
+        except queue.Empty:
+            # Keep the liveness deadline fed while idling.
+            self._events.put(
+                ("heartbeat", self.shard_index, self.last_iteration, None)
+            )
+            return
+        self._apply(cmd)
+
+    def _apply(self, cmd: str) -> None:
+        if cmd == PAUSE and not self.paused:
+            self.paused = True
+            self._events.put(("paused", self.shard_index, self.last_iteration))
+        elif cmd == RESUME and self.paused:
+            self.paused = False
+            self._events.put(
+                ("resumed", self.shard_index, self.last_iteration)
+            )
+        elif cmd == STOP:
+            self.stopped = True
+            self.paused = False
+            if self._sim is not None:
+                self._sim.request_stop()
+            self._events.put(
+                ("stopping", self.shard_index, self.last_iteration)
+            )
+
+
+class _PipeSink:
+    """Worker-side event channel: a ``put`` facade over one pipe end.
+
+    :meth:`multiprocessing.connection.Connection.send` is synchronous
+    (once it returns, the bytes are in the pipe -- no feeder thread to
+    flush) and the connection is exclusive to this worker generation,
+    so a worker killed mid-send can only tear its own channel, never a
+    lock shared with healthy producers.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def put(self, event: tuple) -> None:
+        self._conn.send(event)
+
+
+def _supervised_entry(task: ShardTask, conn, commands,
+                      heartbeat_every: int) -> None:
+    """Child-process entry point: run the task under a control endpoint.
+
+    Failures of any kind are reported as an ``error`` event (so the
+    supervisor learns the shard and last iteration) before the process
+    exits non-zero; hard kills (SIGKILL, interpreter death) are instead
+    detected parent-side by the exit-code watcher.
+    """
+    events = _PipeSink(conn)
+    control = WorkerControl(task.shard.index, events, commands,
+                            heartbeat_every=heartbeat_every)
+    events.put(("hello", task.shard.index))
+    try:
+        outcome = execute_shard_task(task, control=control)
+    except BaseException as exc:
+        events.put(("error", task.shard.index,
+                    f"{type(exc).__name__}: {exc}", control.last_iteration))
+        sys.exit(70)
+    events.put(("outcome", task.shard.index, outcome))
+
+
+@dataclass
+class CampaignReport:
+    """What the supervisor observed across one campaign run."""
+
+    n_shards: int
+    run_dir: Optional[Path]
+    #: Final :mod:`repro.obs.health` state per shard.
+    states: Dict[int, str]
+    restarts: Dict[int, int]
+    heartbeats: Dict[int, int]
+    last_iterations: Dict[int, int]
+    #: Per-shard recovery summary from the final worker generation
+    #: (``None`` for shards run without recovery).
+    recovery: Dict[int, Optional[RecoveryInfo]] = field(default_factory=dict)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side record of one shard worker."""
+
+    task: ShardTask
+    commands: object = None
+    #: Supervisor-side read end of the current generation's event pipe.
+    conn: object = None
+    process: object = None
+    state: str = health.STARTING
+    restarts: int = 0
+    heartbeats: int = 0
+    last_heartbeat: Optional[float] = None  # supervisor monotonic time
+    last_iteration: int = -1
+    outcome: Optional[ShardOutcome] = None
+    spawned_at: float = 0.0
+    exited_seen_at: Optional[float] = None
+    restart_at: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (health.DONE, health.STOPPED)
+
+
+class Supervisor:
+    """Launch shard workers under supervision and collect their outcomes.
+
+    Parameters
+    ----------
+    tasks:
+        One :class:`~repro.shard.worker.ShardTask` per shard; tasks
+        carrying ``recovery`` restart from their own checkpoints, tasks
+        without re-run from scratch.
+    policy:
+        :class:`SupervisorPolicy` (defaults are production-shaped; chaos
+        tests shrink the deadlines and backoff).
+    observer:
+        Campaign-level observer for the worker-health metrics
+        (``shard.worker_state`` / ``shard.heartbeats`` /
+        ``shard.restarts`` gauges and counters).
+    manifest / run_dir:
+        Campaign manifest to keep current (recovery campaigns only);
+        ``run_dir`` is the campaign root it is persisted under.
+    mp_context:
+        ``multiprocessing`` context override (tests).
+    """
+
+    #: Seconds between manifest rewrites driven by heartbeat traffic.
+    _MANIFEST_EVERY = 1.0
+
+    def __init__(
+        self,
+        tasks: Sequence[ShardTask],
+        *,
+        policy: Optional[SupervisorPolicy] = None,
+        observer: Optional[Observer] = None,
+        manifest: Optional[CampaignManifest] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        mp_context=None,
+    ):
+        if not tasks:
+            raise ValueError("a supervisor needs at least one shard task")
+        indexes = [t.shard.index for t in tasks]
+        if len(set(indexes)) != len(indexes):
+            raise ValueError("shard tasks must have distinct indexes")
+        import multiprocessing as mp
+
+        self.policy = policy or SupervisorPolicy()
+        self.manifest = manifest
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self._metrics = (observer.metrics if observer is not None
+                         and observer.enabled else None)
+        self._ctx = mp_context or mp.get_context()
+        self._workers: Dict[int, _Worker] = {
+            t.shard.index: _Worker(task=t) for t in tasks
+        }
+        self._stop_requested = False
+        self._ran = False
+        self._manifest_written_at = 0.0
+
+    # ------------------------------------------------------------------
+    # steering (safe to call from another thread while run() is live)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Ask every worker to idle at its next iteration boundary."""
+        self._broadcast(PAUSE)
+
+    def resume(self) -> None:
+        """Wake paused workers."""
+        self._broadcast(RESUME)
+
+    def stop(self) -> None:
+        """Stop the campaign cooperatively; run() raises CampaignStopped."""
+        self._stop_requested = True
+        self._broadcast(STOP)
+
+    def _broadcast(self, cmd: str) -> None:
+        for w in self._workers.values():
+            if w.commands is not None:
+                w.commands.put(cmd)
+
+    def states(self) -> Dict[int, str]:
+        """Current health state per shard (supervisor's view)."""
+        return {k: w.state for k, w in sorted(self._workers.items())}
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[ShardOutcome]:
+        """Supervise every worker to completion; the campaign verb.
+
+        Returns the shard outcomes ordered by shard index.  Raises
+        :class:`~repro.errors.ShardWorkerError` when a shard exhausts
+        its restart budget (all other workers are terminated; a
+        recovery campaign stays resumable) and
+        :class:`~repro.errors.CampaignStopped` after a STOP command has
+        been honoured by every worker.
+        """
+        if self._ran:
+            raise RuntimeError("a Supervisor instance runs exactly once")
+        self._ran = True
+        for w in self._workers.values():
+            self._spawn(w)
+        try:
+            while not all(w.terminal for w in self._workers.values()):
+                self._drain_events()
+                now = time.monotonic()
+                self._check_liveness(now)
+                self._check_exits(now)
+                self._launch_due_restarts(now)
+        except BaseException:
+            self._write_manifest(state="failed", force=True)
+            raise
+        finally:
+            self._shutdown()
+        return self._conclude()
+
+    # ------------------------------------------------------------------
+    def _spawn(self, w: _Worker) -> None:
+        task = w.task
+        if w.restarts > 0:
+            task = self._restart_task(task)
+        if w.conn is not None:
+            w.conn.close()
+        # Fresh channels per generation: the previous generation may
+        # have died holding its queue's internal locks, and a pipe end
+        # is single-generation by construction.
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        w.conn = recv_conn
+        w.commands = self._ctx.Queue()
+        w.process = self._ctx.Process(
+            target=_supervised_entry,
+            args=(task, send_conn, w.commands, self.policy.heartbeat_every),
+            name=f"repro-shard-{task.shard.index}",
+            daemon=True,
+        )
+        w.spawned_at = time.monotonic()
+        w.last_heartbeat = None  # liveness restarts from this generation
+        w.exited_seen_at = None
+        w.restart_at = None
+        self._set_state(w, health.STARTING)
+        w.process.start()
+        # The child holds its copy; closing ours makes worker death
+        # surface as EOF on the read end.
+        send_conn.close()
+
+    @staticmethod
+    def _restart_task(task: ShardTask) -> ShardTask:
+        """The task a restarted worker generation runs.
+
+        With recovery the restart *resumes* from the shard's own
+        checkpoints -- and strips any injected kill switch, mirroring
+        how a real crash kills the process but not the operator's
+        restart.  Without recovery the shard deterministically re-runs
+        from scratch.
+        """
+        rcfg = task.recovery
+        if rcfg is None:
+            return task
+        rcfg = dataclasses.replace(rcfg, crash_at=None, crash_shard=None)
+        return dataclasses.replace(task, recovery=rcfg, resume=True)
+
+    # ------------------------------------------------------------------
+    # event loop stages
+    # ------------------------------------------------------------------
+    def _drain_events(self) -> None:
+        """Apply pending worker events; block at most one poll tick.
+
+        Multiplexes over the live per-generation pipes.  EOF (or a
+        message torn by a mid-send kill) retires that generation's
+        channel only -- death itself is decided by the exit-code and
+        liveness watchers.
+        """
+        conns = {w.conn: w for w in self._workers.values()
+                 if w.conn is not None and not w.conn.closed}
+        if not conns:
+            time.sleep(self.policy.poll_interval)
+            return
+        ready = _mp_connection.wait(list(conns),
+                                    timeout=self.policy.poll_interval)
+        for conn in ready:
+            w = conns[conn]
+            while True:
+                try:
+                    event = conn.recv()
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    conn.close()
+                    w.conn = None
+                    break
+                self._apply_event(event)
+                if not conn.poll():
+                    break
+
+    def _apply_event(self, event: tuple) -> None:
+        kind, index = event[0], event[1]
+        w = self._workers.get(index)
+        if w is None or w.terminal:
+            return
+        now = time.monotonic()
+        if kind == "hello":
+            w.last_heartbeat = now
+        elif kind == "heartbeat":
+            w.last_heartbeat = now
+            w.heartbeats += 1
+            w.last_iteration = max(w.last_iteration, event[2])
+            if w.state in (health.STARTING, health.DEGRADED):
+                self._set_state(w, health.RUNNING)
+            health.record_worker_heartbeat(self._metrics, index,
+                                           w.last_iteration)
+            self._note_progress(w)
+            self._write_manifest()
+        elif kind == "paused":
+            self._set_state(w, health.PAUSED)
+        elif kind == "resumed":
+            self._set_state(w, health.RUNNING)
+        elif kind == "stopping":
+            w.last_iteration = max(w.last_iteration, event[2])
+        elif kind == "error":
+            w.error = event[2]
+            w.last_iteration = max(w.last_iteration, event[3])
+            self._note_progress(w)
+            self._on_death(w, f"worker failed: {event[2]}")
+        elif kind == "outcome":
+            outcome: ShardOutcome = event[2]
+            w.outcome = outcome
+            w.last_iteration = max(w.last_iteration, outcome.last_iteration)
+            self._note_progress(w)
+            self._set_state(
+                w, health.STOPPED if outcome.stopped else health.DONE
+            )
+            self._complete_in_manifest(w, outcome)
+
+    def _check_liveness(self, now: float) -> None:
+        p = self.policy
+        for w in self._workers.values():
+            if w.terminal or w.state == health.DEAD:
+                continue
+            ref = w.last_heartbeat if w.last_heartbeat is not None \
+                else w.spawned_at
+            age = now - ref
+            if age > p.dead_after:
+                self._on_death(
+                    w, f"no heartbeat for {age:.1f}s "
+                       f"(deadline {p.dead_after:.1f}s)"
+                )
+            elif age > p.degraded_after and w.state == health.RUNNING:
+                self._set_state(w, health.DEGRADED)
+
+    def _check_exits(self, now: float) -> None:
+        for w in self._workers.values():
+            if w.terminal or w.state == health.DEAD or w.process is None:
+                continue
+            code = w.process.exitcode
+            if code is None:
+                continue
+            if w.exited_seen_at is None:
+                # Give any in-flight outcome event time to surface.
+                w.exited_seen_at = now
+            elif now - w.exited_seen_at > self.policy.exit_grace:
+                self._on_death(
+                    w, f"worker exited with code {code} without "
+                       "delivering an outcome"
+                )
+
+    def _launch_due_restarts(self, now: float) -> None:
+        for w in self._workers.values():
+            if (w.state == health.DEAD and w.restart_at is not None
+                    and now >= w.restart_at):
+                self._spawn(w)
+
+    # ------------------------------------------------------------------
+    def _on_death(self, w: _Worker, reason: str) -> None:
+        index = w.task.shard.index
+        self._set_state(w, health.DEAD)
+        self._reap(w)
+        last_hb_age = (time.monotonic() - w.last_heartbeat
+                       if w.last_heartbeat is not None else None)
+        if w.restarts >= self.policy.max_restarts:
+            raise ShardWorkerError(
+                f"shard {index} worker died ({reason}) and its restart "
+                f"budget of {self.policy.max_restarts} is exhausted; "
+                f"last completed iteration {w.last_iteration}"
+                + ("" if self.run_dir is None else
+                   f"; the campaign in {self.run_dir} is resumable"),
+                shard_index=index,
+                last_heartbeat=last_hb_age,
+                last_iteration=w.last_iteration,
+                restarts=w.restarts,
+            )
+        w.restarts += 1
+        health.record_worker_restart(self._metrics, index)
+        delay = self.policy.restart_delay(w.restarts)
+        w.restart_at = time.monotonic() + delay
+        self._write_manifest(force=True)
+
+    def _reap(self, w: _Worker) -> None:
+        if w.process is None:
+            return
+        if w.process.exitcode is None:
+            w.process.terminate()
+        w.process.join(timeout=2.0)
+
+    def _shutdown(self) -> None:
+        """Terminate whatever is still alive (error and stop paths)."""
+        for w in self._workers.values():
+            if w.process is not None and w.process.exitcode is None:
+                w.process.terminate()
+                w.process.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    def _conclude(self) -> List[ShardOutcome]:
+        outcomes = [w.outcome for _, w in sorted(self._workers.items())]
+        stopped = self._stop_requested or any(
+            o is not None and o.stopped for o in outcomes
+        )
+        if stopped:
+            self._write_manifest(state="stopped", force=True)
+            raise CampaignStopped(
+                "campaign stopped by steering command"
+                + ("" if self.run_dir is None else
+                   f"; resume it from {self.run_dir}"),
+                run_dir=self.run_dir,
+                last_iterations={k: w.last_iteration
+                                 for k, w in sorted(self._workers.items())},
+            )
+        assert all(o is not None for o in outcomes)
+        if self.manifest is not None:
+            self.manifest.refresh_watermark()
+        self._write_manifest(force=True)
+        return outcomes
+
+    def report(self) -> CampaignReport:
+        """Summarise the supervision run (valid after :meth:`run`)."""
+        workers = sorted(self._workers.items())
+        return CampaignReport(
+            n_shards=len(workers),
+            run_dir=self.run_dir,
+            states={k: w.state for k, w in workers},
+            restarts={k: w.restarts for k, w in workers},
+            heartbeats={k: w.heartbeats for k, w in workers},
+            last_iterations={k: w.last_iteration for k, w in workers},
+            recovery={k: (w.outcome.recovery if w.outcome is not None
+                          else None) for k, w in workers},
+        )
+
+    # ------------------------------------------------------------------
+    # manifest + metrics mirroring
+    # ------------------------------------------------------------------
+    def _set_state(self, w: _Worker, state: str) -> None:
+        w.state = state
+        index = w.task.shard.index
+        health.record_worker_state(self._metrics, index, state)
+        if self.manifest is not None:
+            status = self.manifest.shards.get(index)
+            if status is not None:
+                status.state = state
+                status.restarts = w.restarts
+
+    def _note_progress(self, w: _Worker) -> None:
+        if self.manifest is None:
+            return
+        status = self.manifest.shards.get(w.task.shard.index)
+        if status is not None:
+            # Durable progress never regresses: a resume generation
+            # starts its counter below what the journal already holds.
+            status.last_iteration = max(status.last_iteration,
+                                        w.last_iteration)
+
+    def _complete_in_manifest(self, w: _Worker,
+                              outcome: ShardOutcome) -> None:
+        if self.manifest is None:
+            return
+        status = self.manifest.shards.get(w.task.shard.index)
+        if status is not None:
+            status.completed = not outcome.stopped
+            if w.task.recovery is not None:
+                status.journal_digest = journal_digest(
+                    w.task.recovery.journal_dir
+                )
+        self._write_manifest(force=True)
+
+    def _write_manifest(self, state: Optional[str] = None,
+                        force: bool = False) -> None:
+        if self.manifest is None or self.run_dir is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._manifest_written_at < self._MANIFEST_EVERY:
+            return
+        if state is not None:
+            self.manifest.state = state
+        self.manifest.refresh_watermark()
+        self.manifest.write(self.run_dir)
+        self._manifest_written_at = now

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 from repro.config import ExperimentConfig
 from repro.ddc.coordinator import DdcCoordinator
+from repro.errors import CheckpointError
 from repro.ddc.nbenchprobe import NBenchProbe, parse_nbench_output
 from repro.ddc.postcollect import SamplePostCollector
 from repro.ddc.w32probe import W32Probe
@@ -31,13 +32,25 @@ from repro.machines.hardware import LabSpec
 from repro.machines.winapi import Win32Api
 from repro.obs.observer import Observer, maybe_phase
 from repro.obs.snapshot import ObsSnapshot
-from repro.recovery.runtime import RecoveryInfo, RecoveryRuntime
+from repro.recovery.runtime import (
+    RecoveryConfig,
+    RecoveryInfo,
+    RecoveryRuntime,
+    fresh_runtime,
+)
 from repro.shard.plan import ShardSpec
 from repro.sim.fleet import FleetSimulator
 from repro.traces.records import StaticInfo, TraceMeta
 from repro.traces.store import TraceStore
 
-__all__ = ["ShardTask", "ShardOutcome", "run_shard", "attach_nbench_indexes"]
+__all__ = [
+    "ShardTask",
+    "ShardOutcome",
+    "run_shard",
+    "resume_shard",
+    "execute_shard_task",
+    "attach_nbench_indexes",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,13 @@ class ShardTask:
     #: return its snapshot (the in-process path passes a live observer
     #: to :func:`run_shard` instead).
     instrument: bool = False
+    #: Per-shard crash-safe persistence (a campaign hands each worker
+    #: ``campaign_config.for_shard(k)``); the worker constructs the
+    #: runtime itself -- live runtimes never cross process boundaries.
+    recovery: Optional[RecoveryConfig] = None
+    #: Continue from :attr:`recovery`'s run directory instead of
+    #: starting fresh (the supervised restart / campaign-resume path).
+    resume: bool = False
 
 
 @dataclass
@@ -79,6 +99,12 @@ class ShardOutcome:
     fleet: Optional[FleetSimulator] = None
     coordinator: Optional[DdcCoordinator] = None
     observer: Optional[Observer] = None
+    #: The worker honoured a STOP steering command before the horizon;
+    #: the store is partial and must not be merged.
+    stopped: bool = False
+    #: Last iteration the shard completed (-1 when it never finished
+    #: one); meaningful mainly for stopped outcomes.
+    last_iteration: int = -1
 
 
 def run_shard(
@@ -87,6 +113,7 @@ def run_shard(
     observer: Optional[Observer] = None,
     fleet_factory=None,
     runtime: Optional[RecoveryRuntime] = None,
+    control=None,
 ) -> ShardOutcome:
     """Run one shard to its horizon and return its artefacts.
 
@@ -94,7 +121,10 @@ def run_shard(
     it to the horizon, finalise the meta and benchmark the roster --
     with every materialising step gated on the shard's lab ownership.
     ``observer``, ``fleet_factory`` and ``runtime`` are the in-process
-    extras ``run_experiment`` threads through for ``shards=1``.
+    extras ``run_experiment`` threads through for ``shards=1``;
+    ``control`` is a supervised worker's steering endpoint (heartbeats
+    out, PAUSE/RESUME/STOP in), installed as the coordinator's
+    iteration-boundary hook.
     """
     cfg = task.config
     shard = task.shard
@@ -134,6 +164,9 @@ def run_shard(
         if runtime is not None:
             runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
                          config=cfg, faults=task.faults, observer=observer)
+        if control is not None:
+            control.bind(fleet.sim)
+            coordinator.heartbeat = control.on_iteration
         _resolve_kernel(cfg, coordinator, fleet,
                         custom_fleet=fleet_factory is not None)
     with maybe_phase(obs, "simulate"):
@@ -146,19 +179,139 @@ def run_shard(
                 # Emulates the process dying: handles drop, no seal.
                 runtime.hard_stop()
             raise
+    return _finish_shard(task, fleet=fleet, coordinator=coordinator,
+                         store=store, faults=task.faults, observer=observer,
+                         obs=obs, runtime=runtime, control=control)
+
+
+def _finish_shard(
+    task: ShardTask,
+    *,
+    fleet: FleetSimulator,
+    coordinator: DdcCoordinator,
+    store: TraceStore,
+    faults: Optional[FaultPlan],
+    observer: Optional[Observer],
+    obs: Optional[Observer],
+    runtime: Optional[RecoveryRuntime],
+    control,
+) -> ShardOutcome:
+    """Post-simulation stages shared by fresh and resumed shard runs.
+
+    A worker that honoured STOP returns early with a partial store --
+    meta unfinalised, no NBench pass -- but still seals its journal, so
+    the campaign stays resumable from exactly where it paused.
+    """
+    shard = task.shard
+    owned = None if shard.all_labs else frozenset(shard.labs)
+    last = control.last_iteration if control is not None else -1
+    if control is not None and control.stopped:
+        info = runtime.finish() if runtime is not None else None
+        return ShardOutcome(shard_index=shard.index, store=store,
+                            faults=faults, recovery=info, fleet=fleet,
+                            coordinator=coordinator, observer=observer,
+                            stopped=True, last_iteration=last)
+    meta = store.meta
+    assert meta is not None
     coordinator.finalize_meta(meta)
+    # A resumed shard whose checkpoint already sat at the horizon ran
+    # zero new iterations, so the control hook never fired; the meta
+    # still knows how far the shard durably got.
+    last = max(last, meta.iterations_run - 1)
     if task.collect_nbench:
         with maybe_phase(obs, "collect"):
             attach_nbench_indexes(fleet, meta, owned_labs=owned)
-    if obs is not None and task.faults is not None and not task.faults.empty:
+    if obs is not None and faults is not None and not faults.empty:
         for category in FAULT_CATEGORIES:
             obs.metrics.counter("faults.injected", category=category).inc(
-                task.faults.injected.get(category, 0)
+                faults.injected.get(category, 0)
             )
     info = runtime.finish() if runtime is not None else None
-    return ShardOutcome(shard_index=shard.index, store=store,
-                        faults=task.faults, recovery=info, fleet=fleet,
-                        coordinator=coordinator, observer=observer)
+    return ShardOutcome(shard_index=shard.index, store=store, faults=faults,
+                        recovery=info, fleet=fleet, coordinator=coordinator,
+                        observer=observer, last_iteration=last)
+
+
+def resume_shard(
+    task: ShardTask,
+    *,
+    observer: Optional[Observer] = None,
+    control=None,
+) -> ShardOutcome:
+    """Continue a shard from its own namespaced recovery directory.
+
+    The per-shard analogue of the sequential resume path: load the
+    shard's latest valid checkpoint, CRC-scan and retro-seal its
+    journal, revive the pickled graph (or cold-restart when no
+    checkpoint survived) and run to the horizon with every regenerated
+    iteration verified against the journaled digests.  Restarted
+    workers and campaign resume both land here.
+    """
+    from repro.recovery.checkpoint import config_digest, load_latest_checkpoint
+    from repro.recovery.journal import Quarantine, retro_seal, scan_journal
+
+    rcfg = task.recovery
+    if rcfg is None:
+        raise CheckpointError(
+            "resume_shard needs task.recovery: a shard can only resume "
+            "from its own recovery directory"
+        )
+    quarantine = Quarantine(rcfg.run_dir)
+    ckpt = load_latest_checkpoint(rcfg.checkpoint_dir, quarantine)
+    scan = scan_journal(rcfg.journal_dir, quarantine)
+    retro_seal(scan)
+    if ckpt is None:
+        # Crash before the shard's first checkpoint survived: regenerate
+        # from iteration 0, verifying against the journal tail.
+        runtime = RecoveryRuntime(
+            rcfg,
+            quarantine=quarantine,
+            expected_digests=scan.iteration_digests,
+            cold_restart=True,
+            start_segment=scan.next_segment,
+        )
+        return run_shard(task, observer=observer, runtime=runtime,
+                         control=control)
+    if config_digest(task.config) != ckpt.config:
+        raise CheckpointError(
+            f"shard {task.shard.index}: resume was given a config whose "
+            f"digest {config_digest(task.config)[:12]}... differs from "
+            f"the checkpointed run's {ckpt.config[:12]}...; resuming it "
+            "would silently diverge"
+        )
+    state = ckpt.state
+    cfg: ExperimentConfig = state["config"]
+    fleet: FleetSimulator = state["fleet"]
+    coordinator: DdcCoordinator = state["coordinator"]
+    store: TraceStore = state["store"]
+    ckpt_faults: Optional[FaultPlan] = state["faults"]
+    ckpt_observer: Optional[Observer] = state["observer"]
+    obs = (ckpt_observer if ckpt_observer is not None
+           and ckpt_observer.enabled else None)
+    expected = {k: v for k, v in scan.iteration_digests.items()
+                if k > ckpt.iteration}
+    runtime = RecoveryRuntime(
+        rcfg,
+        quarantine=quarantine,
+        expected_digests=expected,
+        resumed_from=ckpt.iteration,
+        start_segment=scan.next_segment,
+    )
+    runtime.bind(fleet=fleet, coordinator=coordinator, store=store,
+                 config=cfg, faults=ckpt_faults, observer=ckpt_observer)
+    if control is not None:
+        control.bind(fleet.sim)
+        coordinator.heartbeat = control.on_iteration
+    with maybe_phase(obs, "simulate"):
+        try:
+            fleet.sim.run_until(cfg.horizon)
+        except BaseException:
+            runtime.hard_stop()
+            raise
+    return _finish_shard(task, fleet=fleet, coordinator=coordinator,
+                         store=store, faults=ckpt_faults,
+                         observer=ckpt_observer, obs=obs, runtime=runtime,
+                         control=control)
 
 
 def _resolve_kernel(
@@ -195,16 +348,39 @@ def _resolve_kernel(
         )
 
 
-def _run_shard_task(task: ShardTask) -> ShardOutcome:
-    """Pool entry point: run a shard and slim the outcome for pickling."""
+def execute_shard_task(task: ShardTask, *, control=None) -> ShardOutcome:
+    """Run (or resume) one shard task and slim the outcome for pickling.
+
+    The single worker-process entry point behind both the plain pool
+    and the supervisor: builds the worker-side observer when the task
+    asks for instrumentation, routes ``task.resume`` through
+    :func:`resume_shard` (where the observer comes from the checkpoint),
+    snapshots the metrics and drops the live objects so the outcome
+    crosses the process boundary.
+    """
     observer = Observer() if task.instrument else None
-    outcome = run_shard(task, observer=observer)
-    if observer is not None:
-        outcome.snapshot = observer.snapshot()
+    if task.resume:
+        outcome = resume_shard(task, observer=observer, control=control)
+    else:
+        runtime = (fresh_runtime(task.recovery)
+                   if task.recovery is not None else None)
+        outcome = run_shard(task, observer=observer, runtime=runtime,
+                            control=control)
+    # A warm resume revives the *checkpointed* observer; a fresh or
+    # cold-restarted run instruments the one built above.
+    obs = outcome.observer if outcome.observer is not None else observer
+    if task.instrument and obs is not None and obs.enabled \
+            and not outcome.stopped:
+        outcome.snapshot = obs.snapshot()
     outcome.fleet = None
     outcome.coordinator = None
     outcome.observer = None
     return outcome
+
+
+def _run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Pool entry point (no steering channel)."""
+    return execute_shard_task(task)
 
 
 def attach_nbench_indexes(

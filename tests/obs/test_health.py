@@ -1,0 +1,53 @@
+"""Worker-health vocabulary and its metric exports."""
+
+import pytest
+
+from repro.obs import health
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestStateVocabulary:
+    def test_ordinals_are_stable(self):
+        # dashboards threshold on these codes; reordering breaks them
+        assert health.WORKER_STATES == (
+            "starting", "running", "degraded", "paused", "dead",
+            "stopped", "done",
+        )
+        assert [health.worker_state_code(s)
+                for s in health.WORKER_STATES] == list(range(7))
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker state"):
+            health.worker_state_code("zombie")
+
+    def test_unknown_state_rejected_even_unobserved(self):
+        # validation must not depend on metrics being attached
+        with pytest.raises(ValueError):
+            health.record_worker_state(None, 0, "zombie")
+
+
+class TestRecorders:
+    def test_state_gauge_tracks_transitions(self):
+        m = MetricsRegistry()
+        health.record_worker_state(m, 2, health.STARTING)
+        health.record_worker_state(m, 2, health.RUNNING)
+        assert m.gauge("shard.worker_state", shard="2").value == \
+            health.worker_state_code(health.RUNNING)
+
+    def test_heartbeats_count_and_iteration_gauge_advances(self):
+        m = MetricsRegistry()
+        health.record_worker_heartbeat(m, 0, 4)
+        health.record_worker_heartbeat(m, 0, 5)
+        assert m.counter("shard.heartbeats", shard="0").value == 2
+        assert m.gauge("shard.last_iteration", shard="0").value == 5
+
+    def test_restarts_counted_per_shard(self):
+        m = MetricsRegistry()
+        health.record_worker_restart(m, 1)
+        health.record_worker_restart(m, 1)
+        assert m.counter("shard.restarts", shard="1").value == 2
+
+    def test_none_metrics_is_a_no_op(self):
+        health.record_worker_state(None, 0, health.DONE)
+        health.record_worker_heartbeat(None, 0, 3)
+        health.record_worker_restart(None, 0)

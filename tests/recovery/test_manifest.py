@@ -1,0 +1,131 @@
+"""Campaign manifest and campaign-state persistence round-trips."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import CheckpointError
+from repro.machines.hardware import TABLE1_LABS
+from repro.recovery.manifest import (
+    MANIFEST_NAME,
+    CampaignManifest,
+    ShardStatus,
+    is_campaign_dir,
+    journal_digest,
+    load_campaign_state,
+    write_campaign_state,
+)
+from repro.shard.plan import ShardPlan
+
+
+def fresh_manifest(run_dir, shards=2):
+    plan = ShardPlan.build(TABLE1_LABS, shards)
+    return plan, CampaignManifest.fresh(run_dir, config_digest="ab" * 32,
+                                        plan=plan)
+
+
+class TestManifestRoundTrip:
+    def test_write_load_round_trips(self, tmp_path):
+        plan, manifest = fresh_manifest(tmp_path)
+        manifest.shards[0].state = "running"
+        manifest.shards[0].last_iteration = 17
+        manifest.shards[1].restarts = 1
+        manifest.write(tmp_path)
+        assert is_campaign_dir(tmp_path)
+        loaded = CampaignManifest.load(tmp_path)
+        assert loaded == manifest
+        # shard keys come back as ints, not JSON strings
+        assert set(loaded.shards) == {0, 1}
+        assert isinstance(loaded.shards[0], ShardStatus)
+
+    def test_write_is_atomic_and_stable(self, tmp_path):
+        _, manifest = fresh_manifest(tmp_path)
+        path = manifest.write(tmp_path)
+        first = path.read_bytes()
+        assert manifest.write(tmp_path).read_bytes() == first
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        assert not is_campaign_dir(tmp_path)
+        with pytest.raises(CheckpointError, match="no campaign manifest"):
+            CampaignManifest.load(tmp_path)
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CampaignManifest.load(tmp_path)
+
+    def test_foreign_version_raises(self, tmp_path):
+        _, manifest = fresh_manifest(tmp_path)
+        blob = manifest.to_dict()
+        blob["version"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(blob))
+        with pytest.raises(CheckpointError, match="version 99"):
+            CampaignManifest.load(tmp_path)
+
+    def test_schema_violation_raises(self, tmp_path):
+        _, manifest = fresh_manifest(tmp_path)
+        blob = manifest.to_dict()
+        del blob["merge_watermark"]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(blob))
+        with pytest.raises(CheckpointError, match="schema"):
+            CampaignManifest.load(tmp_path)
+
+
+class TestManifestSemantics:
+    def test_watermark_is_the_slowest_shard(self, tmp_path):
+        _, manifest = fresh_manifest(tmp_path)
+        manifest.shards[0].last_iteration = 40
+        manifest.shards[1].last_iteration = 25
+        assert manifest.refresh_watermark() == 25
+        assert manifest.merge_watermark == 25
+
+    def test_verify_plan_accepts_identical_rebuild(self, tmp_path):
+        plan, manifest = fresh_manifest(tmp_path)
+        manifest.verify_plan(ShardPlan.build(TABLE1_LABS, 2))
+
+    def test_verify_plan_rejects_drifted_catalog(self, tmp_path):
+        _, manifest = fresh_manifest(tmp_path, shards=2)
+        with pytest.raises(CheckpointError, match="shard plan"):
+            manifest.verify_plan(ShardPlan.build(TABLE1_LABS, 3))
+        with pytest.raises(CheckpointError, match="shard plan"):
+            manifest.verify_plan(ShardPlan.build(TABLE1_LABS[:5], 2))
+
+
+class TestJournalDigest:
+    def test_no_journal_is_none(self, tmp_path):
+        assert journal_digest(tmp_path) is None
+
+    def test_digest_tracks_content_and_chain(self, tmp_path):
+        (tmp_path / "segment-00000001.jsonl").write_text("a\n")
+        one = journal_digest(tmp_path)
+        assert one is not None and len(one) == 16
+        assert journal_digest(tmp_path) == one  # deterministic
+        (tmp_path / "segment-00000002.jsonl").write_text("b\n")
+        assert journal_digest(tmp_path) != one
+
+
+class TestCampaignState:
+    def test_round_trips_the_cold_restart_inputs(self, tmp_path):
+        cfg = ExperimentConfig(days=1, seed=7)
+        write_campaign_state(
+            tmp_path, config=cfg, labs=tuple(TABLE1_LABS), faults=None,
+            collect_nbench=False, strict_postcollect=True, instrument=True,
+        )
+        state = load_campaign_state(tmp_path)
+        assert state["config"] == cfg
+        assert state["labs"] == tuple(TABLE1_LABS)
+        assert state["faults"] is None
+        assert state["collect_nbench"] is False
+        assert state["strict_postcollect"] is True
+        assert state["instrument"] is True
+
+    def test_missing_state_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="campaign.pkl"):
+            load_campaign_state(tmp_path)
+
+    def test_truncated_state_raises(self, tmp_path):
+        (tmp_path / "campaign.pkl").write_bytes(b"\x80\x05")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_campaign_state(tmp_path)

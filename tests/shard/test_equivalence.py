@@ -45,6 +45,20 @@ class TestPlainEquivalence:
             assert getattr(result.meta, name) == getattr(seq.meta, name), name
         assert result.meta.statics == seq.meta.statics
 
+    def test_single_machine_lab_shard_merges(self, tmp_path):
+        """A shard owning exactly one machine is a valid plan edge."""
+        from repro.machines.hardware import TABLE1_LABS
+
+        labs = (dataclasses.replace(TABLE1_LABS[0], n_machines=1),
+                TABLE1_LABS[1], TABLE1_LABS[2])
+        cfg = ExperimentConfig(days=1, seed=11)
+        seq = run_experiment(cfg, labs=labs)
+        seq_csv = csv_bytes(seq.store, tmp_path / "seq.csv")
+        # LPT puts the 1-machine lab alone in the third shard
+        sharded = run_experiment(cfg, labs=labs, shards=3)
+        assert csv_bytes(sharded.store, tmp_path / "sh3.csv") == seq_csv
+        assert sharded.meta.n_machines == seq.meta.n_machines
+
     def test_shards_kwarg_overrides_config(self, sequential, tmp_path):
         cfg, _, seq_csv = sequential
         result = run_experiment(cfg.replace(shards=3), shards=1)
@@ -92,18 +106,24 @@ class TestFaultResilienceEquivalence:
 
 
 class TestShardGuards:
-    def test_recovery_is_rejected_loudly(self, tmp_path):
+    def test_sequential_dir_refused_as_campaign(self, tmp_path):
+        """recovery + shards>1 now runs a campaign -- but never on top
+        of a flat sequential run directory's journals."""
         from repro.recovery import RecoveryConfig
 
-        with pytest.raises(CheckpointError, match="shards"):
+        cfg = ExperimentConfig(days=1, seed=1)
+        run_experiment(cfg, recovery=RecoveryConfig(run_dir=tmp_path / "run",
+                                                    fsync=False))
+        with pytest.raises(CheckpointError, match="sequential"):
             run_experiment(
-                ExperimentConfig(days=1, seed=1),
-                recovery=RecoveryConfig(run_dir=tmp_path / "run"),
+                cfg,
+                recovery=RecoveryConfig(run_dir=tmp_path / "run",
+                                        fsync=False),
                 shards=2,
             )
 
-    def test_resume_is_rejected_loudly(self, tmp_path):
-        with pytest.raises(CheckpointError, match="resume"):
+    def test_sharded_resume_needs_a_campaign_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="campaign manifest"):
             run_experiment(ExperimentConfig(days=1, seed=1),
                            resume_from=tmp_path / "run", shards=2)
 

@@ -6,7 +6,10 @@ import math
 import pytest
 
 from repro.errors import SnapshotFormatError, TraceFormatError
+from repro.faults.plan import FaultPlan
 from repro.obs.snapshot import ObsSnapshot
+from repro.shard.merge import merge_outcomes
+from repro.shard.worker import ShardOutcome
 from repro.traces.records import Sample, StaticInfo, TraceMeta
 from repro.traces.store import TraceStore
 
@@ -170,6 +173,66 @@ class TestTraceStoreMerge:
                                    TraceStore(make_meta())])
         assert len(merged) == 0
         assert merged.meta.n_machines == 4
+
+
+class TestMergeOutcomes:
+    """Edge cases of the outcome-level merge (above TraceStore.merge)."""
+
+    def outcome(self, index, rows, meta, faults=None):
+        store = TraceStore(meta)
+        for machine_id, iteration in rows:
+            store.add(make_sample(machine_id, iteration))
+        return ShardOutcome(shard_index=index, store=store, faults=faults)
+
+    def test_zero_row_shard_merges_cleanly(self):
+        """A shard owning only always-off machines contributes rows=0
+        but still carries its meta slice (machines, attempts)."""
+        a = self.outcome(0, [(0, 0), (1, 0)],
+                         make_meta(n_machines=2, attempts=180))
+        b = self.outcome(1, [], make_meta(n_machines=1, attempts=90))
+        store, faults, snapshot = merge_outcomes([a, b])
+        assert len(store) == 2
+        assert store.meta.n_machines == 3
+        assert store.meta.attempts == 270
+        assert faults is None and snapshot is None
+
+    def test_outcomes_merge_in_shard_index_order(self):
+        a = self.outcome(1, [(1, 0)], make_meta(n_machines=1, attempts=90),
+                         faults=FaultPlan(seed=1))
+        b = self.outcome(0, [(0, 0)], make_meta(n_machines=1, attempts=90),
+                         faults=FaultPlan(seed=2))
+        store, faults, _ = merge_outcomes([a, b])
+        assert [s.machine_id for s in store.samples()] == [0, 1]
+        # "first shard" means lowest index, not argument order
+        assert faults is b.faults
+
+    def test_broken_accounting_identity_raises(self):
+        a = self.outcome(0, [(0, 0)], make_meta(n_machines=1, attempts=90))
+        b = self.outcome(1, [(1, 0)], make_meta(n_machines=1, attempts=89))
+        with pytest.raises(TraceFormatError, match="accounting identity"):
+            merge_outcomes([a, b])
+
+    def test_disagreeing_fault_ledgers_raise(self):
+        plan_a, plan_b = FaultPlan(seed=1), FaultPlan(seed=1)
+        plan_a.injected["machine_crash"] = 3
+        plan_b.injected["machine_crash"] = 2
+        a = self.outcome(0, [(0, 0)], make_meta(n_machines=1, attempts=90),
+                         faults=plan_a)
+        b = self.outcome(1, [(1, 0)], make_meta(n_machines=1, attempts=90),
+                         faults=plan_b)
+        with pytest.raises(TraceFormatError, match="fault"):
+            merge_outcomes([a, b])
+
+    def test_mixed_instrumentation_rejected(self):
+        a = self.outcome(0, [(0, 0)], make_meta(n_machines=1, attempts=90))
+        a.snapshot = ObsSnapshot(metrics=[])
+        b = self.outcome(1, [(1, 0)], make_meta(n_machines=1, attempts=90))
+        with pytest.raises(TraceFormatError, match="uniform"):
+            merge_outcomes([a, b])
+
+    def test_zero_outcomes_rejected(self):
+        with pytest.raises(TraceFormatError, match="zero"):
+            merge_outcomes([])
 
 
 class TestObsSnapshotMerge:

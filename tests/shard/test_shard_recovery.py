@@ -1,0 +1,288 @@
+"""Chaos differential for the supervised campaign control plane.
+
+The pinned tentpole guarantee: ``resume(kill_worker(run))`` is
+byte-identical to the uninterrupted run -- merged CSV, TraceMeta
+counters, fault ledger and RNG-driven sample values (all folded into
+:func:`~repro.recovery.crashtest.result_fingerprint`) -- for shard
+counts 2 and 4 at structurally distinct kill points, and the healthy
+shards are **never** restarted.  ``python -m repro.shard.smoke``
+re-checks the same differential at days=2 in CI's
+``shard-recovery-chaos`` job; here the runs stay short enough for the
+tier-1 suite.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import CampaignStopped, CheckpointError, ShardWorkerError
+from repro.experiment import run_experiment
+from repro.machines.hardware import TABLE1_LABS
+from repro.obs import health
+from repro.recovery.checkpoint import config_digest
+from repro.recovery.crashtest import CrashSpec, result_fingerprint
+from repro.recovery.manifest import CampaignManifest, write_campaign_state
+from repro.recovery.runtime import RecoveryConfig
+from repro.recovery.smoke import derive_kill_iteration
+from repro.shard.plan import ShardPlan
+from repro.shard.supervisor import Supervisor, SupervisorPolicy
+from repro.shard.worker import ShardTask
+
+CFG = ExperimentConfig(days=1, seed=23)
+
+#: Chaos-shaped supervision: instant restarts, real liveness deadlines.
+CHAOS = SupervisorPolicy(max_restarts=2, backoff_base=0.01,
+                         backoff_cap=0.05)
+
+
+def csv_bytes(store, path):
+    store.write_csv(path)
+    return path.read_bytes()
+
+
+def _die(task):
+    """Picklable pool entry that kills its worker process outright."""
+    import os
+
+    os._exit(1)
+
+
+def chaos_recovery(run_dir, point, victim):
+    """A campaign recovery config that kills ``victim`` at ``point``."""
+    return RecoveryConfig(
+        run_dir=run_dir, fsync=False,
+        crash_at=CrashSpec(derive_kill_iteration(CFG), point),
+        crash_shard=victim,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Uninterrupted sequential run: the differential's ground truth."""
+    result = run_experiment(CFG)
+    path = tmp_path_factory.mktemp("base") / "trace.csv"
+    return result, csv_bytes(result.store, path), result_fingerprint(result)
+
+
+class TestKilledWorkerRestart:
+    """Supervisor restarts the victim; everything merges identically."""
+
+    @pytest.mark.parametrize("shards,victim", [(2, 1), (4, 2)])
+    @pytest.mark.parametrize("point", ["mid_iteration", "post_checkpoint"])
+    def test_restart_merges_byte_identically(self, baseline, tmp_path,
+                                             shards, victim, point):
+        _, base_csv, base_fp = baseline
+        rcfg = chaos_recovery(tmp_path / "camp", point, victim)
+        result = run_experiment(CFG, shards=shards, recovery=rcfg,
+                                supervise=CHAOS)
+        assert csv_bytes(result.store, tmp_path / "merged.csv") == base_csv
+        assert result_fingerprint(result) == base_fp
+        report = result.campaign
+        assert report.restarts[victim] == 1
+        # The healthy shards were never restarted -- per-shard recovery
+        # means a crash stays local to its shard.
+        assert all(n == 0 for k, n in report.restarts.items()
+                   if k != victim), report.restarts
+        assert set(report.states.values()) == {health.DONE}
+        manifest = CampaignManifest.load(rcfg.run_dir)
+        assert manifest.state == "merged"
+        # the watermark is the last iteration *index* every shard passed
+        assert manifest.merge_watermark == result.meta.iterations_scheduled - 1
+        assert manifest.shards[victim].restarts == 1
+
+    def test_restart_with_faults_keeps_the_ledger(self, tmp_path):
+        """One shard resumed mid-plan, the others not: ledgers agree."""
+        from repro.faults.scenarios import paper_like_plan
+
+        def make_plan():
+            return paper_like_plan(CFG.horizon, labs=("L03",), seed=99)
+
+        seq = run_experiment(CFG, faults=make_plan(),
+                             strict_postcollect=False)
+        seq_csv = csv_bytes(seq.store, tmp_path / "seq.csv")
+
+        rcfg = chaos_recovery(tmp_path / "camp", "post_checkpoint", 0)
+        sharded = run_experiment(CFG, shards=2, recovery=rcfg,
+                                 supervise=CHAOS, faults=make_plan(),
+                                 strict_postcollect=False)
+        assert csv_bytes(sharded.store, tmp_path / "sh.csv") == seq_csv
+        assert dict(sharded.faults.injected) == dict(seq.faults.injected)
+        assert sharded.campaign.restarts == {0: 1, 1: 0}
+
+
+class TestExhaustedBudgetAndResume:
+    """A zero-restart campaign fails typed and loud -- then resumes."""
+
+    def test_failure_is_typed_and_resume_completes(self, baseline,
+                                                   tmp_path):
+        _, base_csv, base_fp = baseline
+        rcfg = chaos_recovery(tmp_path / "camp", "mid_iteration", 0)
+        with pytest.raises(ShardWorkerError) as ei:
+            run_experiment(CFG, shards=2, recovery=rcfg,
+                           supervise=SupervisorPolicy(max_restarts=0))
+        err = ei.value
+        assert err.shard_index == 0
+        assert err.restarts == 0
+        assert err.last_iteration >= -1
+        assert "resumable" in str(err)
+        assert CampaignManifest.load(rcfg.run_dir).state == "failed"
+
+        resumed = run_experiment(resume_from=rcfg.run_dir)
+        assert csv_bytes(resumed.store, tmp_path / "res.csv") == base_csv
+        assert result_fingerprint(resumed) == base_fp
+        manifest = CampaignManifest.load(rcfg.run_dir)
+        assert manifest.state == "merged"
+        assert all(s.completed for s in manifest.shards.values())
+
+    def test_unsupervised_pool_death_names_the_shard(self, monkeypatch):
+        """The plain pool path wraps worker death in ShardWorkerError."""
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork so children inherit the patched entry")
+        import repro.experiment as experiment_mod
+
+        monkeypatch.setattr(experiment_mod, "_run_shard_task", _die)
+        with pytest.raises(ShardWorkerError) as ei:
+            run_experiment(CFG, shards=2)
+        assert ei.value.shard_index in (0, 1)
+        assert "supervise" in str(ei.value)
+
+
+class TestSupervisedWithoutRecovery:
+    def test_supervise_flag_matches_sequential(self, baseline, tmp_path):
+        """``supervise=True`` without recovery: deterministic re-runs."""
+        _, base_csv, _ = baseline
+        result = run_experiment(CFG, shards=2, supervise=True)
+        assert csv_bytes(result.store, tmp_path / "sup.csv") == base_csv
+        assert result.campaign.total_restarts == 0
+        assert result.campaign.run_dir is None
+
+
+def _manual_campaign(run_dir, shards):
+    """Build manifest + campaign state + tasks the way _run_campaign does,
+    so a Supervisor can be driven directly (steering needs the handle)."""
+    plan = ShardPlan.build(TABLE1_LABS, shards)
+    rcfg = RecoveryConfig(run_dir=run_dir, fsync=False)
+    manifest = CampaignManifest.fresh(
+        run_dir, config_digest=config_digest(CFG), plan=plan
+    )
+    manifest.write(run_dir)
+    write_campaign_state(
+        run_dir, config=CFG, labs=tuple(TABLE1_LABS), faults=None,
+        collect_nbench=True, strict_postcollect=True, instrument=False,
+    )
+    tasks = [
+        ShardTask(config=CFG, shard=spec, labs=tuple(TABLE1_LABS),
+                  recovery=rcfg.for_shard(spec.index))
+        for spec in plan.specs
+    ]
+    return manifest, tasks
+
+
+def _await(predicate, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestSteering:
+    """PAUSE / RESUME / STOP are honoured at iteration boundaries."""
+
+    def test_pause_resume_stop_roundtrip(self, tmp_path):
+        manifest, tasks = _manual_campaign(tmp_path / "camp", 2)
+        sup = Supervisor(tasks, policy=CHAOS, manifest=manifest,
+                         run_dir=tmp_path / "camp")
+        box = {}
+
+        def drive():
+            try:
+                box["outcomes"] = sup.run()
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box["error"] = exc
+
+        t = threading.Thread(target=drive)
+        t.start()
+        try:
+            running = lambda: set(sup.states().values()) == {health.RUNNING}
+            assert _await(running), sup.states()
+            sup.pause()
+            paused = lambda: set(sup.states().values()) == {health.PAUSED}
+            assert _await(paused), sup.states()
+            sup.resume()
+            assert _await(running), sup.states()
+            sup.stop()
+        finally:
+            t.join(timeout=60)
+        assert not t.is_alive()
+        err = box.get("error")
+        assert isinstance(err, CampaignStopped), box
+        assert err.run_dir == tmp_path / "camp"
+        assert set(err.last_iterations) == {0, 1}
+        assert CampaignManifest.load(tmp_path / "camp").state == "stopped"
+
+    def test_stopped_campaign_resumes_to_the_same_bytes(self, baseline,
+                                                        tmp_path):
+        _, base_csv, base_fp = baseline
+        manifest, tasks = _manual_campaign(tmp_path / "camp", 2)
+        sup = Supervisor(tasks, policy=CHAOS, manifest=manifest,
+                         run_dir=tmp_path / "camp")
+        box = {}
+
+        def drive():
+            try:
+                sup.run()
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box["error"] = exc
+
+        t = threading.Thread(target=drive)
+        t.start()
+        try:
+            heartbeated = lambda: all(
+                n > 0 for n in sup.report().heartbeats.values()
+            )
+            assert _await(heartbeated)
+            sup.stop()
+        finally:
+            t.join(timeout=60)
+        assert isinstance(box.get("error"), CampaignStopped)
+
+        resumed = run_experiment(resume_from=tmp_path / "camp")
+        assert csv_bytes(resumed.store, tmp_path / "res.csv") == base_csv
+        assert result_fingerprint(resumed) == base_fp
+
+
+class TestCampaignGuards:
+    def test_crash_shard_out_of_range_rejected(self, tmp_path):
+        rcfg = RecoveryConfig(run_dir=tmp_path / "camp", fsync=False,
+                              crash_at=CrashSpec(10, "mid_iteration"),
+                              crash_shard=7)
+        with pytest.raises(ValueError, match="crash_shard"):
+            run_experiment(CFG, shards=2, recovery=rcfg, supervise=True)
+
+    def test_existing_campaign_dir_refused_without_resume(self, tmp_path):
+        manifest, _ = _manual_campaign(tmp_path / "camp", 2)
+        rcfg = RecoveryConfig(run_dir=tmp_path / "camp", fsync=False)
+        with pytest.raises(CheckpointError, match="resume_from"):
+            run_experiment(CFG, shards=2, recovery=rcfg)
+
+    def test_resume_shard_count_must_match_manifest(self, tmp_path):
+        rcfg = chaos_recovery(tmp_path / "camp", "mid_iteration", 0)
+        with pytest.raises(ShardWorkerError):
+            run_experiment(CFG, shards=2, recovery=rcfg,
+                           supervise=SupervisorPolicy(max_restarts=0))
+        with pytest.raises(CheckpointError, match="2 shards"):
+            run_experiment(resume_from=rcfg.run_dir, shards=4)
+
+    def test_resume_rejects_foreign_config(self, tmp_path):
+        rcfg = chaos_recovery(tmp_path / "camp", "mid_iteration", 0)
+        with pytest.raises(ShardWorkerError):
+            run_experiment(CFG, shards=2, recovery=rcfg,
+                           supervise=SupervisorPolicy(max_restarts=0))
+        with pytest.raises(CheckpointError, match="digest"):
+            run_experiment(ExperimentConfig(days=1, seed=99),
+                           resume_from=rcfg.run_dir)
