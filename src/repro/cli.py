@@ -34,6 +34,11 @@ Commands
     service serves running rollups (``/stats``, ``/labs/<name>``,
     ``/machines/<id>``, ``/health``, ``/subscribe``); or replay a
     finished journal (``--replay DIR``) into the same rollups.
+``worker``
+    Serve a networked campaign coordinator as a shard worker:
+    ``repro worker tcp://host:port``.  The campaign side is ``repro
+    run --shards N --listen tcp://host:port`` (add ``--workers M`` to
+    spawn M loopback workers locally); see ``docs/distributed.md``.
 
 Every command accepts ``--days`` and ``--seed``; defaults reproduce the
 paper (77 days, seed 2005) where that makes sense and use short runs
@@ -100,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
                        "bounded restart) even without --recover-dir; "
                        "implied when --shards > 1 and --recover-dir are "
                        "combined")
+    p_run.add_argument("--listen", default=None, metavar="ENDPOINT",
+                       help="run the sharded campaign over the networked "
+                       "control plane, coordinating TCP workers on "
+                       "ENDPOINT (tcp://host:port; port 0 binds an "
+                       "ephemeral port); workers attach with 'repro "
+                       "worker' or --workers (see docs/distributed.md)")
+    p_run.add_argument("--workers", type=int, default=None, metavar="M",
+                       help="spawn M local worker processes against the "
+                       "networked coordinator (implies --listen "
+                       "tcp://127.0.0.1:0 when --listen is omitted)")
     p_run.add_argument("--machines", type=int, default=None, metavar="N",
                        help="scale the fleet to N machines by cycling "
                        "Table 1's lab mix (default: the paper's 169; "
@@ -173,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the final rollup snapshot to this "
                         "JSON file when the run (or replay) finishes")
 
+    p_worker = sub.add_parser("worker", help="serve a networked campaign "
+                              "coordinator as a shard worker")
+    p_worker.add_argument("endpoint", help="coordinator endpoint "
+                          "(tcp://host:port, from 'repro run --listen')")
+    p_worker.add_argument("--id", default=None, metavar="WORKER_ID",
+                          help="stable worker identity (default "
+                          "hostname-pid); reconnects under the same id "
+                          "resume the worker's leases")
+
     p_res = sub.add_parser("resilience",
                            help="inspect the adaptive control plane")
     add_common(p_res, 1)
@@ -210,6 +234,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: --shards must be at least 1, got {args.shards}",
               file=sys.stderr)
         return 2
+    # Networked-mode validation happens here, before anything touches
+    # the filesystem: a conflicting or malformed invocation must exit 2
+    # without creating a run directory.
+    net = None
+    if args.listen is not None or args.workers is not None:
+        from repro.shard.net.config import NetConfig, parse_endpoint
+
+        if args.workers is not None and args.workers < 1:
+            print(f"error: --workers must be at least 1, got "
+                  f"{args.workers}", file=sys.stderr)
+            return 2
+        if args.shards < 2:
+            print("error: --listen/--workers run a networked campaign, "
+                  f"which needs --shards >= 2 (got {args.shards})",
+                  file=sys.stderr)
+            return 2
+        if args.supervise:
+            print("error: --supervise conflicts with --listen/--workers; "
+                  "the networked coordinator is the campaign's control "
+                  "plane", file=sys.stderr)
+            return 2
+        if args.resume:
+            print("error: --resume cannot drive a networked campaign "
+                  "(the shard-<k>/ namespaces are worker-host-local); "
+                  "resume it locally without --listen/--workers",
+                  file=sys.stderr)
+            return 2
+        endpoint = args.listen if args.listen is not None \
+            else "tcp://127.0.0.1:0"
+        try:
+            parse_endpoint(endpoint)
+        except ValueError as exc:
+            print(f"error: --listen: {exc}", file=sys.stderr)
+            return 2
+        net = NetConfig(endpoint=endpoint, spawn_workers=args.workers)
     resume_shards = None
     if args.resume:
         # Validate the recovery directory up front, before anything is
@@ -301,7 +360,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             result = run_experiment(config, observer=observer, recovery=rcfg,
                                     resilience=policy, supervise=supervise,
-                                    **run_kwargs)
+                                    net=net, **run_kwargs)
         except ShardWorkerError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -314,7 +373,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             result = run_experiment(config, observer=observer,
                                     resilience=policy, supervise=supervise,
-                                    **run_kwargs)
+                                    net=net, **run_kwargs)
         except ShardWorkerError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -369,11 +428,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"artefacts (see {info.run_dir / 'quarantine'})")
     camp = result.campaign
     if camp is not None:
-        line = (f"campaign: {camp.n_shards} shards supervised, "
+        mode = "networked" if net is not None else "supervised"
+        line = (f"campaign: {camp.n_shards} shards {mode}, "
                 f"{camp.total_restarts} restarts")
         if camp.run_dir is not None:
             line += f", manifest in {camp.run_dir}"
         print(line)
+    deg = result.degraded
+    if deg is not None:
+        print(f"WARNING: partial result -- shards "
+              f"{list(deg.lost_shards)} were lost "
+              f"({deg.machines_lost}/{deg.machines_total} machines "
+              f"missing, {100 * deg.coverage:.1f}% roster coverage); "
+              "the trace is NOT roster-complete", file=sys.stderr)
     return 0
 
 
@@ -528,6 +595,27 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.shard.net.config import parse_endpoint
+
+    try:
+        parse_endpoint(args.endpoint)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.shard.net.worker import run_worker
+
+    code = run_worker(args.endpoint, worker_id=args.id)
+    if code == 1:
+        print(f"error: could not reach a coordinator at {args.endpoint} "
+              "within the connect budget", file=sys.stderr)
+    elif code == 2:
+        print("error: the coordinator rejected this worker's "
+              "registration", file=sys.stderr)
+    return code
+
+
 def _cmd_live(args: argparse.Namespace) -> int:
     import json
 
@@ -660,6 +748,7 @@ _COMMANDS = {
     "recovery": _cmd_recovery,
     "resilience": _cmd_resilience,
     "live": _cmd_live,
+    "worker": _cmd_worker,
 }
 
 

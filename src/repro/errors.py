@@ -35,6 +35,10 @@ __all__ = [
     "InjectedCrash",
     "ShardWorkerError",
     "CampaignStopped",
+    "NetworkError",
+    "ChannelClosed",
+    "ChannelTimeout",
+    "FrameCorruption",
     "LiveError",
 ]
 
@@ -229,6 +233,41 @@ class CampaignStopped(ReproError):
         super().__init__(message)
         self.run_dir = run_dir
         self.last_iterations = dict(last_iterations or {})
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the networked shard control plane.
+
+    Raised by the :mod:`repro.shard.net` framing and protocol layers.
+    These are *expected* failures -- sockets fail in ways pipes cannot
+    -- so the coordinator and workers catch them and recover (reconnect,
+    lease reassignment, degraded merge) rather than letting them escape
+    a campaign.
+    """
+
+
+class ChannelClosed(NetworkError):
+    """The peer hung up, the connection was torn, or a write failed.
+
+    Covers EOF on read, ``EPIPE``/``ECONNRESET`` on write, and injected
+    connection drops from the network fault family.
+    """
+
+
+class ChannelTimeout(NetworkError):
+    """A framed read or write did not complete within its deadline.
+
+    The channel buffers partial frames across timeouts, so a timed-out
+    read leaves the stream in sync and can simply be retried.
+    """
+
+
+class FrameCorruption(NetworkError):
+    """A received frame failed its CRC or could not be decoded.
+
+    After corruption the byte stream cannot be trusted to be in frame
+    sync, so the consumer must close and re-establish the channel.
+    """
 
 
 class LiveError(ReproError):

@@ -46,7 +46,8 @@ from repro.recovery.runtime import (
     fresh_runtime,
 )
 from repro.resilience.policy import ResiliencePolicy
-from repro.shard.merge import merge_outcomes
+from repro.shard.merge import DegradedMergeInfo, merge_degraded, merge_outcomes
+from repro.shard.net.config import NetConfig
 from repro.shard.plan import ShardPlan
 from repro.shard.supervisor import CampaignReport, Supervisor, SupervisorPolicy
 from repro.shard.worker import (
@@ -96,8 +97,16 @@ class MonitoringResult:
         runs only; single-shard runs snapshot their live ``observer``).
     campaign:
         :class:`~repro.shard.supervisor.CampaignReport` of a supervised
-        sharded run: per-shard health states, restart counts,
-        heartbeats and recovery summaries (``None`` otherwise).
+        or networked sharded run: per-shard health states, restart (or
+        lease regrant) counts, heartbeats, recovery summaries and --
+        networked runs only -- lost shards (``None`` otherwise).
+    degraded:
+        :class:`~repro.shard.merge.DegradedMergeInfo` when a networked
+        campaign permanently lost shards and concluded through the
+        degraded merge: which shards are excluded and how much of the
+        roster the trace covers.  ``None`` for every complete run --
+        check this (or the manifest's ``partial`` flag) before treating
+        the trace as roster-complete.
     """
 
     config: ExperimentConfig
@@ -109,6 +118,7 @@ class MonitoringResult:
     recovery: Optional[RecoveryInfo] = None
     obs_snapshot: Optional[ObsSnapshot] = None
     campaign: Optional[CampaignReport] = None
+    degraded: Optional[DegradedMergeInfo] = None
 
     @cached_property
     def trace(self) -> ColumnarTrace:
@@ -137,6 +147,7 @@ def run_experiment(
     resilience: Optional[ResiliencePolicy] = None,
     shards: Optional[int] = None,
     supervise: Union[bool, SupervisorPolicy, None] = None,
+    net: Optional[NetConfig] = None,
 ) -> MonitoringResult:
     """Run a full monitoring experiment and return its artefacts.
 
@@ -222,8 +233,28 @@ def run_experiment(
         or a policy instance to tune deadlines and restart budgets.
         Implied (and required) whenever ``recovery`` or a campaign
         ``resume_from`` is combined with ``shards>1``.
+    net:
+        Run the ``shards>1`` fan-out over the **networked** control
+        plane (:mod:`repro.shard.net`) instead of local supervised
+        processes: the campaign process binds ``net.endpoint`` as the
+        lease coordinator, workers connect over TCP (spawned locally
+        with ``net.spawn_workers``, or externally via ``repro worker``)
+        and every supervisor guarantee -- liveness, bounded regrant,
+        steering, manifest mirroring, resume-from-checkpoint over
+        reconnect -- is enforced over the wire.  With ``recovery`` the
+        run is a full campaign directory exactly like the supervised
+        path.  Mutually exclusive with ``supervise`` (the coordinator
+        *is* the control plane), ``fleet_factory`` and ``resume_from``;
+        requires ``shards >= 2``.  See ``docs/distributed.md``.
     """
     if resume_from is not None:
+        if net is not None:
+            raise CheckpointError(
+                "networked campaign resume (net= with resume_from=) is "
+                "not supported: the shard-<k>/ namespaces are worker-"
+                "host-local; resume the campaign locally with "
+                "resume_from= alone"
+            )
         if recovery is not None:
             raise CheckpointError(
                 "pass either recovery= (fresh run) or resume_from= "
@@ -269,6 +300,22 @@ def run_experiment(
     n_shards = cfg.shards if shards is None else shards
     if n_shards < 1:
         raise ValueError("shards must be at least 1")
+    if net is not None:
+        if n_shards < 2:
+            raise ValueError(
+                "net= needs shards >= 2: a networked campaign exists to "
+                "fan shards out over workers"
+            )
+        if supervise:
+            raise ValueError(
+                "net= and supervise= are mutually exclusive: the "
+                "networked coordinator is the campaign's control plane"
+            )
+        if fleet_factory is not None:
+            raise ValueError(
+                "fleet_factory is not supported with net=: networked "
+                "workers rebuild their fleet from the picklable config"
+            )
     if n_shards > 1 and cfg.kernel == "columnar":
         raise ValueError(
             "kernel='columnar' is incompatible with shards > 1: a shard "
@@ -303,14 +350,29 @@ def run_experiment(
                   instrument=instrument)
         for spec in plan.specs
     ]
+    if net is not None:
+        manifest = None
+        if recovery is not None:
+            manifest, tasks = _lay_out_campaign(
+                cfg, plan, tasks,
+                recovery=recovery, labs=labs, faults=faults,
+                collect_nbench=collect_nbench,
+                strict_postcollect=strict_postcollect,
+                instrument=instrument,
+            )
+        return _run_networked(cfg, plan, tasks, net=net, recovery=recovery,
+                              manifest=manifest, observer=observer)
     if recovery is not None:
-        return _run_campaign(
+        manifest, tasks = _lay_out_campaign(
             cfg, plan, tasks,
             recovery=recovery, labs=labs, faults=faults,
             collect_nbench=collect_nbench,
             strict_postcollect=strict_postcollect,
-            instrument=instrument, observer=observer, supervise=supervise,
+            instrument=instrument,
         )
+        return _run_supervised(cfg, tasks, recovery=recovery,
+                               manifest=manifest, observer=observer,
+                               supervise=supervise)
     if supervise:
         return _run_supervised(cfg, tasks, recovery=None, manifest=None,
                                observer=observer, supervise=supervise)
@@ -362,7 +424,7 @@ def _run_supervised(
                             campaign=sup.report())
 
 
-def _run_campaign(
+def _lay_out_campaign(
     cfg: ExperimentConfig,
     plan: ShardPlan,
     tasks: Sequence[ShardTask],
@@ -373,15 +435,13 @@ def _run_campaign(
     collect_nbench: bool,
     strict_postcollect: bool,
     instrument: bool,
-    observer: Optional[Observer],
-    supervise: Union[bool, SupervisorPolicy, None],
-) -> MonitoringResult:
-    """Fresh recovery-enabled sharded run: a supervised campaign.
+):
+    """Lay out a fresh campaign directory; returns ``(manifest, tasks)``.
 
-    Lays the campaign directory out as ``manifest.json`` +
-    ``campaign.pkl`` + one ``shard-<k>/`` recovery namespace per shard
-    and runs the workers under the supervisor; a dead worker restarts
-    from its own checkpoints while the others keep running.
+    Shared by the supervised and networked paths: validates the run
+    directory is genuinely fresh, writes ``manifest.json`` +
+    ``campaign.pkl``, and namespaces every task's recovery config into
+    its own ``shard-<k>/`` directory.
     """
     from repro.recovery.checkpoint import config_digest
 
@@ -419,8 +479,73 @@ def _run_campaign(
         dataclasses.replace(t, recovery=recovery.for_shard(t.shard.index))
         for t in tasks
     ]
-    return _run_supervised(cfg, tasks, recovery=recovery, manifest=manifest,
-                           observer=observer, supervise=supervise)
+    return manifest, tasks
+
+
+def _run_networked(
+    cfg: ExperimentConfig,
+    plan: ShardPlan,
+    tasks: Sequence[ShardTask],
+    *,
+    net: NetConfig,
+    recovery: Optional[RecoveryConfig],
+    manifest: Optional[CampaignManifest],
+    observer: Optional[Observer],
+) -> MonitoringResult:
+    """Fan shard tasks out over the networked control plane and merge.
+
+    The campaign process becomes the lease coordinator on
+    ``net.endpoint``; workers connect over TCP -- spawned locally when
+    ``net.spawn_workers`` is set, or attached externally with ``repro
+    worker``.  Lost shards (regrant budget exhausted under
+    ``allow_partial``) conclude through the degraded merge with an
+    explicit :class:`~repro.shard.merge.DegradedMergeInfo`.
+    """
+    from repro.shard.net.coordinator import NetCoordinator
+    from repro.shard.net.worker import spawn_local_workers
+
+    coordinator = NetCoordinator(
+        tasks,
+        endpoint=net.endpoint,
+        policy=net.policy,
+        observer=observer,
+        manifest=manifest,
+        run_dir=recovery.run_dir if recovery is not None else None,
+        faults=net.faults,
+    )
+    procs = []
+    try:
+        if net.spawn_workers:
+            procs = spawn_local_workers(
+                coordinator.endpoint, net.spawn_workers,
+                policy=net.worker_policy,
+            )
+        outcomes = coordinator.run()
+    finally:
+        for proc in procs:
+            proc.join(timeout=5.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+    degraded = None
+    if coordinator.lost_shards:
+        store, merged_faults, snapshot, degraded = merge_degraded(
+            outcomes, plan
+        )
+        # The manifest already concluded as "degraded" with the partial
+        # flag and lost-shard list pinned by the coordinator.
+    else:
+        store, merged_faults, snapshot = merge_outcomes(outcomes)
+        if manifest is not None and recovery is not None:
+            manifest.state = "merged"
+            manifest.refresh_watermark()
+            manifest.write(recovery.run_dir)
+    return MonitoringResult(config=cfg, fleet=None, coordinator=None,
+                            store=store, faults=merged_faults,
+                            observer=None, obs_snapshot=snapshot,
+                            campaign=coordinator.report(),
+                            degraded=degraded)
 
 
 def _resume_campaign(

@@ -1,0 +1,345 @@
+"""Network fault family: deterministic failures at the framing layer.
+
+The machine-level :class:`~repro.faults.plan.FaultPlan` injects failures
+into the *simulated* DDC network (unreachable machines, slow probes).
+This module injects failures into the *real* control-plane network of a
+:mod:`repro.shard.net` campaign: the TCP connections between the
+coordinator and its shard workers.  Scenarios are consulted by the
+coordinator-side :class:`~repro.shard.net.framing.FramedChannel` on
+every frame, in both directions, so one seeded plan deterministically
+exercises connection drops, partitions, message delay and duplication,
+and slow links -- without monkeypatching sockets.
+
+Determinism
+-----------
+Decisions key on **frame counts** (per connection, per direction), not
+wall-clock time, and any randomness comes from the plan's private
+seeded generator -- so the same ``(scenarios, seed)`` pair injects at
+the same protocol points every run.  Injection *timing* still depends
+on scheduling, but the control plane's recovery guarantees make the
+merged campaign output byte-identical regardless of where in the run a
+drop lands (``docs/distributed.md``).
+
+Every injection is tallied in :attr:`NetworkFaultPlan.injected` by
+category (:data:`NETWORK_FAULT_CATEGORIES`) so chaos harnesses can
+assert the plan actually fired.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "NETWORK_FAULT_CATEGORIES",
+    "FrameInfo",
+    "NetAction",
+    "NetFaultScenario",
+    "NetworkFaultPlan",
+    "ConnectionDrop",
+    "Partition",
+    "MessageDelay",
+    "MessageDuplicate",
+    "SlowLink",
+    "ShardHolderDrop",
+]
+
+#: Injection-accounting categories, in reporting order.
+NETWORK_FAULT_CATEGORIES = (
+    "net_disconnect",
+    "net_partition",
+    "net_delay",
+    "net_duplicate",
+    "net_slow_link",
+)
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """What the framing layer knows about one frame being moved.
+
+    Attributes
+    ----------
+    conn_id:
+        Coordinator-side connection ordinal (0 for the first accepted
+        worker connection, monotonically increasing across reconnects).
+    direction:
+        ``"send"`` (coordinator -> worker) or ``"recv"``.
+    kind:
+        Protocol message class name (``"Heartbeat"``, ``"Assign"``,
+        ...); empty on the receive path, where the frame has not been
+        decoded yet.
+    worker / shard:
+        Registered worker id and currently-leased shard of the
+        connection's peer, once known (``None`` before ``Hello`` /
+        before a lease is granted).
+    count:
+        Frames moved through this connection in this direction so far,
+        1-based including the current frame.
+    """
+
+    conn_id: int
+    direction: str
+    kind: str
+    worker: Optional[str]
+    shard: Optional[int]
+    count: int
+
+
+@dataclass(frozen=True)
+class NetAction:
+    """One injected behaviour for the current frame.
+
+    ``category`` must be one of :data:`NETWORK_FAULT_CATEGORIES`:
+
+    - ``net_disconnect`` -- tear the connection (the frame is lost and
+      the channel raises :class:`~repro.errors.ChannelClosed`);
+    - ``net_partition`` -- blackhole the frame (silently discarded;
+      the sender believes it was delivered);
+    - ``net_delay`` -- deliver after ``seconds``;
+    - ``net_duplicate`` -- deliver the frame twice (the framing layer's
+      sequence numbers dedupe it on the receive side);
+    - ``net_slow_link`` -- throttle by ``seconds`` (size-derived).
+    """
+
+    category: str
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.category not in NETWORK_FAULT_CATEGORIES:
+            raise ValueError(
+                f"unknown network fault category {self.category!r}; "
+                f"expected one of {NETWORK_FAULT_CATEGORIES}"
+            )
+        if self.seconds < 0:
+            raise ValueError("fault delay must be non-negative")
+
+
+class NetFaultScenario:
+    """Base class of one composable network failure mode.
+
+    :meth:`on_frame` returns a :class:`NetAction` to inject for this
+    frame, or ``None`` to leave it alone.  Scenarios may keep private
+    counters; the plan consults them under a lock, so they need no
+    locking of their own.
+    """
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        return None
+
+
+def _matches(info: FrameInfo, conn_id: Optional[int], worker: Optional[str],
+             shard: Optional[int]) -> bool:
+    """Shared targeting filter: ``None`` matches everything."""
+    if conn_id is not None and info.conn_id != conn_id:
+        return False
+    if worker is not None and info.worker != worker:
+        return False
+    if shard is not None and info.shard != shard:
+        return False
+    return True
+
+
+@dataclass
+class ConnectionDrop(NetFaultScenario):
+    """Tear a connection when its frame count hits ``at_count``.
+
+    The classic kill point: the coordinator's side of the socket is
+    closed mid-conversation, the worker's next heartbeat send fails,
+    the worker hard-stops its run and reconnects-with-resume.  Fires at
+    most ``times`` times (once by default).
+    """
+
+    at_count: int = 10
+    direction: str = "recv"
+    conn_id: Optional[int] = None
+    worker: Optional[str] = None
+    shard: Optional[int] = None
+    times: int = 1
+    fired: int = field(default=0, repr=False)
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if self.fired >= self.times or info.direction != self.direction:
+            return None
+        if not _matches(info, self.conn_id, self.worker, self.shard):
+            return None
+        if info.count >= self.at_count:
+            self.fired += 1
+            return NetAction("net_disconnect")
+        return None
+
+
+@dataclass
+class Partition(NetFaultScenario):
+    """Blackhole a window of frames: the link is up but delivers nothing.
+
+    While a connection's frame count (in the given direction) lies in
+    ``[start, start + length)``, frames are silently discarded.  Unlike
+    a drop, neither side sees an error -- the coordinator learns about
+    the partition only when the lease's liveness deadline expires, which
+    is exactly the failure mode that forces lease-based recovery.
+    """
+
+    start: int = 5
+    length: int = 10
+    direction: str = "recv"
+    conn_id: Optional[int] = None
+    worker: Optional[str] = None
+    shard: Optional[int] = None
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if info.direction != self.direction:
+            return None
+        if not _matches(info, self.conn_id, self.worker, self.shard):
+            return None
+        if self.start <= info.count < self.start + self.length:
+            return NetAction("net_partition")
+        return None
+
+
+@dataclass
+class MessageDelay(NetFaultScenario):
+    """Delay every ``every``-th frame by ``seconds``."""
+
+    every: int = 5
+    seconds: float = 0.002
+    direction: str = "recv"
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if info.direction != self.direction or self.every < 1:
+            return None
+        if info.count % self.every == 0:
+            return NetAction("net_delay", seconds=self.seconds)
+        return None
+
+
+@dataclass
+class MessageDuplicate(NetFaultScenario):
+    """Duplicate every ``every``-th *sent* frame.
+
+    The framing layer's per-channel sequence numbers make delivery
+    exactly-once on the receive side; this scenario proves it.
+    """
+
+    every: int = 4
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if info.direction != "send" or self.every < 1:
+            return None
+        if info.count % self.every == 0:
+            return NetAction("net_duplicate")
+        return None
+
+
+@dataclass
+class SlowLink(NetFaultScenario):
+    """Throttle a connection: ``seconds_per_kb`` of delay per kilobyte.
+
+    The framing layer reports the frame size through ``rng``-free
+    plumbing (the plan passes size-derived seconds); here we approximate
+    with a flat per-frame cost scaled by ``seconds_per_kb`` on the
+    sending side, capped so a huge outcome frame cannot stall CI.
+    """
+
+    seconds_per_kb: float = 0.0005
+    cap: float = 0.05
+    conn_id: Optional[int] = None
+    worker: Optional[str] = None
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if info.direction != "send":
+            return None
+        if not _matches(info, self.conn_id, self.worker, None):
+            return None
+        return NetAction("net_slow_link",
+                         seconds=min(self.cap, self.seconds_per_kb))
+
+
+@dataclass
+class ShardHolderDrop(NetFaultScenario):
+    """Repeatedly kill whichever connection holds a shard's lease.
+
+    Drops the holder's connection once ``after`` frames have moved since
+    the current connection started carrying the shard.  With
+    ``times=None`` it fires on every holder forever -- the way to burn
+    a shard's whole regrant budget and force the degraded merge.
+    """
+
+    shard: int = 0
+    after: int = 5
+    times: Optional[int] = None
+    fired: int = field(default=0, repr=False)
+    _seen: dict = field(default_factory=dict, repr=False)
+
+    def on_frame(self, info: FrameInfo,
+                 rng: np.random.Generator) -> Optional[NetAction]:
+        if info.shard != self.shard:
+            return None
+        if self.times is not None and self.fired >= self.times:
+            return None
+        seen = self._seen.get(info.conn_id, 0) + 1
+        self._seen[info.conn_id] = seen
+        if seen >= self.after:
+            self.fired += 1
+            del self._seen[info.conn_id]
+            return NetAction("net_disconnect")
+        return None
+
+
+class NetworkFaultPlan:
+    """An ordered composition of network fault scenarios with one RNG.
+
+    The coordinator hands the plan to every
+    :class:`~repro.shard.net.framing.FramedChannel` it owns; channels
+    call :meth:`consult` per frame.  The first scenario returning an
+    action wins (matching the machine-level plan's short-circuit
+    discipline) and is tallied in :attr:`injected`.
+
+    Thread safety: reader threads and the coordinator's main loop
+    consult concurrently, so scenario state and the ledger are guarded
+    by one lock.
+    """
+
+    def __init__(self, scenarios: Sequence[NetFaultScenario] = (),
+                 seed: int = 0):
+        self.scenarios: Tuple[NetFaultScenario, ...] = tuple(scenarios)
+        for s in self.scenarios:
+            if not isinstance(s, NetFaultScenario):
+                raise TypeError(f"not a NetFaultScenario: {s!r}")
+        self.seed = int(seed)
+        self.rng = np.random.Generator(np.random.PCG64(self.seed))
+        #: Injection tally by category
+        #: (see :data:`NETWORK_FAULT_CATEGORIES`).
+        self.injected: Counter = Counter()
+        self._lock = threading.Lock()
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan injects nothing (channels then bypass it)."""
+        return not self.scenarios
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(type(s).__name__ for s in self.scenarios)
+        return f"NetworkFaultPlan([{names}], seed={self.seed})"
+
+    def consult(self, info: FrameInfo) -> Optional[NetAction]:
+        """First scenario-injected action for this frame, tallied."""
+        if not self.scenarios:
+            return None
+        with self._lock:
+            for s in self.scenarios:
+                action = s.on_frame(info, self.rng)
+                if action is not None:
+                    self.injected[action.category] += 1
+                    return action
+        return None

@@ -31,6 +31,15 @@ States
     The worker acknowledged STOP and exited cleanly mid-run.
 ``DONE``
     The worker delivered its shard outcome.
+``LOST``
+    Networked campaigns only: the shard's lease regrant budget is
+    exhausted and the campaign settled it through the degraded merge
+    (``docs/distributed.md``).
+
+The networked control plane (:mod:`repro.shard.net`) additionally
+exports wire-level metrics through :func:`record_net_connect`,
+:func:`record_net_disconnect`, :func:`record_net_message`,
+:func:`record_lease_grant` and :func:`record_lease_expiry`.
 """
 
 from __future__ import annotations
@@ -47,11 +56,17 @@ __all__ = [
     "DEAD",
     "STOPPED",
     "DONE",
+    "LOST",
     "WORKER_STATES",
     "worker_state_code",
     "record_worker_state",
     "record_worker_heartbeat",
     "record_worker_restart",
+    "record_net_connect",
+    "record_net_disconnect",
+    "record_net_message",
+    "record_lease_grant",
+    "record_lease_expiry",
 ]
 
 STARTING = "starting"
@@ -61,9 +76,12 @@ PAUSED = "paused"
 DEAD = "dead"
 STOPPED = "stopped"
 DONE = "done"
+LOST = "lost"
 
-#: All states, in ordinal order (the gauge encoding).
-WORKER_STATES = (STARTING, RUNNING, DEGRADED, PAUSED, DEAD, STOPPED, DONE)
+#: All states, in ordinal order (the gauge encoding).  New states are
+#: only ever appended so existing ordinals stay stable.
+WORKER_STATES = (STARTING, RUNNING, DEGRADED, PAUSED, DEAD, STOPPED, DONE,
+                 LOST)
 
 _STATE_CODES = {name: code for code, name in enumerate(WORKER_STATES)}
 
@@ -103,3 +121,49 @@ def record_worker_restart(metrics: Optional[MetricsRegistry],
     if metrics is None:
         return
     metrics.counter("shard.restarts", shard=str(shard)).inc()
+
+
+# ----------------------------------------------------------------------
+# Wire-level health of the networked control plane (repro.shard.net)
+# ----------------------------------------------------------------------
+
+def record_net_connect(metrics: Optional[MetricsRegistry],
+                       connected: int) -> None:
+    """Count one accepted worker connection; gauge the connected pool."""
+    if metrics is None:
+        return
+    metrics.counter("net.connects").inc()
+    metrics.gauge("net.workers_connected").set(connected)
+
+
+def record_net_disconnect(metrics: Optional[MetricsRegistry],
+                          connected: int) -> None:
+    """Count one lost worker connection; gauge the connected pool."""
+    if metrics is None:
+        return
+    metrics.counter("net.disconnects").inc()
+    metrics.gauge("net.workers_connected").set(connected)
+
+
+def record_net_message(metrics: Optional[MetricsRegistry],
+                       direction: str) -> None:
+    """Count one protocol message moved (``direction``: sent/received)."""
+    if metrics is None:
+        return
+    metrics.counter("net.messages", direction=direction).inc()
+
+
+def record_lease_grant(metrics: Optional[MetricsRegistry],
+                       shard: int) -> None:
+    """Count one lease grant (first grant and every regrant) of a shard."""
+    if metrics is None:
+        return
+    metrics.counter("net.lease_grants", shard=str(shard)).inc()
+
+
+def record_lease_expiry(metrics: Optional[MetricsRegistry],
+                        shard: int) -> None:
+    """Count one liveness-deadline lease expiry of a shard."""
+    if metrics is None:
+        return
+    metrics.counter("net.lease_expiries", shard=str(shard)).inc()

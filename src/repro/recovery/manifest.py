@@ -33,7 +33,7 @@ import hashlib
 import json
 import os
 import pickle
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -75,6 +75,11 @@ class ShardStatus:
     #: Digest of the shard's sealed journal, recorded at completion.
     journal_digest: Optional[str] = None
     completed: bool = False
+    #: Networked campaigns: worker identity currently holding (or last
+    #: to hold) this shard's lease, and the lease epoch it was granted
+    #: under.  ``None`` / 0 on local supervised campaigns.
+    worker: Optional[str] = None
+    lease_epoch: int = 0
 
 
 @dataclass
@@ -89,9 +94,17 @@ class CampaignManifest:
     shards: Dict[int, ShardStatus]
     #: ``min`` over shards of the last durably journaled iteration.
     merge_watermark: int = -1
-    #: Campaign lifecycle: running -> merged | stopped | failed.
+    #: Campaign lifecycle: running -> merged | stopped | failed
+    #: (networked campaigns add the terminal ``degraded``).
     state: str = "running"
     version: int = MANIFEST_VERSION
+    #: Degraded merge: the campaign completed without these shards --
+    #: their lease regrant budgets were exhausted -- and the merged
+    #: artefacts cover only the surviving shards' machines.  ``partial``
+    #: is the explicit flag consumers must check before treating the
+    #: output as roster-complete.
+    partial: bool = False
+    lost_shards: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -120,6 +133,8 @@ class CampaignManifest:
             "n_shards": self.n_shards,
             "state": self.state,
             "merge_watermark": self.merge_watermark,
+            "partial": self.partial,
+            "lost_shards": sorted(self.lost_shards),
             "plan": self.plan,
             "shards": {str(k): asdict(v)
                        for k, v in sorted(self.shards.items())},
@@ -177,7 +192,12 @@ class CampaignManifest:
                        shards=shards,
                        merge_watermark=int(raw["merge_watermark"]),
                        state=raw["state"],
-                       version=version)
+                       version=version,
+                       # Pre-networked manifests lack the degraded-merge
+                       # columns; absent means roster-complete.
+                       partial=bool(raw.get("partial", False)),
+                       lost_shards=[int(k)
+                                    for k in raw.get("lost_shards", [])])
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"campaign manifest {path} does not conform to the "

@@ -23,6 +23,7 @@ a violation is raised as :class:`~repro.errors.TraceFormatError`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TraceFormatError
@@ -31,7 +32,8 @@ from repro.obs.snapshot import ObsSnapshot
 from repro.shard.worker import ShardOutcome
 from repro.traces.store import TraceStore
 
-__all__ = ["SUM_METRICS", "MAX_GAUGES", "merge_outcomes"]
+__all__ = ["SUM_METRICS", "MAX_GAUGES", "merge_outcomes",
+           "DegradedMergeInfo", "merge_degraded"]
 
 #: Metrics each shard observed for a disjoint slice of the fleet (gated
 #: on lab ownership in the coordinator and executor): summed on merge.
@@ -117,3 +119,90 @@ def _merge_snapshots(
         )
     return ObsSnapshot.merge(snapshots, sum_metrics=SUM_METRICS,
                              max_gauges=MAX_GAUGES)
+
+
+# ----------------------------------------------------------------------
+# Degraded merge: settle a campaign that permanently lost shards
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DegradedMergeInfo:
+    """Explicit accounting of what a degraded merge does *not* cover.
+
+    A partial trace silently passed off as complete would poison every
+    downstream rate (the paper's usage percentages normalise over the
+    roster), so the degraded merge returns this record alongside the
+    artefacts and the campaign manifest pins the same facts
+    (``partial`` / ``lost_shards``).
+    """
+
+    #: Shards excluded from the merge, ascending.
+    lost_shards: Tuple[int, ...]
+    #: Machines those shards owned -- absent from the merged trace.
+    machines_lost: int
+    #: Roster size of the full plan, for normalisation.
+    machines_total: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the roster the merged trace covers."""
+        if self.machines_total == 0:
+            return 0.0
+        return 1.0 - self.machines_lost / self.machines_total
+
+
+def merge_degraded(
+    outcomes: Sequence[Optional[ShardOutcome]],
+    plan,
+) -> Tuple[TraceStore, Optional[FaultPlan], Optional[ObsSnapshot],
+           DegradedMergeInfo]:
+    """Merge the surviving shards of a campaign that lost some.
+
+    ``outcomes`` is positional over ``plan.specs`` (ordered by shard
+    index) with ``None`` holes where a shard was permanently lost; the
+    surviving outcomes merge under exactly the strict rules of
+    :func:`merge_outcomes` -- the accounting identity still holds over
+    the survivors because the merged meta's ``n_machines`` sums only
+    *their* rosters.  The returned :class:`DegradedMergeInfo` makes the
+    exclusion explicit; it is never inferred from a shorter trace.
+
+    Raises
+    ------
+    TraceFormatError
+        When no shard survived (an empty campaign is a failure, not a
+        degraded result), when ``outcomes`` does not line up with the
+        plan, or on any :func:`merge_outcomes` violation among the
+        survivors.
+    """
+    specs = list(plan.specs)
+    if len(outcomes) != len(specs):
+        raise TraceFormatError(
+            f"degraded merge got {len(outcomes)} outcome slots for a "
+            f"{len(specs)}-shard plan; lost shards must be explicit "
+            "None holes, not omissions"
+        )
+    survivors: List[ShardOutcome] = []
+    lost: List[int] = []
+    for spec, outcome in zip(specs, outcomes):
+        if outcome is None:
+            lost.append(spec.index)
+        else:
+            if outcome.shard_index != spec.index:
+                raise TraceFormatError(
+                    f"degraded merge slot for shard {spec.index} holds "
+                    f"shard {outcome.shard_index}'s outcome"
+                )
+            survivors.append(outcome)
+    if not survivors:
+        raise TraceFormatError(
+            "degraded merge with zero surviving shards: an empty "
+            "campaign has no result"
+        )
+    store, faults, snapshot = merge_outcomes(survivors)
+    info = DegradedMergeInfo(
+        lost_shards=tuple(lost),
+        machines_lost=sum(s.n_machines for s in specs
+                          if s.index in set(lost)),
+        machines_total=sum(s.n_machines for s in specs),
+    )
+    return store, faults, snapshot, info

@@ -1,0 +1,53 @@
+"""Networked shard control plane: coordinator, workers, leases.
+
+``repro.shard.net`` promotes the PR 8 local supervisor to the network:
+shard workers are separate processes that connect to a coordinator over
+TCP (loopback in tests, real hosts in principle), receive shard tasks
+as revocable *leases*, stream framed heartbeats back, and return their
+:class:`~repro.shard.worker.ShardOutcome` over the wire.  The
+coordinator preserves every supervisor guarantee -- liveness deadlines,
+restart budgets, PAUSE/RESUME/STOP steering, manifest mirroring,
+resume-from-checkpoint -- while adding the failure modes only sockets
+have: disconnects, partitions, slow links, duplicated messages.
+
+Layers, bottom up:
+
+- :mod:`~repro.shard.net.framing` -- length-prefixed CRC-checked frames
+  over a socket, with deterministic fault injection hooks;
+- :mod:`~repro.shard.net.protocol` -- the message vocabulary;
+- :mod:`~repro.shard.net.lease` -- revocable shard leases with epochs
+  and regrant budgets;
+- :mod:`~repro.shard.net.registry` -- connected-worker registry scored
+  by :class:`~repro.resilience.health.HealthTracker`;
+- :mod:`~repro.shard.net.worker` -- the worker process loop
+  (connect, lease, run, reconnect-with-resume);
+- :mod:`~repro.shard.net.coordinator` -- the control loop that grants
+  leases, enforces liveness, and collects outcomes;
+- :mod:`~repro.shard.net.config` -- endpoint parsing and the
+  :class:`NetConfig` knob bundle consumed by ``run_experiment(net=)``.
+
+See ``docs/distributed.md`` for the protocol walk-through and the
+failure matrix.
+"""
+
+from repro.shard.net.config import NetConfig, parse_endpoint
+from repro.shard.net.coordinator import NetCoordinator, NetPolicy
+from repro.shard.net.framing import FramedChannel
+from repro.shard.net.lease import Lease, LeaseTable
+from repro.shard.net.registry import WorkerEntry, WorkerRegistry
+from repro.shard.net.worker import NetWorkerPolicy, run_worker, spawn_local_workers
+
+__all__ = [
+    "NetConfig",
+    "parse_endpoint",
+    "NetCoordinator",
+    "NetPolicy",
+    "FramedChannel",
+    "Lease",
+    "LeaseTable",
+    "WorkerEntry",
+    "WorkerRegistry",
+    "NetWorkerPolicy",
+    "run_worker",
+    "spawn_local_workers",
+]

@@ -1,0 +1,107 @@
+"""Connected-worker registry with EWMA health scoring.
+
+The coordinator keeps one :class:`WorkerEntry` per *worker identity*
+(the ``worker_id`` from ``Hello``), not per connection: a worker that
+drops and reconnects keeps its entry, its health history, and -- via
+the lease table -- its shard.  Health is the same
+:class:`~repro.resilience.health.HealthTracker` EWMA the resilience
+layer scores simulated machines with: heartbeats are successes,
+disconnects and failures are failures, and lease grants prefer the
+highest-scoring idle worker, so a flapping worker naturally stops
+receiving work before it burns a shard's regrant budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.resilience.health import HealthTracker
+from repro.shard.net.protocol import Hello
+
+__all__ = ["WorkerEntry", "WorkerRegistry"]
+
+#: EWMA smoothing for worker health; matches the resilience layer's
+#: default responsiveness for machine probes.
+_HEALTH_ALPHA = 0.3
+
+
+@dataclass
+class WorkerEntry:
+    """Everything the coordinator knows about one worker identity."""
+
+    worker_id: str
+    capabilities: Dict[str, Any] = field(default_factory=dict)
+    connected: bool = False
+    conn_id: int = -1
+    sessions: int = 0       # connections ever made by this identity
+    shard: Optional[int] = None
+    health: HealthTracker = field(
+        default_factory=lambda: HealthTracker(alpha=_HEALTH_ALPHA)
+    )
+
+    @property
+    def idle(self) -> bool:
+        return self.connected and self.shard is None
+
+
+class WorkerRegistry:
+    """Identity-keyed view of the worker pool."""
+
+    def __init__(self):
+        self.workers: Dict[str, WorkerEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self.workers
+
+    def get(self, worker_id: str) -> Optional[WorkerEntry]:
+        return self.workers.get(worker_id)
+
+    def register(self, hello: Hello, conn_id: int) -> WorkerEntry:
+        """Record a ``Hello``; reconnects keep the existing entry."""
+        entry = self.workers.get(hello.worker_id)
+        if entry is None:
+            entry = WorkerEntry(worker_id=hello.worker_id)
+            self.workers[hello.worker_id] = entry
+        entry.capabilities = dict(hello.capabilities)
+        entry.connected = True
+        entry.conn_id = conn_id
+        entry.sessions += 1
+        return entry
+
+    def disconnect(self, worker_id: str) -> None:
+        """A connection died; score the failure, keep the identity."""
+        entry = self.workers.get(worker_id)
+        if entry is None:
+            return
+        entry.connected = False
+        entry.conn_id = -1
+        entry.shard = None
+        entry.health.failure()
+
+    def heartbeat(self, worker_id: str) -> None:
+        entry = self.workers.get(worker_id)
+        if entry is not None:
+            entry.health.success()
+
+    def failure(self, worker_id: str) -> None:
+        entry = self.workers.get(worker_id)
+        if entry is not None:
+            entry.health.failure()
+
+    def idle_workers(self) -> List[WorkerEntry]:
+        """Idle workers, healthiest first, ties broken by id.
+
+        The deterministic ordering matters: two equally-fresh workers
+        must be picked the same way on every run so loopback campaigns
+        stay reproducible.
+        """
+        idle = [w for w in self.workers.values() if w.idle]
+        idle.sort(key=lambda w: (-w.health.score, w.worker_id))
+        return idle
+
+    def connected_count(self) -> int:
+        return sum(1 for w in self.workers.values() if w.connected)

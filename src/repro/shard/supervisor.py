@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as _mp_connection
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CampaignStopped, ShardWorkerError
 from repro.obs import health
@@ -82,10 +82,12 @@ class SupervisorPolicy:
         Send a heartbeat every N completed iterations (1 = every
         iteration; the paper's 15-minute cadence makes even 1 cheap).
     degraded_after / dead_after:
-        Wall-clock seconds without a heartbeat before a worker is
-        marked DEGRADED (observability only) respectively DEAD
-        (terminated and restarted).  Deadlines are measured on the
-        supervisor's clock from event *receive* times.
+        Seconds without a heartbeat before a worker is marked DEGRADED
+        (observability only) respectively DEAD (terminated and
+        restarted).  Deadlines are measured from event *receive* times
+        on the supervisor's **monotonic** clock (never wall-clock time,
+        which jumps under NTP steps and would spuriously declare
+        workers dead).
     max_restarts:
         Restarts allowed per shard before the campaign fails with
         :class:`~repro.errors.ShardWorkerError`.
@@ -265,6 +267,10 @@ class CampaignReport:
     #: Per-shard recovery summary from the final worker generation
     #: (``None`` for shards run without recovery).
     recovery: Dict[int, Optional[RecoveryInfo]] = field(default_factory=dict)
+    #: Networked campaigns only: shards settled as LOST past their lease
+    #: regrant budget and excluded from the (degraded) merge.  Always
+    #: empty on the local supervised path.
+    lost_shards: Tuple[int, ...] = ()
 
     @property
     def total_restarts(self) -> int:
@@ -317,6 +323,13 @@ class Supervisor:
         ``run_dir`` is the campaign root it is persisted under.
     mp_context:
         ``multiprocessing`` context override (tests).
+    clock:
+        Time source for liveness deadlines, backoff scheduling and
+        manifest throttling.  Defaults to :func:`time.monotonic` and
+        must stay monotonic: wall-clock time (``time.time``) jumps
+        under NTP steps and DST, which would spuriously blow heartbeat
+        deadlines or stall restarts.  Injectable so liveness tests can
+        drive time without sleeping.
     """
 
     #: Seconds between manifest rewrites driven by heartbeat traffic.
@@ -331,6 +344,7 @@ class Supervisor:
         manifest: Optional[CampaignManifest] = None,
         run_dir: Optional[Union[str, Path]] = None,
         mp_context=None,
+        clock=time.monotonic,
     ):
         if not tasks:
             raise ValueError("a supervisor needs at least one shard task")
@@ -350,7 +364,8 @@ class Supervisor:
         }
         self._stop_requested = False
         self._ran = False
-        self._manifest_written_at = 0.0
+        self._clock = clock
+        self._manifest_written_at = -self._MANIFEST_EVERY
 
     # ------------------------------------------------------------------
     # steering (safe to call from another thread while run() is live)
@@ -396,7 +411,7 @@ class Supervisor:
         try:
             while not all(w.terminal for w in self._workers.values()):
                 self._drain_events()
-                now = time.monotonic()
+                now = self._clock()
                 self._check_liveness(now)
                 self._check_exits(now)
                 self._launch_due_restarts(now)
@@ -426,7 +441,7 @@ class Supervisor:
             name=f"repro-shard-{task.shard.index}",
             daemon=True,
         )
-        w.spawned_at = time.monotonic()
+        w.spawned_at = self._clock()
         w.last_heartbeat = None  # liveness restarts from this generation
         w.exited_seen_at = None
         w.restart_at = None
@@ -488,7 +503,7 @@ class Supervisor:
         w = self._workers.get(index)
         if w is None or w.terminal:
             return
-        now = time.monotonic()
+        now = self._clock()
         if kind == "hello":
             w.last_heartbeat = now
         elif kind == "heartbeat":
@@ -565,7 +580,7 @@ class Supervisor:
         index = w.task.shard.index
         self._set_state(w, health.DEAD)
         self._reap(w)
-        last_hb_age = (time.monotonic() - w.last_heartbeat
+        last_hb_age = (self._clock() - w.last_heartbeat
                        if w.last_heartbeat is not None else None)
         if w.restarts >= self.policy.max_restarts:
             raise ShardWorkerError(
@@ -582,7 +597,7 @@ class Supervisor:
         w.restarts += 1
         health.record_worker_restart(self._metrics, index)
         delay = self.policy.restart_delay(w.restarts)
-        w.restart_at = time.monotonic() + delay
+        w.restart_at = self._clock() + delay
         self._write_manifest(force=True)
 
     def _reap(self, w: _Worker) -> None:
@@ -675,7 +690,7 @@ class Supervisor:
                         force: bool = False) -> None:
         if self.manifest is None or self.run_dir is None:
             return
-        now = time.monotonic()
+        now = self._clock()
         if not force and now - self._manifest_written_at < self._MANIFEST_EVERY:
             return
         if state is not None:

@@ -9,12 +9,14 @@ from repro.obs.metrics import MetricsRegistry
 class TestStateVocabulary:
     def test_ordinals_are_stable(self):
         # dashboards threshold on these codes; reordering breaks them
+        # "lost" (networked campaigns) was APPENDED so pre-existing
+        # ordinals kept their codes.
         assert health.WORKER_STATES == (
             "starting", "running", "degraded", "paused", "dead",
-            "stopped", "done",
+            "stopped", "done", "lost",
         )
         assert [health.worker_state_code(s)
-                for s in health.WORKER_STATES] == list(range(7))
+                for s in health.WORKER_STATES] == list(range(8))
 
     def test_unknown_state_rejected(self):
         with pytest.raises(ValueError, match="unknown worker state"):

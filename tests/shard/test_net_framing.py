@@ -1,0 +1,259 @@
+"""Framing layer: frames, CRC, dedup, timeouts, endpoints, net faults."""
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ChannelClosed, ChannelTimeout, FrameCorruption
+from repro.faults.network import (
+    ConnectionDrop,
+    FrameInfo,
+    MessageDelay,
+    MessageDuplicate,
+    NetAction,
+    NetworkFaultPlan,
+    Partition,
+    ShardHolderDrop,
+)
+from repro.shard.net.config import format_endpoint, parse_endpoint
+from repro.shard.net.framing import HEADER, MAX_FRAME, FramedChannel
+from repro.shard.net.protocol import Heartbeat, Hello, lease_scoped
+
+
+def channel_pair(**kwargs):
+    """Two FramedChannels over a connected socketpair."""
+    a, b = socket.socketpair()
+    return FramedChannel(a, **kwargs), FramedChannel(b)
+
+
+class TestEndpoints:
+    def test_roundtrip(self):
+        assert parse_endpoint("tcp://127.0.0.1:7077") == ("127.0.0.1", 7077)
+        assert parse_endpoint(format_endpoint("10.0.0.2", 0)) == ("10.0.0.2", 0)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "127.0.0.1:7077",
+        "http://127.0.0.1:7077",
+        "tcp://127.0.0.1",
+        "tcp://:7077",
+        "tcp://127.0.0.1:port",
+        "tcp://127.0.0.1:99999",
+        "tcp://127.0.0.1:7077/path",
+        "tcp://127.0.0.1:7077?q=1",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+class TestFraming:
+    def test_message_roundtrip(self):
+        a, b = channel_pair()
+        hello = Hello(worker_id="w0", pid=1, host="h")
+        a.send(hello)
+        assert b.recv(timeout=2.0) == hello
+        a.close(), b.close()
+
+    def test_many_messages_in_order(self):
+        a, b = channel_pair()
+        for k in range(50):
+            a.send(Heartbeat(0, 1, k, float(k)))
+        got = [b.recv(timeout=2.0).iteration for _ in range(50)]
+        assert got == list(range(50))
+        a.close(), b.close()
+
+    def test_timeout_preserves_partial_frame_sync(self):
+        # A frame delivered in two halves with a timeout in between must
+        # still decode: timeouts buffer, they never lose sync.
+        raw, peer = socket.socketpair()
+        chan = FramedChannel(peer)
+        payload = __import__("pickle").dumps(Heartbeat(1, 1, 7, 0.0))
+        frame = HEADER.pack(len(payload), zlib.crc32(payload), 1) + payload
+        raw.sendall(frame[:10])
+        with pytest.raises(ChannelTimeout):
+            chan.recv(timeout=0.05)
+        raw.sendall(frame[10:])
+        assert chan.recv(timeout=2.0).iteration == 7
+        raw.close(), chan.close()
+
+    def test_crc_mismatch_closes_channel(self):
+        raw, peer = socket.socketpair()
+        chan = FramedChannel(peer)
+        payload = b"garbage-payload"
+        frame = HEADER.pack(len(payload), zlib.crc32(payload) ^ 0xFF, 1) \
+            + payload
+        raw.sendall(frame)
+        with pytest.raises(FrameCorruption, match="CRC mismatch"):
+            chan.recv(timeout=2.0)
+        assert chan.closed
+        raw.close()
+
+    def test_oversize_length_is_corruption_not_allocation(self):
+        raw, peer = socket.socketpair()
+        chan = FramedChannel(peer)
+        raw.sendall(HEADER.pack(MAX_FRAME + 1, 0, 1))
+        with pytest.raises(FrameCorruption, match="out of sync"):
+            chan.recv(timeout=2.0)
+        raw.close(), chan.close()
+
+    def test_undecodable_payload_is_corruption(self):
+        raw, peer = socket.socketpair()
+        chan = FramedChannel(peer)
+        payload = b"\x80\x05not really a pickle"
+        raw.sendall(HEADER.pack(len(payload), zlib.crc32(payload), 1)
+                    + payload)
+        with pytest.raises(FrameCorruption, match="failed to decode"):
+            chan.recv(timeout=2.0)
+        raw.close()
+
+    def test_duplicate_sequence_delivered_exactly_once(self):
+        raw, peer = socket.socketpair()
+        chan = FramedChannel(peer)
+        pickle = __import__("pickle")
+        p1 = pickle.dumps(Heartbeat(0, 1, 1, 0.0))
+        p2 = pickle.dumps(Heartbeat(0, 1, 2, 0.0))
+        f1 = HEADER.pack(len(p1), zlib.crc32(p1), 1) + p1
+        f2 = HEADER.pack(len(p2), zlib.crc32(p2), 2) + p2
+        raw.sendall(f1 + f1 + f2)  # frame 1 delivered twice
+        assert chan.recv(timeout=2.0).iteration == 1
+        assert chan.recv(timeout=2.0).iteration == 2  # dup skipped
+        raw.close(), chan.close()
+
+    def test_peer_hangup_raises_channel_closed(self):
+        a, b = channel_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            b.recv(timeout=2.0)
+
+    def test_send_on_closed_channel_raises(self):
+        a, _b = channel_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send(Hello(worker_id="w", pid=1, host="h"))
+
+    def test_poll_empty_returns_none_and_full_returns_message(self):
+        a, b = channel_pair()
+        assert b.poll(0.0) is None
+        a.send(Heartbeat(0, 1, 3, 0.0))
+        assert b.poll(0.5).iteration == 3
+        a.close(), b.close()
+
+
+class TestInjectedFaults:
+    def test_send_disconnect_closes_and_raises(self):
+        plan = NetworkFaultPlan([ConnectionDrop(at_count=2,
+                                                direction="send")])
+        a, b = channel_pair(faults=plan)
+        a.send(Heartbeat(0, 1, 1, 0.0))
+        with pytest.raises(ChannelClosed, match="injected"):
+            a.send(Heartbeat(0, 1, 2, 0.0))
+        assert a.closed
+        assert plan.injected["net_disconnect"] == 1
+        b.close()
+
+    def test_send_partition_blackholes_but_keeps_sequence(self):
+        plan = NetworkFaultPlan([Partition(start=2, length=1,
+                                           direction="send")])
+        a, b = channel_pair(faults=plan)
+        a.send(Heartbeat(0, 1, 1, 0.0))
+        a.send(Heartbeat(0, 1, 2, 0.0))  # blackholed
+        a.send(Heartbeat(0, 1, 3, 0.0))
+        assert b.recv(timeout=2.0).iteration == 1
+        assert b.recv(timeout=2.0).iteration == 3
+        assert plan.injected["net_partition"] == 1
+        a.close(), b.close()
+
+    def test_recv_partition_swallows_frame(self):
+        plan = NetworkFaultPlan([Partition(start=2, length=1,
+                                           direction="recv")])
+        a, b = channel_pair(faults=plan)
+        b.send(Heartbeat(0, 1, 1, 0.0))
+        b.send(Heartbeat(0, 1, 2, 0.0))
+        b.send(Heartbeat(0, 1, 3, 0.0))
+        assert a.recv(timeout=2.0).iteration == 1
+        assert a.recv(timeout=2.0).iteration == 3  # 2 swallowed
+        a.close(), b.close()
+
+    def test_duplicate_injection_still_exactly_once(self):
+        plan = NetworkFaultPlan([MessageDuplicate(every=1)])
+        a, b = channel_pair(faults=plan)
+        a.send(Heartbeat(0, 1, 1, 0.0))
+        assert b.recv(timeout=2.0).iteration == 1
+        with pytest.raises(ChannelTimeout):
+            b.recv(timeout=0.05)  # the duplicate was deduped, not queued
+        assert plan.injected["net_duplicate"] == 1
+        a.close(), b.close()
+
+    def test_targeting_by_worker_and_shard(self):
+        plan = NetworkFaultPlan([ConnectionDrop(at_count=1, worker="w1",
+                                                direction="send")])
+        a, b = channel_pair(faults=plan)
+        a.worker = "w0"
+        a.send(Heartbeat(0, 1, 1, 0.0))  # wrong worker: no injection
+        a.worker = "w1"
+        with pytest.raises(ChannelClosed):
+            a.send(Heartbeat(0, 1, 2, 0.0))
+        b.close()
+
+    def test_plan_is_deterministic_per_frame_counts(self):
+        def run_plan():
+            plan = NetworkFaultPlan(
+                [MessageDelay(every=3, seconds=0.0, direction="recv"),
+                 Partition(start=5, length=2, direction="recv")], seed=9)
+            actions = []
+            for count in range(1, 11):
+                info = FrameInfo(conn_id=0, direction="recv", kind="",
+                                 worker="w0", shard=0, count=count)
+                act = plan.consult(info)
+                actions.append(None if act is None else act.category)
+            return actions, dict(plan.injected)
+
+        first, second = run_plan(), run_plan()
+        assert first == second
+        assert "net_partition" in first[1].keys() | set()
+
+    def test_shard_holder_drop_counts_per_connection(self):
+        drop = ShardHolderDrop(shard=2, after=2, times=None)
+        plan = NetworkFaultPlan([drop])
+
+        def frame(conn, shard):
+            return FrameInfo(conn_id=conn, direction="recv", kind="",
+                             worker="w", shard=shard, count=1)
+
+        assert plan.consult(frame(0, 1)) is None  # other shard ignored
+        assert plan.consult(frame(0, 2)) is None  # first holder frame
+        assert plan.consult(frame(0, 2)).category == "net_disconnect"
+        assert plan.consult(frame(1, 2)) is None  # new holder, new count
+        assert plan.consult(frame(1, 2)).category == "net_disconnect"
+        assert plan.injected["net_disconnect"] == 2
+
+    def test_action_category_validated(self):
+        with pytest.raises(ValueError, match="unknown network fault"):
+            NetAction("net_bogus")
+        with pytest.raises(ValueError):
+            NetAction("net_delay", seconds=-1.0)
+
+    def test_plan_rejects_non_scenarios(self):
+        with pytest.raises(TypeError):
+            NetworkFaultPlan([object()])
+
+
+class TestProtocolScoping:
+    def test_lease_scoped_messages(self):
+        from repro.shard.net.protocol import Ack, Failure, Outcome
+
+        assert lease_scoped(Heartbeat(3, 2, 10, 0.0)) == (3, 2)
+        assert lease_scoped(Ack("pause", 1, 4, 5)) == (1, 4)
+        assert lease_scoped(Outcome(0, 1, outcome=None)) == (0, 1)
+        assert lease_scoped(Failure(2, 3, "boom")) == (2, 3)
+        assert lease_scoped(Hello(worker_id="w", pid=1, host="h")) is None
+
+    def test_command_verbs_validated(self):
+        from repro.shard.net.protocol import Command
+
+        assert Command("pause").verb == "pause"
+        with pytest.raises(ValueError):
+            Command("reboot")

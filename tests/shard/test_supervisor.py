@@ -150,3 +150,38 @@ class TestSupervisorGuards:
         assert report.restarts == {0: 0}
         with pytest.raises(RuntimeError, match="exactly once"):
             sup.run()
+
+
+class TestSupervisorClockSeam:
+    """Liveness deadlines run on an injectable monotonic clock."""
+
+    def make_task(self):
+        cfg = ExperimentConfig(days=1, seed=5)
+        plan = ShardPlan.build(TABLE1_LABS, 1)
+        return ShardTask(config=cfg, shard=plan.specs[0],
+                         labs=tuple(TABLE1_LABS))
+
+    def test_offset_clock_still_completes(self):
+        # A clock starting far from zero (e.g. a long-booted host's
+        # time.monotonic) must not trip liveness or restart deadlines.
+        import time as _time
+
+        sup = Supervisor([self.make_task()],
+                         policy=SupervisorPolicy(backoff_base=0.01),
+                         clock=lambda: _time.monotonic() + 1_000_000.0)
+        outcomes = sup.run()
+        assert len(outcomes) == 1 and outcomes[0].shard_index == 0
+        assert sup.states() == {0: health.DONE}
+
+    def test_clock_zero_start_still_completes(self):
+        # The opposite corner: a clock that starts at exactly 0.0 (the
+        # deadline arithmetic must not treat 0 as "never seen").
+        import time as _time
+
+        t0 = _time.monotonic()
+        sup = Supervisor([self.make_task()],
+                         policy=SupervisorPolicy(backoff_base=0.01),
+                         clock=lambda: _time.monotonic() - t0)
+        outcomes = sup.run()
+        assert len(outcomes) == 1
+        assert sup.report().restarts == {0: 0}
