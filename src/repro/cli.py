@@ -124,7 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probing-pass implementation: 'auto' picks "
                        "the columnar kernel when eligible, 'object' "
                        "forces the per-object path, 'columnar' fails "
-                       "loudly if ineligible (default auto)")
+                       "loudly if ineligible (default auto; composes "
+                       "with --shards)")
+    p_run.add_argument("--behavioural", choices=("exact", "statistical"),
+                       default="exact",
+                       help="behavioural equivalence mode for the "
+                       "columnar kernel: 'exact' keeps the event loop "
+                       "byte-identical to the object path at any size, "
+                       "'statistical' switches fleets above the "
+                       "threshold to the fully vectorised behavioural "
+                       "engine (default exact; see docs/columnar.md)")
+    p_run.add_argument("--behavioural-threshold", type=int, default=None,
+                       metavar="N",
+                       help="fleet size above which --behavioural "
+                       "statistical engages the vectorised engine "
+                       "(default 1000)")
 
     p_rep = sub.add_parser("report", help="paper-vs-measured report")
     add_common(p_rep, 77)
@@ -218,6 +232,28 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiment import run_experiment
 
+    # Kernel pre-flight: combinations that are statically known to be
+    # columnar-ineligible must exit 2 here, before any run directory or
+    # observer is created, instead of failing mid-build.
+    if args.kernel == "columnar":
+        for flag, present in (
+            ("--obs-out", bool(args.obs_out)),
+            ("--resilience", bool(args.resilience)),
+            ("--recover-dir", args.recover_dir is not None),
+            ("--resume", bool(args.resume)),
+        ):
+            if present:
+                print(f"error: --kernel columnar is incompatible with "
+                      f"{flag}; the columnar pass replicates none of "
+                      "that hook's behaviour (use --kernel auto to fall "
+                      "back to the object path; see docs/columnar.md)",
+                      file=sys.stderr)
+                return 2
+    if (args.behavioural_threshold is not None
+            and args.behavioural_threshold < 0):
+        print(f"error: --behavioural-threshold must be non-negative, got "
+              f"{args.behavioural_threshold}", file=sys.stderr)
+        return 2
     observer = None
     if args.obs_out:
         from repro.obs import Observer
@@ -329,6 +365,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         days=args.days, seed=args.seed,
         shards=args.shards if resume_shards is None else resume_shards,
         kernel=args.kernel,
+        behavioural_equivalence=args.behavioural,
+        **({} if args.behavioural_threshold is None
+           else {"behavioural_threshold": args.behavioural_threshold}),
     )
     supervise = True if args.supervise else None
     run_kwargs = {}

@@ -453,16 +453,19 @@ class DdcCoordinator:
     def columnar_ineligibility(self) -> Optional[str]:
         """Why this coordinator cannot use the columnar pass, or ``None``.
 
-        The columnar pass replicates the exact fault-free, hook-free,
-        unsharded probing loop; any feature that adds per-machine hooks
-        (faults, resilience, retries, observation, journaling, shard
-        shadowing, a custom probe or post-collector) keeps the per-object
-        path, whose output the columnar one is bit-identical to anyway.
+        The columnar pass replicates the exact fault-free, hook-free
+        probing loop; any feature that adds per-machine hooks (faults,
+        resilience, retries, observation, journaling, a custom probe or
+        post-collector) keeps the per-object path, whose output the
+        columnar one is bit-identical to anyway.  A *sharded* coordinator
+        (``owned_labs`` set) is eligible: the pass still draws and times
+        the full roster -- replicating the sequential cursor chain and
+        RNG cursor exactly -- and restricts materialisation (samples,
+        statics, counters) to the owned mask, the vectorised twin of the
+        per-object shadow path.
         """
         from repro.ddc.w32probe import W32Probe
 
-        if self.owned_labs is not None:
-            return "sharded coordinator (owned_labs set)"
         if self.faults is not None:
             return "fault plan attached"
         if self.resilience is not None:
@@ -504,6 +507,17 @@ class DdcCoordinator:
             for i, mid in enumerate(columns.machine_id.tolist()):
                 if mid in meta.statics:
                     self._registered[i] = True
+        # Shard ownership as a roster mask: draws and the cursor chain
+        # stay full-roster (the shared "ddc" stream must advance exactly
+        # as in the sequential run); accounting and the store restrict
+        # to the owned slice.
+        if self.owned_labs is None:
+            self._owned_mask = np.ones(columns.n, dtype=bool)
+        else:
+            self._owned_mask = np.array(
+                [lab in self.owned_labs for lab in columns.labs], dtype=bool
+            )
+        self._n_owned = int(np.count_nonzero(self._owned_mask))
         lo, hi = self.params.exec_latency
         self._lat_lo = float(lo)
         self._lat_hi = float(hi)
@@ -532,16 +546,25 @@ class DdcCoordinator:
         # cursor chain: float addition is non-associative, so replicate
         # the sequential `cursor += elapsed` exactly with a prefix sum
         cum = np.cumsum(np.concatenate(((start,), elapsed)))
-        self.attempts += n
-        self.timeouts += n - n_on
-        self.samples_collected += n_on
+        # Accounting and materialisation restrict to the owned slice --
+        # the draws and the cursor chain above stay full-roster so a
+        # sharded pass replicates the sequential "ddc" stream exactly
+        # (the vectorised twin of the per-object shadow path).
+        keep = self._owned_mask[idx]
+        k_on = int(np.count_nonzero(keep))
+        self.attempts += self._n_owned
+        self.timeouts += self._n_owned - k_on
+        self.samples_collected += k_on
         duration = float(cum[-1]) - start
-        if n_on == 0:
+        if k_on == 0:
             return duration
         from repro.sim.kernel import round3
 
         # each probe observes its machine at its actual execution instant
-        tau = cum[:-1][idx] + lat
+        t_sample = cum[1:][idx][keep]
+        tau = (cum[:-1][idx] + lat)[keep]
+        idx = idx[keep]
+        n_on = k_on
         dt = np.maximum(tau - cols.last_update[idx], 0.0)
         # uptime rides GetTickCount: seconds -> ms -> seconds, then %.3f
         uptime = round3((tau - cols.boot_time[idx]) * 1000.0 / 1000.0)
@@ -570,7 +593,7 @@ class DdcCoordinator:
         store.extend_columns(
             machine_id=cols.machine_id[idx],
             iteration=np.full(n_on, k, dtype=np.int32),
-            t=cum[1:][idx],
+            t=t_sample,
             boot_time=cols.boot_time_r3[idx],
             uptime_s=uptime,
             cpu_idle_s=idle,

@@ -316,12 +316,6 @@ def run_experiment(
                 "fleet_factory is not supported with net=: networked "
                 "workers rebuild their fleet from the picklable config"
             )
-    if n_shards > 1 and cfg.kernel == "columnar":
-        raise ValueError(
-            "kernel='columnar' is incompatible with shards > 1: a shard "
-            "coordinator must shadow foreign machines on the per-object "
-            "path; use kernel='auto' (shards fall back transparently)"
-        )
     if n_shards == 1:
         plan = ShardPlan.build(labs, 1)
         task = ShardTask(

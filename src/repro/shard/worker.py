@@ -168,7 +168,8 @@ def run_shard(
             control.bind(fleet.sim)
             coordinator.heartbeat = control.on_iteration
         _resolve_kernel(cfg, coordinator, fleet,
-                        custom_fleet=fleet_factory is not None)
+                        custom_fleet=fleet_factory is not None,
+                        observer=observer)
     with maybe_phase(obs, "simulate"):
         fleet.start()
         coordinator.start()
@@ -314,12 +315,35 @@ def resume_shard(
                          control=control)
 
 
+#: Fallback reasons already logged by this process (one line per reason,
+#: not one per shard run -- a 16-worker pool would otherwise print the
+#: same diagnosis 16 times).
+_fallback_logged: set = set()
+
+
+def _announce_fallback(reason: str, observer: Optional[Observer]) -> None:
+    """Satellite of docs/columnar.md: a forced object-path fallback is
+    loud -- logged once per reason and exported as an observability
+    gauge -- instead of silently costing the columnar speedup."""
+    import logging
+
+    if reason not in _fallback_logged:
+        _fallback_logged.add(reason)
+        logging.getLogger("repro.kernel").info(
+            "kernel=auto: columnar pass ineligible (%s); "
+            "using the per-object path", reason,
+        )
+    if observer is not None and observer.enabled:
+        observer.metrics.gauge("kernel.columnar_fallback", reason=reason).set(1.0)
+
+
 def _resolve_kernel(
     cfg: ExperimentConfig,
     coordinator: DdcCoordinator,
     fleet: FleetSimulator,
     *,
     custom_fleet: bool,
+    observer: Optional[Observer] = None,
 ) -> None:
     """Pick the probing-pass kernel per ``cfg.kernel`` (docs/columnar.md).
 
@@ -328,6 +352,13 @@ def _resolve_kernel(
     never enables it; ``"columnar"`` raises when the run is ineligible
     instead of silently falling back.  Called after ``runtime.bind`` so
     an attached recovery runtime is visible to the eligibility check.
+
+    Enabling the columnar pass also moves the *behavioural* loop onto
+    its columnar backend (exact tick batches, or the statistical vector
+    engine when the config opted in) -- the coordinator and the fleet
+    share the same write-through mirror via ``fleet.ensure_columns()``.
+    A sharded coordinator is eligible: the pass draws the full roster
+    and materialises only the owned slice.
     """
     if cfg.kernel == "object":
         return
@@ -338,14 +369,15 @@ def _resolve_kernel(
     else:
         reason = coordinator.columnar_ineligibility()
     if reason is None:
-        from repro.sim.kernel import FleetColumns
-
-        coordinator.enable_columnar(FleetColumns(fleet.machines))
+        coordinator.enable_columnar(fleet.ensure_columns())
+        fleet.activate_columnar_behaviour()
     elif cfg.kernel == "columnar":
         raise ValueError(
             f"kernel='columnar' requested but the run is ineligible: "
             f"{reason}"
         )
+    else:
+        _announce_fallback(reason, observer)
 
 
 def execute_shard_task(task: ShardTask, *, control=None) -> ShardOutcome:

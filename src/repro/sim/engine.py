@@ -318,6 +318,43 @@ class Simulator:
             self._now = float(end)
         return fired
 
+    def run_before(self, end: float) -> int:
+        """Run all events with ``time < end`` and set the clock to ``end``.
+
+        The half-open companion to :meth:`run_until`: entries scheduled
+        at exactly ``end`` stay queued (a later ``run_until(end)`` fires
+        them), while the clock still lands on ``end`` so callers observe
+        the target instant.  The tick behavioural backend uses this to
+        preserve same-instant ordering around the staff sweeps, which on
+        the flat heap fire before any behavioural event sharing their
+        timestamp (sweeps are scheduled first, at fleet start).
+        """
+        if end < self._now:
+            raise ScheduleError(
+                f"run_before({end}) precedes current time t={self._now}"
+            )
+        if self._running:
+            raise SimulationError("Simulator.run_before is not re-entrant")
+        self._running = True
+        stopped = False
+        fired = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    stopped = True
+                    break
+                nxt = self.peek()
+                if nxt is None or nxt >= end:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+            self._stop_requested = False
+        if not stopped:
+            self._now = float(end)
+        return fired
+
     def run(self) -> int:
         """Run until the event queue is exhausted.  Returns events fired."""
         if self._running:

@@ -1,0 +1,603 @@
+"""Vectorised behavioural engine: the *statistical* columnar backend.
+
+The exact backend (:mod:`repro.sim.backend`) batches the per-object
+event loop without changing it -- same Python callbacks, same draws.
+That preserves byte-equivalence but not the scale ceiling: at 10k-100k
+machines the interpreter cost of a quarter-million behavioural
+callbacks dominates the run.  This module replaces the loop wholesale
+with per-tick columnar dynamics when the experiment opts in
+(``kernel="columnar"``, ``behavioural_equivalence="statistical"`` and a
+fleet larger than ``behavioural_threshold``).
+
+Model
+-----
+Each 15-minute tick advances the whole fleet with array expressions
+over :class:`~repro.sim.kernel.FleetColumns`:
+
+- **walk-ins** become per-machine Bernoulli arrivals with
+  ``p = 1 - exp(-lambda * dt)``, the exact thinning process's hazard
+  integrated over the tick window (demand profile x weekday demand x
+  machine popularity);
+- **class attendance** fires on the tick containing each timetable
+  block's start, with the per-object attendance probabilities;
+- **session ends, forget-to-logout, power-off decisions, closing-staff
+  sweeps and short power cycles** are columnar transitions at drawn
+  within-tick instants; counters fold with ``dt`` clamped at zero so
+  out-of-order sub-tick chains stay consistent;
+- per-machine **traits and personalities** are drawn once, vectorised,
+  from the fleet-wide ``"behaviour/traits"`` stream; per-tick dynamics
+  draw from ``"behaviour/tick"``.
+
+Deviations from the per-object model (all documented in
+``docs/columnar.md``): draws come from two fleet-wide streams instead
+of per-machine ``agent/<host>`` streams, activity redraws are Bernoulli
+per tick (expected period preserved) instead of a fixed 20-minute
+timer, a begin->end chain shorter than one tick resolves at the next
+tick, and the ground-truth ``boot_log``/``session_log`` on the (stale)
+:class:`~repro.machines.machine.SimMachine` objects are not maintained.
+Distributions, rates and decision probabilities are otherwise the
+per-object model's own, so fleet-level statistics (uptime ratio,
+occupancy, the Fig-5 weekly profile) match within sampling noise.
+
+Determinism: both streams are seeded from the experiment's root seed
+and every worker advances them over the *full* roster, so a sharded
+run's columns are identical in every worker -- composition with
+``--shards N`` stays byte-stable (the coordinator's owned mask
+restricts materialisation, exactly as on the exact path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from repro.sim.calendar import DAY, HOUR
+from repro.sim.kernel import round3
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetSimulator
+
+__all__ = ["VectorBehaviour"]
+
+_INF = float("inf")
+
+
+class VectorBehaviour:
+    """Columnar behavioural dynamics for one fleet.
+
+    Construction draws the per-machine statics; :meth:`start` performs
+    the vectorised warm start and chains one tick event per sampling
+    period onto the fleet's engine.  The closing-staff sweep calls
+    :meth:`advance_to` before :meth:`sweep` so mid-grid observers see a
+    fully advanced mirror.
+    """
+
+    def __init__(self, fleet: "FleetSimulator"):
+        self.fleet = fleet
+        cfg = fleet.config
+        self.cols = fleet.ensure_columns()
+        self.calendar = fleet.calendar
+        self.behavior = fleet.behavior
+        self.power = fleet.power
+        self.workload = fleet.workload
+        self.tick = float(cfg.ddc.sample_period)
+        self.horizon = float(cfg.horizon)
+        self.rng = fleet.streams.stream("behaviour/tick")
+        rng_t = fleet.streams.stream("behaviour/traits")
+
+        cols = self.cols
+        n = cols.n
+        self.n = n
+        bp = self.behavior.params
+        pp = self.power.params
+        wp = self.workload.params
+
+        # -- static hardware-derived arrays --------------------------------
+        specs = cols.specs
+        self.ram_bytes = np.array([s.ram_bytes for s in specs], dtype=np.float64)
+        self.swap_bytes = np.array([s.swap_bytes for s in specs], dtype=np.float64)
+        self.disk_gb = np.array([s.disk_gb for s in specs], dtype=np.float64)
+        self.temp_quota = np.array(
+            [self.workload.temp_quota(s) for s in specs], dtype=np.float64
+        )
+        ram_mb = np.array([s.ram_mb for s in specs], dtype=np.float64)
+
+        # -- per-machine statics from the fleet-wide traits stream ---------
+        lab_mult = np.array(
+            [fleet.lab_demand[lab] for lab in cols.labs], dtype=np.float64
+        )
+        self.popularity = np.clip(
+            lab_mult * rng_t.lognormal(-0.02, 0.20, n), 0.05, 4.0
+        )
+        keys = sorted(wp.os_mem_frac)
+        base_frac = np.interp(ram_mb, keys, [wp.os_mem_frac[k] for k in keys])
+        self.os_mem_frac = np.clip(
+            rng_t.normal(base_frac, wp.os_mem_frac_sigma), 0.25, 0.92
+        )
+        self.swap_base_frac = np.clip(
+            rng_t.normal(wp.swap_base_mean, wp.swap_base_sigma, n), 0.05, 0.6
+        )
+        used_gb = np.clip(
+            wp.disk_base_gb + wp.disk_frac * self.disk_gb
+            + rng_t.normal(0.0, wp.disk_sigma_gb, n),
+            2.0,
+            0.9 * self.disk_gb,
+        )
+        self.base_disk = (used_gb * 1e9).astype(np.int64)
+        self.background_busy = np.clip(
+            rng_t.normal(wp.background_busy_mean, wp.background_busy_sigma, n),
+            0.0003,
+            0.03,
+        )
+        a, b = pp.leave_on_bias_beta
+        self.leave_on_bias = rng_t.beta(a, b, n)
+        self.night_owl = rng_t.random(n) < pp.night_owl_fraction
+
+        # -- dynamic behavioural state (engine-private) --------------------
+        self.sess_end = np.full(n, _INF)
+        self.sess_login_t = np.full(n, -_INF)
+        self.sess_busy_mean = np.zeros(n)
+        self.sess_heavy = np.zeros(n, dtype=bool)
+        self.sess_forget = np.zeros(n, dtype=bool)
+        self.cycle_off = np.full(n, _INF)
+        self.user_seq = np.zeros(n, dtype=np.int64)
+        cols.disk_used[:] = self.base_disk
+
+        # lab membership and per-day class-block cache
+        self.lab_members: Dict[str, np.ndarray] = {}
+        labs_arr = np.array(cols.labs)
+        for lab in dict.fromkeys(cols.labs):
+            self.lab_members[lab] = np.flatnonzero(labs_arr == lab)
+        self._block_cache: Tuple[int, list] = (-1, [])
+
+        # hot-path scalar constants
+        self._bg_net_mu = self.workload._net_mu[False]  # noqa: SLF001
+        self._act_net_mu = self.workload._net_mu[True]  # noqa: SLF001
+        self._net_sigma = wp.net_sigma
+        self._log_sess_median = float(np.log(bp.session_median))
+        self._log_inter_busy = float(np.log(wp.interactive_busy_median))
+        self._redraw_p = min(1.0, self.tick / wp.activity_redraw_period)
+        self._t = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Warm-start the fleet and chain the tick events (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        sim = self.fleet.sim
+        self._t = sim.now
+        p = self.power.params
+        prob = np.where(self.night_owl, p.initial_on_owl, p.initial_on_other)
+        idx = np.flatnonzero(self.rng.random(self.n) < prob)
+        self._boot(idx, np.full(idx.size, self._t))
+        nxt = min(self._t + self.tick, self.horizon)
+        if nxt > self._t:
+            sim.schedule(nxt, self._tick_event, name="btick")
+
+    def _tick_event(self) -> None:
+        now = self.fleet.sim.now
+        self.advance_to(now)
+        nxt = min(now + self.tick, self.horizon)
+        if nxt > now:
+            self.fleet.sim.schedule(nxt, self._tick_event, name="btick")
+
+    def advance_to(self, t: float) -> None:
+        """Run all whole-or-partial tick windows up to ``t`` (inclusive)."""
+        while self._t < t:
+            t1 = min(self._t + self.tick, t)
+            self._step(self._t, t1)
+            self._t = t1
+
+    # ------------------------------------------------------------------
+    # one tick window (t0, t1]
+    # ------------------------------------------------------------------
+    def _step(self, t0: float, t1: float) -> None:
+        cols = self.cols
+        self._end_sessions(t1)
+        # short-cycle power-offs whose uptime expired inside this window
+        off = np.flatnonzero(
+            cols.powered & ~cols.has_session & (self.cycle_off <= t1)
+        )
+        if off.size:
+            self._shutdown(off, self.cycle_off[off])
+        self.cycle_off[off] = _INF
+        self._class_starts(t0, t1)
+        self._walkin_starts(t0, t1)
+        self._short_cycle_starts(t0, t1)
+        self._redraw_activity(t1)
+
+    # -- session endings ------------------------------------------------
+    def _end_sessions(self, t1: float) -> None:
+        cols = self.cols
+        idx = np.flatnonzero(cols.has_session & (self.sess_end <= t1))
+        if not idx.size:
+            return
+        tau = self.sess_end[idx]
+        self._retime(idx, tau)
+        self.sess_end[idx] = _INF
+        forget = self.sess_forget[idx]
+        ghosts = idx[forget]
+        if ghosts.size:
+            # The user walks away: session stays open, workload falls back
+            # to background with the apps still resident in memory.
+            cols.session_forgotten[ghosts] = True
+            cols.busy_frac[ghosts] = self.background_busy[ghosts]
+            net = self.rng.lognormal(
+                np.broadcast_to(self._bg_net_mu, (ghosts.size, 2)),
+                self._net_sigma,
+            )
+            cols.sent_bps[ghosts] = net[:, 0]
+            cols.recv_bps[ghosts] = net[:, 1]
+        ends = idx[~forget]
+        if not ends.size:
+            return
+        tau_e = tau[~forget]
+        self._logout(ends)
+        # departing-user power-off decision (evening-dependent)
+        hour = np.mod(tau_e, DAY) / HOUR
+        p = self.power.params
+        base = np.where(
+            (hour >= p.evening_hour) | (hour < self.calendar.CLOSE_HOUR),
+            p.p_off_after_use_evening,
+            p.p_off_after_use_day,
+        )
+        factor = np.where(
+            self.night_owl[ends], 0.40, 1.0 - 0.4 * self.leave_on_bias[ends]
+        )
+        off = self.rng.random(ends.size) < base * factor
+        if off.any():
+            self._shutdown(ends[off], tau_e[off])
+
+    # -- class attendance -----------------------------------------------
+    def _blocks_starting(self, t0: float, t1: float) -> list:
+        """Timetable blocks with ``start`` in ``[t0, t1)``, as
+        ``(lab, start, end, cpu_heavy)`` tuples."""
+        day = int(t0 // DAY)
+        if self._block_cache[0] != day:
+            blocks = []
+            for lab in self.lab_members:
+                for block in self.calendar.blocks_for_day(lab, day):
+                    blocks.append((lab, block.start, block.end, block.cpu_heavy))
+            self._block_cache = (day, blocks)
+        return [b for b in self._block_cache[1] if t0 <= b[1] < t1]
+
+    def _class_starts(self, t0: float, t1: float) -> None:
+        cols = self.cols
+        bp = self.behavior.params
+        for lab, b_start, b_end, heavy in self._blocks_starting(t0, t1):
+            members = self.lab_members[lab]
+            free = members[
+                ~cols.powered[members]
+                | ~cols.has_session[members]
+                | cols.session_forgotten[members]
+            ]
+            if not free.size:
+                continue
+            if heavy:
+                p_attend = np.full(free.size, 0.70)
+            else:
+                p_attend = np.minimum(
+                    0.95, bp.class_occupancy * self.popularity[free]
+                )
+            take = free[self.rng.random(free.size) < p_attend]
+            if not take.size:
+                continue
+            start = b_start + self.rng.uniform(0.0, 600.0, take.size)
+            end = b_end - self.rng.uniform(0.0, 480.0, take.size)
+            ok = end > start
+            take, start, end = take[ok], start[ok], end[ok]
+            forget = self.rng.random(take.size) < bp.p_forget * 0.5
+            self._begin_use(take, start, end, heavy=heavy, forget=forget)
+
+    # -- walk-in arrivals -------------------------------------------------
+    def _walkin_window(self, t0: float) -> Tuple[float, float]:
+        """``(demand, close_t)`` for the window starting at ``t0``;
+        demand 0 when the labs are shut."""
+        from repro.sim.behavior import DEMAND_PROFILE
+
+        bp = self.behavior.params
+        clock = self.calendar.clock
+        hour = int((t0 % DAY) // HOUR)
+        day = int(t0 // DAY)
+        # The 00-04 band belongs to the opening period that *started* the
+        # previous day (Friday's period runs to Saturday 04:00; Saturday's
+        # ends at 21:00, so Sunday 00-04 is shut).
+        d_eff = day - 1 if hour < 4 else day
+        wd = (d_eff + clock.epoch_weekday) % 7
+        demand = bp.weekday_demand[wd]
+        if demand <= 0.0 or DEMAND_PROFILE[hour] <= 0.0:
+            return 0.0, 0.0
+        if wd == 5:
+            if hour >= int(self.calendar.SATURDAY_CLOSE_HOUR) or hour < 4:
+                return 0.0, 0.0
+            close_t = clock.at(d_eff, self.calendar.SATURDAY_CLOSE_HOUR)
+        else:
+            close_t = clock.at(d_eff + 1, self.calendar.CLOSE_HOUR)
+        return float(demand * DEMAND_PROFILE[hour]), close_t
+
+    def _walkin_starts(self, t0: float, t1: float) -> None:
+        cols = self.cols
+        bp = self.behavior.params
+        demand, close_t = self._walkin_window(t0)
+        if demand <= 0.0:
+            return
+        free = np.flatnonzero(
+            ~cols.powered | ~cols.has_session | cols.session_forgotten
+        )
+        if not free.size:
+            return
+        lam = demand * self.popularity[free] / bp.walkin_mean_gap
+        p = 1.0 - np.exp(-lam * (t1 - t0))
+        take = free[self.rng.random(free.size) < p]
+        if not take.size:
+            return
+        # Arrivals needing a boot land early enough that boot+login stays
+        # inside the window (the boot takes ``boot_duration`` seconds).
+        width = t1 - t0
+        boot_margin = min(self.power.boot_duration(), width)
+        off = ~cols.powered[take]
+        tau = t0 + self.rng.uniform(0.0, width, take.size)
+        tau[off] = np.minimum(tau[off], t1 - boot_margin)
+        dur = np.clip(
+            self.rng.lognormal(self._log_sess_median, bp.session_sigma, take.size),
+            bp.session_min,
+            bp.session_max,
+        )
+        dur = np.minimum(dur, close_t - tau)
+        ok = dur >= bp.session_min
+        take, tau, dur = take[ok], tau[ok], dur[ok]
+        if not take.size:
+            return
+        forget = self.rng.random(take.size) < bp.p_forget
+        self._begin_use(take, tau, tau + dur, heavy=False, forget=forget)
+
+    # -- short power cycles -----------------------------------------------
+    def _short_cycle_starts(self, t0: float, t1: float) -> None:
+        cols = self.cols
+        pp = self.power.params
+        clock = self.calendar.clock
+        day = int(t0 // DAY)
+        hour = (t0 % DAY) / HOUR
+        if hour < self.calendar.CLOSE_HOUR:
+            # 00-04 belongs to the previous day's opening period
+            hour += 24.0
+            day -= 1
+        wd = (day + clock.epoch_weekday) % 7
+        if wd == 6:  # Sunday: closed, nobody around to cycle a machine
+            return
+        open_h = self.calendar.OPEN_HOUR
+        close_h = (
+            self.calendar.SATURDAY_CLOSE_HOUR if wd == 5
+            else 24.0 + self.calendar.CLOSE_HOUR
+        )
+        if not open_h <= hour < close_h:
+            return
+        # Split the daily Poisson rate like the per-object planner: 55%
+        # inside the first two opening hours, 45% across the whole period.
+        width_h = (t1 - t0) / HOUR
+        weight = 0.45 / (close_h - open_h)
+        if hour < open_h + 2.0:
+            weight += 0.55 / 2.0
+        p_cycle = pp.short_cycles_per_day * weight * width_h
+        off = np.flatnonzero(~cols.powered)
+        if not off.size:
+            return
+        take = off[self.rng.random(off.size) < p_cycle]
+        if not take.size:
+            return
+        tau = t0 + self.rng.uniform(0.0, t1 - t0, take.size)
+        lo, hi = pp.short_cycle_uptime
+        uptime = self.rng.uniform(lo, hi, take.size)
+        self._boot(take, tau)
+        self.cycle_off[take] = tau + uptime
+
+    # -- intra-session activity redraws -----------------------------------
+    def _redraw_activity(self, t1: float) -> None:
+        cols = self.cols
+        live = (
+            cols.has_session
+            & ~cols.session_forgotten
+            & (self.sess_login_t < t1 - self.tick)  # settled sessions only
+        )
+        idx = np.flatnonzero(live)
+        if not idx.size:
+            return
+        idx = idx[self.rng.random(idx.size) < self._redraw_p]
+        if not idx.size:
+            return
+        self._retime(idx, np.full(idx.size, t1))
+        self._apply_activity(idx)
+
+    # ------------------------------------------------------------------
+    # columnar transition primitives
+    # ------------------------------------------------------------------
+    def _retime(self, idx: np.ndarray, tau: np.ndarray) -> None:
+        """Fold each machine's constant-rate segment up to ``tau``."""
+        cols = self.cols
+        dt = np.maximum(tau - cols.last_update[idx], 0.0)
+        cols.idle_acc[idx] += dt * (1.0 - cols.busy_frac[idx])
+        cols.sent_acc[idx] += dt * cols.sent_bps[idx]
+        cols.recv_acc[idx] += dt * cols.recv_bps[idx]
+        cols.last_update[idx] = np.maximum(cols.last_update[idx], tau)
+
+    def _boot(self, idx: np.ndarray, tau: np.ndarray) -> None:
+        if not idx.size:
+            return
+        cols = self.cols
+        cols.powered[idx] = True
+        cols.boot_time[idx] = tau
+        cols.boot_time_r3[idx] = round3(tau)
+        cols.last_update[idx] = tau
+        cols.idle_acc[idx] = 0.0
+        cols.sent_acc[idx] = 0.0
+        cols.recv_acc[idx] = 0.0
+        cols.mem_load[idx], cols.swap_load[idx] = self._memory_loads(idx, None)
+        cols.busy_frac[idx] = self.background_busy[idx]
+        net = self.rng.lognormal(
+            np.broadcast_to(self._bg_net_mu, (idx.size, 2)), self._net_sigma
+        )
+        cols.sent_bps[idx] = net[:, 0]
+        cols.recv_bps[idx] = net[:, 1]
+        cols.disk_used[idx] = self.base_disk[idx]
+        cols.cycles[idx] += 1
+        cols.on_since[idx] = tau
+
+    def _shutdown(self, idx: np.ndarray, tau: np.ndarray) -> None:
+        if not idx.size:
+            return
+        cols = self.cols
+        self._retime(idx, tau)
+        ghost = idx[cols.has_session[idx]]
+        if ghost.size:
+            self._logout(ghost)
+        cols.powered[idx] = False
+        cols.poh_base_s[idx] += np.maximum(tau - cols.on_since[idx], 0.0)
+        cols.disk_used[idx] = self.base_disk[idx]
+        cols.busy_frac[idx] = 0.0
+        cols.sent_bps[idx] = 0.0
+        cols.recv_bps[idx] = 0.0
+        self.sess_end[idx] = _INF
+        self.cycle_off[idx] = _INF
+
+    def _logout(self, idx: np.ndarray) -> None:
+        """Close sessions and return machines to unattended levels."""
+        cols = self.cols
+        cols.has_session[idx] = False
+        cols.session_forgotten[idx] = False
+        for j in idx.tolist():
+            cols.usernames[j] = ""
+        cols.disk_used[idx] = self.base_disk[idx]
+        cols.mem_load[idx], cols.swap_load[idx] = self._memory_loads(idx, None)
+        cols.busy_frac[idx] = self.background_busy[idx]
+        net = self.rng.lognormal(
+            np.broadcast_to(self._bg_net_mu, (idx.size, 2)), self._net_sigma
+        )
+        cols.sent_bps[idx] = net[:, 0]
+        cols.recv_bps[idx] = net[:, 1]
+        self.sess_end[idx] = _INF
+        self.sess_forget[idx] = False
+
+    def _begin_use(
+        self,
+        idx: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        *,
+        heavy: bool,
+        forget: np.ndarray,
+    ) -> None:
+        """Boot (if needed) and log a student in on each machine."""
+        if not idx.size:
+            return
+        cols = self.cols
+        ghosts = idx[cols.has_session[idx]]
+        if ghosts.size:
+            # the newcomer logs the previous user's ghost session out
+            self._retime(ghosts, start[cols.has_session[idx]])
+            self._logout(ghosts)
+        need_boot = ~cols.powered[idx]
+        if need_boot.any():
+            self._boot(idx[need_boot], start[need_boot])
+        login_t = np.where(need_boot, start + self.power.boot_duration(), start)
+        self._retime(idx, login_t)
+        # session identity
+        self.user_seq[idx] += 1
+        seqs = self.user_seq[idx].tolist()
+        ids = cols.machine_id[idx].tolist()
+        names = cols.usernames
+        for j, mid, sq in zip(idx.tolist(), ids, seqs):
+            names[j] = f"al{mid:03d}{sq:04d}"
+        cols.has_session[idx] = True
+        cols.session_forgotten[idx] = False
+        cols.session_start_r3[idx] = round3(login_t)
+        self.sess_login_t[idx] = login_t
+        self.sess_end[idx] = np.maximum(end, login_t)
+        self.sess_heavy[idx] = heavy
+        self.sess_forget[idx] = forget
+        self.cycle_off[idx] = _INF
+        # session workload draws (per-object distributions, batched)
+        wp = self.workload.params
+        if heavy:
+            busy_mean = np.clip(
+                self.rng.normal(
+                    wp.heavy_class_busy_mean, wp.heavy_class_busy_sigma, idx.size
+                ),
+                0.2,
+                0.95,
+            )
+        else:
+            busy_mean = np.clip(
+                self.rng.lognormal(
+                    self._log_inter_busy, wp.interactive_busy_sigma, idx.size
+                ),
+                0.005,
+                0.60,
+            )
+        self.sess_busy_mean[idx] = busy_mean
+        apps = np.clip(
+            self.rng.normal(wp.apps_mem_frac_mean, wp.apps_mem_frac_sigma, idx.size),
+            0.03,
+            0.45,
+        )
+        temp = (self.rng.uniform(0.05, 1.0, idx.size) * self.temp_quota[idx])
+        cols.disk_used[idx] = self.base_disk[idx] + temp.astype(np.int64)
+        cols.mem_load[idx], cols.swap_load[idx] = self._memory_loads(idx, apps)
+        self._apply_activity(idx)
+
+    def _apply_activity(self, idx: np.ndarray) -> None:
+        """Draw CPU busy + NIC rates around the session means."""
+        cols = self.cols
+        heavy = self.sess_heavy[idx]
+        lo = np.where(heavy, 0.15, 0.003)
+        hi = np.where(heavy, 0.95, 0.70)
+        sigma = np.where(heavy, 0.35, 0.55)
+        mu = np.log(np.maximum(self.sess_busy_mean[idx], 1e-3))
+        cols.busy_frac[idx] = np.clip(
+            self.rng.lognormal(mu, sigma), lo, hi
+        )
+        net = self.rng.lognormal(
+            np.broadcast_to(self._act_net_mu, (idx.size, 2)), self._net_sigma
+        )
+        cols.sent_bps[idx] = net[:, 0]
+        cols.recv_bps[idx] = net[:, 1]
+
+    def _memory_loads(self, idx, apps) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised twin of ``WorkloadModel.memory_loads``."""
+        wp = self.workload.params
+        requested = self.os_mem_frac[idx].copy()
+        swap = self.swap_base_frac[idx].copy()
+        if apps is not None:
+            requested += apps
+            swap += wp.swap_session_delta
+        mem = np.minimum(requested, wp.mem_load_cap)
+        overflow = np.maximum(0.0, requested - wp.mem_load_cap)
+        sw_b = self.swap_bytes[idx]
+        swap = swap + np.where(
+            sw_b > 0, overflow * self.ram_bytes[idx] / np.where(sw_b > 0, sw_b, 1.0), 0.0
+        )
+        return 100.0 * mem, 100.0 * np.clip(swap, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # closing-staff sweep (called by FleetSimulator._sweep)
+    # ------------------------------------------------------------------
+    def sweep(self, now: float) -> None:
+        """Power off unattended (or ghost-holding) machines."""
+        cols = self.cols
+        idx = np.flatnonzero(
+            cols.powered & (~cols.has_session | cols.session_forgotten)
+        )
+        if not idx.size:
+            return
+        pp = self.power.params
+        p = np.where(
+            self.night_owl[idx], pp.p_off_at_close * 0.50, pp.p_off_at_close
+        )
+        p = np.where(cols.session_forgotten[idx], p * 0.18, p)
+        off = idx[self.rng.random(idx.size) < p]
+        if off.size:
+            self._shutdown(off, np.full(off.size, now))

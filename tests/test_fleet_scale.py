@@ -91,12 +91,41 @@ class TestCliMachines:
         assert max(ids) > 168
         assert ids <= set(range(200))
 
-    def test_columnar_kernel_flag_rejected_when_ineligible(self, tmp_path,
-                                                           capsys):
+    @pytest.mark.parametrize("extra", (
+        ("--obs-out", "snap.jsonl"),
+        ("--resilience",),
+        ("--recover-dir", "rundir"),
+    ), ids=("obs", "resilience", "recovery"))
+    def test_columnar_kernel_flag_rejected_when_ineligible(
+            self, tmp_path, capsys, extra):
+        # Statically-known ineligible combinations exit 2 up front,
+        # before any run directory or observer exists on disk.
+        extra = tuple(str(tmp_path / a) if a in ("snap.jsonl", "rundir")
+                      else a for a in extra)
         rc = main(["run", "--days", "1", "--kernel", "columnar",
-                   "--shards", "2", "--out", str(tmp_path / "t.csv")])
+                   "--out", str(tmp_path / "t.csv"), *extra])
         assert rc == 2
         assert "columnar" in capsys.readouterr().err
+        assert not (tmp_path / "rundir").exists()
+        assert not (tmp_path / "snap.jsonl").exists()
+
+    def test_columnar_kernel_flag_composes_with_shards(self, tmp_path,
+                                                       capsys):
+        # PR 10 lifted the shards exclusivity: the sharded merge is
+        # byte-identical, so --kernel columnar --shards N is a valid run.
+        out = tmp_path / "t.csv"
+        rc = main(["run", "--days", "1", "--kernel", "columnar",
+                   "--shards", "2", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_negative_behavioural_threshold_is_exit_2(self, tmp_path,
+                                                      capsys):
+        rc = main(["run", "--days", "1", "--behavioural", "statistical",
+                   "--behavioural-threshold", "-1",
+                   "--out", str(tmp_path / "t.csv")])
+        assert rc == 2
+        assert "behavioural-threshold" in capsys.readouterr().err
 
 
 class TestTenThousandMachineSmoke:

@@ -74,6 +74,8 @@ SIM_STREAM_NAMES = (
     "agent/L01-M01",
     "ddc",
     "nbench",
+    "behaviour/traits",
+    "behaviour/tick",
 )
 
 
@@ -111,6 +113,54 @@ def test_batched_lognormal_array_params_matches_sequential(name):
     sigma = np.linspace(0.1, 1.5, 40)
     values = batched.lognormal(mu, sigma)
     expected = [seq.lognormal(m, s) for m, s in zip(mu, sigma)]
+    assert values.tolist() == expected
+    assert batched.bit_generator.state == seq.bit_generator.state
+
+
+#: Streams owned by the phase-2 behavioural engine (sessions, power and
+#: workload dynamics all draw from these two fleet-wide streams).
+BEHAVIOUR_STREAM_NAMES = ("behaviour/traits", "behaviour/tick")
+
+
+@pytest.mark.parametrize("name", BEHAVIOUR_STREAM_NAMES)
+def test_batched_normal_matches_sequential(name):
+    # Session busy-levels and workload memory fractions draw normals.
+    batched, seq = _pair(name)
+    mu = np.linspace(0.2, 0.8, 33)
+    values = batched.normal(mu, 0.08)
+    expected = [seq.normal(m, 0.08) for m in mu]
+    assert values.tolist() == expected
+    assert batched.bit_generator.state == seq.bit_generator.state
+
+
+@pytest.mark.parametrize("name", BEHAVIOUR_STREAM_NAMES)
+def test_batched_beta_matches_sequential(name):
+    # Power traits draw leave-on biases from a beta distribution.
+    batched, seq = _pair(name)
+    values = batched.beta(0.9, 4.2, 50)
+    expected = [seq.beta(0.9, 4.2) for _ in range(50)]
+    assert values.tolist() == expected
+    assert batched.bit_generator.state == seq.bit_generator.state
+
+
+@pytest.mark.parametrize("name", BEHAVIOUR_STREAM_NAMES)
+def test_batched_exponential_matches_sequential(name):
+    # Walk-in inter-arrival gaps are exponential draws.
+    batched, seq = _pair(name)
+    values = batched.exponential(8 * 3600.0, 25)
+    expected = [seq.exponential(8 * 3600.0) for _ in range(25)]
+    assert values.tolist() == expected
+    assert batched.bit_generator.state == seq.bit_generator.state
+
+
+@pytest.mark.parametrize("name", BEHAVIOUR_STREAM_NAMES)
+def test_batched_bernoulli_matches_sequential(name):
+    # Per-tick Bernoulli gates (attendance, shutdown-after-use, redraw)
+    # compare uniform variates against probabilities.
+    batched, seq = _pair(name)
+    p = np.linspace(0.05, 0.95, 64)
+    values = batched.random(64) < p
+    expected = [seq.random() < pi for pi in p]
     assert values.tolist() == expected
     assert batched.bit_generator.state == seq.bit_generator.state
 
